@@ -1,0 +1,99 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  1. Algorithm 1 (simple protocol) vs Algorithm 2 (lazy broadcast):
+//     threshold-update count and total communication.
+//  2. DA1 lazy spectral-norm check vs eager per-update checking:
+//     exact-check count, update rate, and identical error budget.
+//  3. Sampling estimator: exact top-l (PWOR) vs all available samples
+//     (PWOR-ALL) at equal communication.
+
+#include <cstdio>
+
+#include "core/sampling_tracker.h"
+#include "harness.h"
+
+int main() {
+  using namespace dswm;
+  using namespace dswm::bench;
+
+  // Smaller stream: the simple protocol's per-change synchronization is
+  // exactly what makes it expensive.
+  Workload workload = MakeSyntheticWorkload();
+  workload.rows.resize(workload.rows.size() / 4);
+  workload.window /= 4;
+  const int m = 20;
+  const double eps = 0.1;
+
+  // ---- 1: simple vs lazy-broadcast protocol ---------------------------
+  std::printf("== Ablation 1: PWOR threshold protocol (eps=%.2f, m=%d) ==\n",
+              eps, m);
+  std::printf("%-16s %12s %14s %12s %12s\n", "protocol", "avg_err",
+              "msg(words/W)", "broadcasts", "rows/s");
+  for (SamplingProtocol p :
+       {SamplingProtocol::kSimple, SamplingProtocol::kLazyBroadcast}) {
+    TrackerConfig config;
+    config.dim = workload.dim;
+    config.num_sites = m;
+    config.window = workload.window;
+    config.epsilon = eps;
+    config.protocol = p;
+    config.seed = 3;
+    SamplingTracker tracker(config, SamplingScheme::kPriority, false);
+    DriverOptions options;
+    const RunResult r =
+        RunTracker(&tracker, workload.rows, m, workload.window, options);
+    std::printf("%-16s %12.5f %14.0f %12ld %12.0f\n",
+                p == SamplingProtocol::kSimple ? "simple(Alg.1)"
+                                               : "lazy(Alg.2)",
+                r.avg_err, r.words_per_window, r.broadcasts,
+                r.update_rows_per_sec);
+    std::fflush(stdout);
+  }
+
+  // ---- 2: DA1 lazy vs eager norm check --------------------------------
+  std::printf("\n== Ablation 2: DA1 spectral-norm check (eps=%.2f, m=%d) ==\n",
+              eps, m);
+  std::printf("%-16s %12s %14s %12s\n", "check", "avg_err", "msg(words/W)",
+              "rows/s");
+  for (bool lazy : {false, true}) {
+    TrackerConfig config;
+    config.dim = workload.dim;
+    config.num_sites = m;
+    config.window = workload.window;
+    config.epsilon = eps;
+    config.da1_lazy_norm_check = lazy;
+    config.seed = 3;
+    auto tracker = MakeTracker(Algorithm::kDa1, config);
+    DriverOptions options;
+    const RunResult r = RunTracker(tracker.value().get(), workload.rows, m,
+                                   workload.window, options);
+    std::printf("%-16s %12.5f %14.0f %12.0f\n", lazy ? "lazy" : "eager",
+                r.avg_err, r.words_per_window, r.update_rows_per_sec);
+    std::fflush(stdout);
+  }
+
+  // ---- 3: top-l vs ALL estimators --------------------------------------
+  std::printf("\n== Ablation 3: sampling estimator (eps=%.2f, m=%d) ==\n",
+              eps, m);
+  std::printf("%-16s %12s %12s %14s\n", "estimator", "avg_err", "max_err",
+              "msg(words/W)");
+  for (Algorithm a : {Algorithm::kPwor, Algorithm::kPworAll,
+                      Algorithm::kEswor, Algorithm::kEsworAll}) {
+    const RunResult r = RunCell(a, workload, eps, m);
+    std::printf("%-16s %12.5f %12.5f %14.0f\n", AlgorithmName(a), r.avg_err,
+                r.max_err, r.words_per_window);
+    std::fflush(stdout);
+  }
+
+  // ---- 4: reference against naive centralization ----------------------
+  std::printf("\n== Ablation 4: vs ship-everything baseline (eps=%.2f, "
+              "m=%d) ==\n", eps, m);
+  std::printf("%-16s %12s %14s\n", "algorithm", "avg_err", "msg(words/W)");
+  for (Algorithm a :
+       {Algorithm::kCentral, Algorithm::kPwor, Algorithm::kDa2}) {
+    const RunResult r = RunCell(a, workload, eps, m);
+    std::printf("%-16s %12.5f %14.0f\n", AlgorithmName(a), r.avg_err,
+                r.words_per_window);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 1: results on the PAMAP(-like) dataset.
+//   (a) avg error vs epsilon        (b) communication vs epsilon
+//   (c) avg error vs communication  (d) max error vs communication
+//   (e) error vs #sites             (f) communication vs #sites
+// Panels (a)-(d) come from the epsilon sweep at m=20; panels (e)-(f) from
+// the site sweep at eps=0.05. Every series prints avg_err, max_err, and
+// msg (words per window), so each panel is a column pair of this output.
+
+#include "harness.h"
+
+int main() {
+  using namespace dswm;
+  using namespace dswm::bench;
+  const Workload workload = MakePamapWorkload();
+  RunFigure(workload, PaperAlgorithms(), EpsilonSweep(), SiteSweep(),
+            /*default_eps=*/0.05, /*default_sites=*/20);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 2: results on the SYNTHETIC dataset (A = S D U + N/zeta), same
+// six panels as Figure 1 (see bench_fig1_pamap.cc).
+
+#include "harness.h"
+
+int main() {
+  using namespace dswm;
+  using namespace dswm::bench;
+  const Workload workload = MakeSyntheticWorkload();
+  RunFigure(workload, PaperAlgorithms(), EpsilonSweep(), SiteSweep(),
+            /*default_eps=*/0.05, /*default_sites=*/20);
+  return 0;
+}

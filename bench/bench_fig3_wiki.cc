@@ -1,0 +1,18 @@
+// Figure 3: results on the WIKI(-like) dataset, panels (a)-(d) (epsilon
+// sweep at m in {10, 20}). As in the paper, DA1 is excluded: its per-row
+// d x d eigendecompositions are infeasible at WIKI's dimensionality
+// (Section IV-B observation (iii)).
+
+#include "harness.h"
+
+int main() {
+  using namespace dswm;
+  using namespace dswm::bench;
+  const Workload workload = MakeWikiWorkload();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kPwor, Algorithm::kPworAll, Algorithm::kEswor,
+      Algorithm::kEsworAll, Algorithm::kDa2};
+  RunFigure(workload, algorithms, EpsilonSweep(), /*site_sweep=*/{10},
+            /*default_eps=*/0.1, /*default_sites=*/20);
+  return 0;
+}

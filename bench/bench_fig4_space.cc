@@ -1,0 +1,52 @@
+// Figure 4(a)-(c): maximum per-site space usage (words) vs epsilon, one
+// panel per dataset, at the default m = 20.
+//
+// Paper shapes to look for: space grows as epsilon shrinks for every
+// protocol; DA1 pays an extra d^2; on WIKI the large norm ratio R limits
+// mEH compression so DA2's space decays slowly with epsilon, while the
+// samplers' resident space *drops* at small epsilon because most rows are
+// shipped to the coordinator.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace dswm;
+  using namespace dswm::bench;
+
+  const int m = 20;
+  // Space reaches steady state after ~1.5 windows; truncated streams
+  // keep this bench fast without changing the panels' shape.
+  const Workload workloads[] = {Truncate(MakePamapWorkload(), 0.6),
+                                Truncate(MakeSyntheticWorkload(), 0.6),
+                                Truncate(MakeWikiWorkload(), 0.6)};
+  const char* panel[] = {"(a)", "(b)", "(c)"};
+
+  for (int w = 0; w < 3; ++w) {
+    const Workload& workload = workloads[w];
+    std::printf("== Figure 4%s: max site space vs epsilon on %s (m=%d) ==\n",
+                panel[w], workload.name.c_str(), m);
+    std::printf("%-10s", "algorithm");
+    for (double eps : EpsilonSweep()) std::printf(" %12.3f", eps);
+    std::printf("\n");
+    std::vector<Algorithm> algorithms = PaperAlgorithms();
+    if (workload.name == "WIKI") {
+      algorithms.erase(std::remove(algorithms.begin(), algorithms.end(),
+                                   Algorithm::kDa1),
+                       algorithms.end());
+    }
+    for (Algorithm a : algorithms) {
+      std::printf("%-10s", AlgorithmName(a));
+      for (double eps : EpsilonSweep()) {
+        const RunResult r = RunCell(a, workload, eps, m);
+        std::printf(" %12ld", r.max_site_space_words);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

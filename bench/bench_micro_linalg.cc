@@ -1,0 +1,99 @@
+// Microbenchmarks of the linear-algebra substrate (google-benchmark):
+// the kernels that dominate tracker update cost.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/psd_sqrt.h"
+#include "linalg/spectral_norm.h"
+#include "linalg/svd.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace dswm {
+namespace {
+
+Matrix RandomMatrix(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+Matrix RandomSymmetric(int d, uint64_t seed) {
+  const Matrix a = RandomMatrix(2 * d, d, seed);
+  return GramTranspose(a);
+}
+
+void BM_OuterProductUpdate(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  Matrix c(d, d);
+  Rng rng(1);
+  std::vector<double> v(d);
+  for (double& x : v) x = rng.NextGaussian();
+  for (auto _ : state) {
+    c.AddOuterProduct(v.data(), 1.0);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OuterProductUpdate)->Arg(43)->Arg(128)->Arg(300)->Arg(512);
+
+void BM_MatVec(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix m = RandomSymmetric(d, 2);
+  std::vector<double> x(d, 1.0);
+  std::vector<double> y(d);
+  for (auto _ : state) {
+    MatVec(m, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MatVec)->Arg(43)->Arg(128)->Arg(512);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix m = RandomSymmetric(d, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymmetricEigen(m).values.data());
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(16)->Arg(43)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ThinSvdShortSide(benchmark::State& state) {
+  // The FD shrink shape: few rows, many columns.
+  const int rows = static_cast<int>(state.range(0));
+  const Matrix m = RandomMatrix(rows, 512, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RightSvd(m).vt.data());
+  }
+}
+BENCHMARK(BM_ThinSvdShortSide)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SpectralNormPowerIteration(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix m = RandomSymmetric(d, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpectralNormSym(m));
+  }
+}
+BENCHMARK(BM_SpectralNormPowerIteration)->Arg(43)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PsdSqrt(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix m = RandomSymmetric(d, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PsdSqrt(m).data());
+  }
+}
+BENCHMARK(BM_PsdSqrt)->Arg(43)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dswm
+
+BENCHMARK_MAIN();

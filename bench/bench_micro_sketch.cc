@@ -1,0 +1,79 @@
+// Microbenchmarks of the sketching substrate: Frequent Directions
+// throughput (amortized append incl. shrinks), IWMT input, and the
+// priority-sampling site path.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/iwmt.h"
+#include "sampling/priority.h"
+#include "sampling/site_queue.h"
+#include "sketch/frequent_directions.h"
+
+namespace dswm {
+namespace {
+
+void BM_FrequentDirectionsAppend(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int ell = static_cast<int>(state.range(1));
+  FrequentDirections fd(d, ell);
+  Rng rng(1);
+  std::vector<double> row(d);
+  for (auto _ : state) {
+    for (int j = 0; j < d; ++j) row[j] = rng.NextGaussian();
+    fd.Append(row.data());
+    if (fd.input_mass() > 1e12) fd.Reset();  // keep state bounded
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrequentDirectionsAppend)
+    ->Args({43, 20})
+    ->Args({128, 20})
+    ->Args({128, 60})
+    ->Args({512, 40});
+
+void BM_IwmtInput(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  IwmtProtocol iwmt(d, 40);
+  Rng rng(2);
+  std::vector<double> row(d);
+  std::vector<IwmtOutput> outs;
+  double mass = 0.0;
+  for (auto _ : state) {
+    for (int j = 0; j < d; ++j) row[j] = rng.NextGaussian();
+    mass += NormSquared(row.data(), d);
+    outs.clear();
+    iwmt.Input(row.data(), 0.025 * mass, &outs);
+    benchmark::DoNotOptimize(outs.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IwmtInput)->Arg(43)->Arg(128)->Arg(512);
+
+void BM_PrioritySitePath(benchmark::State& state) {
+  // The per-row site work of PWOR: draw key, dominance-note, enqueue.
+  const int d = static_cast<int>(state.range(0));
+  SiteSampleQueue queue(400, 1000000);
+  Rng rng(3);
+  TimedRow row;
+  row.values.assign(d, 0.0);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    ++t;
+    for (int j = 0; j < d; ++j) row.values[j] = rng.NextGaussian();
+    row.timestamp = t;
+    const double w = row.NormSquared();
+    const double key = DrawKey(SamplingScheme::kPriority, w, &rng);
+    const double bv = KeyBucketValue(SamplingScheme::kPriority, key);
+    queue.NoteArrival(bv);
+    queue.Enqueue(row, key, bv);
+    queue.Expire(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrioritySitePath)->Arg(43)->Arg(512);
+
+}  // namespace
+}  // namespace dswm
+
+BENCHMARK_MAIN();

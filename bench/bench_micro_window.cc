@@ -1,0 +1,62 @@
+// Microbenchmarks of the sliding-window substrates: scalar and matrix
+// exponential histograms.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "window/exponential_histogram.h"
+#include "window/matrix_eh.h"
+
+namespace dswm {
+namespace {
+
+void BM_ExponentialHistogramInsert(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  ExponentialHistogram eh(eps, 100000);
+  Rng rng(1);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    ++t;
+    eh.Insert(1.0 + rng.NextDouble(), t);
+    benchmark::DoNotOptimize(eh.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExponentialHistogramInsert)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_MatrixEhInsert(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  MatrixExpHistogram meh(d, 0.1, 50000);
+  Rng rng(2);
+  std::vector<double> row(d);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    ++t;
+    for (int j = 0; j < d; ++j) row[j] = rng.NextGaussian();
+    meh.Insert(row.data(), t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatrixEhInsert)->Arg(43)->Arg(128)->Arg(512);
+
+void BM_MatrixEhQueryCovariance(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  MatrixExpHistogram meh(d, 0.1, 50000);
+  Rng rng(3);
+  std::vector<double> row(d);
+  for (Timestamp t = 1; t <= 20000; ++t) {
+    for (int j = 0; j < d; ++j) row[j] = rng.NextGaussian();
+    meh.Insert(row.data(), t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meh.QueryCovariance().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatrixEhQueryCovariance)->Arg(43)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dswm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Table II validation: the asymptotic communication/space bounds.
+//
+//   Priority/ES sampling : comm ~ (d/eps^2) log(1/eps) log(NR) [+ m terms]
+//   DA1 / DA2            : comm ~ (m d / eps) log(NR)
+//   space per site       : ~ (d/eps^2) log(NR) for all protocols
+//
+// This bench measures communication and space across an epsilon sweep and
+// a site sweep on SYNTHETIC and prints the measured growth factors next
+// to the factors the bounds predict: sampling comm should scale like the
+// l(eps) ~ log(1/eps)/eps^2 ratio and stay flat in m; deterministic comm
+// should scale like 1/eps and linearly in m.
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace dswm;
+  using namespace dswm::bench;
+
+  const Workload workload = MakeSyntheticWorkload();
+  const int m0 = 20;
+
+  std::printf("== Table II validation on %s ==\n\n", workload.name.c_str());
+
+  // ---- epsilon scaling at fixed m ------------------------------------
+  const double eps_hi = 0.2;
+  const double eps_lo = 0.05;
+  auto ell = [](double e) { return std::log(1.0 / e) / (e * e); };
+  const double predict_sampling = ell(eps_lo) / ell(eps_hi);
+  const double predict_det = eps_hi / eps_lo;
+
+  std::printf("epsilon scaling: comm(eps=%.2f) / comm(eps=%.2f), m=%d\n",
+              eps_lo, eps_hi, m0);
+  std::printf("%-10s %10s %10s\n", "algorithm", "measured", "predicted");
+  for (Algorithm a : {Algorithm::kPwor, Algorithm::kEswor, Algorithm::kDa1,
+                      Algorithm::kDa2}) {
+    const RunResult hi = RunCell(a, workload, eps_hi, m0);
+    const RunResult lo = RunCell(a, workload, eps_lo, m0);
+    const double measured = static_cast<double>(lo.total_words) /
+                            static_cast<double>(hi.total_words);
+    const bool sampling = a == Algorithm::kPwor || a == Algorithm::kEswor;
+    std::printf("%-10s %10.2f %10.2f\n", AlgorithmName(a), measured,
+                sampling ? predict_sampling : predict_det);
+    std::fflush(stdout);
+  }
+
+  // ---- site scaling at fixed epsilon ---------------------------------
+  const double eps0 = 0.1;
+  const int m_lo = 5;
+  const int m_hi = 40;
+  std::printf("\nsite scaling: comm(m=%d) / comm(m=%d), eps=%.2f\n", m_hi,
+              m_lo, eps0);
+  std::printf("%-10s %10s %10s\n", "algorithm", "measured", "predicted");
+  for (Algorithm a : {Algorithm::kPwor, Algorithm::kEswor, Algorithm::kDa1,
+                      Algorithm::kDa2}) {
+    const RunResult lo = RunCell(a, workload, eps0, m_lo);
+    const RunResult hi = RunCell(a, workload, eps0, m_hi);
+    const double measured = static_cast<double>(hi.total_words) /
+                            static_cast<double>(lo.total_words);
+    const bool sampling = a == Algorithm::kPwor || a == Algorithm::kEswor;
+    std::printf("%-10s %10.2f %10.2f\n", AlgorithmName(a), measured,
+                sampling ? 1.0
+                         : static_cast<double>(m_hi) / m_lo);
+    std::fflush(stdout);
+  }
+
+  // ---- space scaling in epsilon ---------------------------------------
+  std::printf("\nspace scaling: space(eps=%.2f) / space(eps=%.2f), m=%d "
+              "(bound ~ d/eps^2 log NR => predicted %.1f, capped by the\n"
+              "window: a site cannot store more than its active rows)\n",
+              eps_lo, eps_hi, m0,
+              (eps_hi * eps_hi) / (eps_lo * eps_lo));
+  std::printf("%-10s %12s %12s %10s\n", "algorithm", "space_hi_eps",
+              "space_lo_eps", "ratio");
+  for (Algorithm a : {Algorithm::kPwor, Algorithm::kDa1, Algorithm::kDa2}) {
+    const RunResult hi = RunCell(a, workload, eps_hi, m0);
+    const RunResult lo = RunCell(a, workload, eps_lo, m0);
+    std::printf("%-10s %12ld %12ld %10.2f\n", AlgorithmName(a),
+                hi.max_site_space_words, lo.max_site_space_words,
+                static_cast<double>(lo.max_site_space_words) /
+                    static_cast<double>(hi.max_site_space_words));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared benchmark harness: bench-scale workloads, sweeps, and the
+// paper-style table printer used by every figure/table binary.
+//
+// Workload sizes default to a "bench scale" that reproduces each figure's
+// shape on a single machine in minutes; set DSWM_BENCH_SCALE=1.0 for the
+// paper-sized streams (see EXPERIMENTS.md).
+
+#ifndef DSWM_BENCH_HARNESS_H_
+#define DSWM_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tracker_factory.h"
+#include "monitor/driver.h"
+#include "stream/row_stream.h"
+
+namespace dswm::bench {
+
+/// A materialized dataset plus its evaluation window.
+struct Workload {
+  std::string name;
+  std::vector<TimedRow> rows;
+  int dim = 0;
+  Timestamp window = 1;
+};
+
+/// Scale multiplier from DSWM_BENCH_SCALE (default 1.0 = bench scale).
+double BenchScale();
+
+/// PAMAP-like: d=43, bench scale ~200k rows, window ~50k rows.
+Workload MakePamapWorkload();
+/// SYNTHETIC: bench scale d=128, ~80k rows, window ~16k rows
+/// (paper scale: d=300, 500k rows, window ~100k rows at scale >= 4).
+Workload MakeSyntheticWorkload();
+/// WIKI-like: d=512 sparse, bench scale ~30k rows, window ~6k rows.
+Workload MakeWikiWorkload();
+
+/// Keeps only the first `fraction` of a workload's rows (steady state is
+/// reached after ~1.5 windows; space panels use this to save time).
+Workload Truncate(Workload workload, double fraction);
+
+/// The epsilon sweep used across figures 1-4.
+std::vector<double> EpsilonSweep();
+/// The site-count sweep of figures 1(e,f) and 2(e,f).
+std::vector<int> SiteSweep();
+
+/// Runs one (algorithm, epsilon, sites) cell over a workload.
+RunResult RunCell(Algorithm algorithm, const Workload& workload, double eps,
+                  int num_sites, uint64_t seed = 1);
+
+/// Prints one row of a paper-style series table.
+void PrintSeriesHeader();
+void PrintSeriesRow(const std::string& dataset, const std::string& algorithm,
+                    double eps, int num_sites, const RunResult& result);
+
+/// Runs the full six-panel figure (error/comm vs eps, error/comm tradeoff,
+/// error/comm vs m) for one dataset, printing every series. `algorithms`
+/// lists what to compare; `site_sweep` may be empty to skip panels (e)(f).
+void RunFigure(const Workload& workload, const std::vector<Algorithm>& algorithms,
+               const std::vector<double>& eps_sweep,
+               const std::vector<int>& site_sweep, double default_eps,
+               int default_sites);
+
+}  // namespace dswm::bench
+
+#endif  // DSWM_BENCH_HARNESS_H_

@@ -1,0 +1,54 @@
+#include "analytics/anomaly_scorer.h"
+
+#include <algorithm>
+
+namespace dswm {
+
+StatusOr<AnomalyScorer> AnomalyScorer::Build(const Matrix& covariance,
+                                             double lambda_fraction) {
+  if (lambda_fraction <= 0.0) {
+    return Status::InvalidArgument("lambda_fraction must be > 0");
+  }
+  const int d = covariance.rows();
+  if (d == 0) return Status::InvalidArgument("empty covariance");
+
+  double trace = 0.0;
+  for (int j = 0; j < d; ++j) trace += std::max(covariance(j, j), 0.0);
+  AnomalyScorer scorer;
+  scorer.lambda_ = std::max(lambda_fraction * trace / d, 1e-300);
+  scorer.eig_ = SymmetricEigen(covariance);
+  scorer.inverse_eigenvalues_.resize(d);
+  for (int i = 0; i < d; ++i) {
+    scorer.inverse_eigenvalues_[i] =
+        1.0 / (std::max(scorer.eig_.values[i], 0.0) + scorer.lambda_);
+  }
+  return scorer;
+}
+
+StatusOr<AnomalyScorer> AnomalyScorer::FromCovariance(
+    const Matrix& covariance, double lambda_fraction) {
+  if (covariance.rows() != covariance.cols()) {
+    return Status::InvalidArgument("covariance must be square");
+  }
+  return Build(covariance, lambda_fraction);
+}
+
+StatusOr<AnomalyScorer> AnomalyScorer::FromSketch(const Matrix& sketch,
+                                                  double lambda_fraction) {
+  if (sketch.rows() == 0 || sketch.cols() == 0) {
+    return Status::InvalidArgument("empty sketch");
+  }
+  return Build(GramTranspose(sketch), lambda_fraction);
+}
+
+double AnomalyScorer::Score(const double* x) const {
+  const int d = dim();
+  double s = 0.0;
+  for (int i = 0; i < d; ++i) {
+    const double c = Dot(eig_.vectors.Row(i), x, d);
+    s += inverse_eigenvalues_[i] * c * c;
+  }
+  return s;
+}
+
+}  // namespace dswm

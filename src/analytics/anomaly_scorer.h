@@ -1,0 +1,53 @@
+// Ridge-leverage anomaly scoring from a covariance sketch
+// (paper Section I application 2; cf. Huang & Kasiviswanathan [15]).
+//
+// score(x) = x^T (C + lambda I)^{-1} x with C = B^T B from the tracked
+// sketch. Directions the window's data never excites score high. If B is
+// an eps-covariance sketch of A_w, the score approximates the exact
+// window's score (Theorem-level argument in [15]).
+
+#ifndef DSWM_ANALYTICS_ANOMALY_SCORER_H_
+#define DSWM_ANALYTICS_ANOMALY_SCORER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace dswm {
+
+/// Precomputed scorer; rebuild when the sketch is refreshed.
+class AnomalyScorer {
+ public:
+  /// Builds a scorer from sketch rows B. `lambda_fraction` sets the
+  /// ridge as lambda = lambda_fraction * ||B||_F^2 / d (a dimensionless
+  /// knob; 0.01 is a good default). Fails on an empty sketch or a
+  /// non-positive fraction.
+  static StatusOr<AnomalyScorer> FromSketch(const Matrix& sketch,
+                                            double lambda_fraction = 0.01);
+
+  /// As FromSketch, from an explicit covariance estimate.
+  static StatusOr<AnomalyScorer> FromCovariance(const Matrix& covariance,
+                                                double lambda_fraction = 0.01);
+
+  /// score(x) = x^T (C + lambda I)^{-1} x; O(d^2).
+  double Score(const double* x) const;
+
+  /// The ridge actually used.
+  double lambda() const { return lambda_; }
+  int dim() const { return static_cast<int>(inverse_eigenvalues_.size()); }
+
+ private:
+  AnomalyScorer() = default;
+  static StatusOr<AnomalyScorer> Build(const Matrix& covariance,
+                                       double lambda_fraction);
+
+  EigenResult eig_;
+  std::vector<double> inverse_eigenvalues_;
+  double lambda_ = 0.0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_ANALYTICS_ANOMALY_SCORER_H_

@@ -1,0 +1,63 @@
+#include "analytics/approx_pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace dswm {
+
+StatusOr<ApproxPca> ApproxPca::FromSketch(const Matrix& sketch, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (sketch.cols() == 0) {
+    return Status::InvalidArgument("sketch has no columns");
+  }
+
+  ApproxPca pca;
+  const RightSvdResult svd = RightSvd(sketch);
+  double total = 0.0;
+  for (double s2 : svd.sigma_squared) total += s2;
+
+  const int keep = std::min<int>(k, static_cast<int>(svd.sigma_squared.size()));
+  int r = 0;
+  double captured = 0.0;
+  pca.basis_ = Matrix(0, sketch.cols());
+  for (int i = 0; i < keep; ++i) {
+    if (svd.sigma_squared[i] <= 0.0) break;
+    pca.basis_.AppendRow(svd.vt.Row(i), sketch.cols());
+    pca.explained_variance_.push_back(svd.sigma_squared[i]);
+    captured += svd.sigma_squared[i];
+    ++r;
+  }
+  pca.captured_fraction_ = total > 0.0 ? captured / total : 0.0;
+  return pca;
+}
+
+std::vector<double> ApproxPca::Project(const double* x) const {
+  std::vector<double> coeffs(basis_.rows());
+  MatVec(basis_, x, coeffs.data());
+  return coeffs;
+}
+
+double ApproxPca::ReconstructionError(const double* x) const {
+  const std::vector<double> coeffs = Project(x);
+  const double projected =
+      NormSquared(coeffs.data(), static_cast<int>(coeffs.size()));
+  return std::max(0.0, NormSquared(x, dim()) - projected);
+}
+
+double ApproxPca::Affinity(const ApproxPca& other) const {
+  DSWM_CHECK_EQ(dim(), other.dim());
+  if (components() == 0 || other.components() == 0) return 0.0;
+  // sum of squared principal cosines = ||U V^T||_F^2 for orthonormal row
+  // bases U, V.
+  double sum = 0.0;
+  std::vector<double> coeffs(basis_.rows());
+  for (int i = 0; i < other.basis_.rows(); ++i) {
+    MatVec(basis_, other.basis_.Row(i), coeffs.data());
+    sum += NormSquared(coeffs.data(), basis_.rows());
+  }
+  return sum / std::min(components(), other.components());
+}
+
+}  // namespace dswm

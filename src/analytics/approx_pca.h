@@ -1,0 +1,69 @@
+// Approximate PCA from a covariance sketch.
+//
+// The paper's motivating application 1 (Section I): the top-k right
+// singular vectors of an eps-covariance sketch B span a subspace whose
+// captured variance is within eps * ||A||_F^2 of the optimal PCA basis of
+// A [14]. This module turns a tracked sketch into a PCA basis, explained
+// variances, projections, and subspace comparisons.
+
+#ifndef DSWM_ANALYTICS_APPROX_PCA_H_
+#define DSWM_ANALYTICS_APPROX_PCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// A rank-k PCA basis extracted from a sketch.
+class ApproxPca {
+ public:
+  /// An empty basis (0 components); useful as a placeholder before
+  /// FromSketch.
+  ApproxPca() = default;
+
+  /// Computes the top-k principal directions of sketch B (rows x d).
+  /// Fails if k < 1; retains fewer than k components when the sketch has
+  /// lower rank.
+  static StatusOr<ApproxPca> FromSketch(const Matrix& sketch, int k);
+
+  /// Number of retained components (<= requested k).
+  int components() const { return basis_.rows(); }
+  int dim() const { return basis_.cols(); }
+
+  /// Row i is the i-th principal direction (unit vector).
+  const Matrix& basis() const { return basis_; }
+
+  /// Variance along each retained direction (sigma_i^2 of the sketch),
+  /// descending.
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+
+  /// Fraction of the sketch's total variance captured by the basis,
+  /// in [0, 1].
+  double captured_fraction() const { return captured_fraction_; }
+
+  /// Projects x (length d) onto the basis; returns k coefficients.
+  std::vector<double> Project(const double* x) const;
+
+  /// Squared reconstruction error of x under the basis:
+  /// ||x||^2 - ||Project(x)||^2.
+  double ReconstructionError(const double* x) const;
+
+  /// Subspace affinity with another basis over the same R^d:
+  /// (1/k) sum of squared principal cosines, in [0, 1]; 1 = identical
+  /// subspaces. The complement (1 - affinity) is the change-detection
+  /// signal.
+  double Affinity(const ApproxPca& other) const;
+
+ private:
+  Matrix basis_;
+  std::vector<double> explained_variance_;
+  double captured_fraction_ = 0.0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_ANALYTICS_APPROX_PCA_H_

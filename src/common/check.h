@@ -1,0 +1,52 @@
+// Lightweight CHECK / DCHECK macros for invariant enforcement.
+//
+// The library does not use exceptions (Google C++ style); unrecoverable
+// contract violations abort with a diagnostic. DCHECKs compile out in
+// NDEBUG builds and guard internal invariants; CHECKs stay in all builds
+// and guard API contracts.
+
+#ifndef DSWM_COMMON_CHECK_H_
+#define DSWM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dswm::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[dswm] CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dswm::internal
+
+#define DSWM_CHECK(cond)                                      \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::dswm::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                         \
+  } while (false)
+
+#define DSWM_CHECK_GE(a, b) DSWM_CHECK((a) >= (b))
+#define DSWM_CHECK_GT(a, b) DSWM_CHECK((a) > (b))
+#define DSWM_CHECK_LE(a, b) DSWM_CHECK((a) <= (b))
+#define DSWM_CHECK_LT(a, b) DSWM_CHECK((a) < (b))
+#define DSWM_CHECK_EQ(a, b) DSWM_CHECK((a) == (b))
+#define DSWM_CHECK_NE(a, b) DSWM_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define DSWM_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define DSWM_DCHECK(cond) DSWM_CHECK(cond)
+#endif
+
+#define DSWM_DCHECK_GE(a, b) DSWM_DCHECK((a) >= (b))
+#define DSWM_DCHECK_GT(a, b) DSWM_DCHECK((a) > (b))
+#define DSWM_DCHECK_LE(a, b) DSWM_DCHECK((a) <= (b))
+#define DSWM_DCHECK_LT(a, b) DSWM_DCHECK((a) < (b))
+#define DSWM_DCHECK_EQ(a, b) DSWM_DCHECK((a) == (b))
+
+#endif  // DSWM_COMMON_CHECK_H_

@@ -1,0 +1,62 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dswm {
+
+StatusOr<FlagSet> FlagSet::Parse(int argc, const char* const* argv,
+                                 const std::vector<std::string>& known) {
+  FlagSet flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    flags.values_[name] = std::move(value);
+  }
+  return flags;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+long FlagSet::GetInt(const std::string& name, long default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  DSWM_CHECK(end != nullptr && *end == '\0');
+  return v;
+}
+
+double FlagSet::GetDouble(const std::string& name,
+                          double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  DSWM_CHECK(end != nullptr && *end == '\0');
+  return v;
+}
+
+}  // namespace dswm

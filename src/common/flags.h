@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the CLI tool and bench binaries.
+//
+// Supports --name=value and --name value forms plus positional arguments;
+// unknown flags are an error so typos fail loudly.
+
+#ifndef DSWM_COMMON_FLAGS_H_
+#define DSWM_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dswm {
+
+/// Parsed command line: flag map + positional arguments in order.
+class FlagSet {
+ public:
+  /// Parses argv[1..]; `known` lists the accepted flag names (without
+  /// leading dashes). Fails on unknown flags or a trailing valueless
+  /// "--name".
+  static StatusOr<FlagSet> Parse(int argc, const char* const* argv,
+                                 const std::vector<std::string>& known);
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  /// String value or default.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  /// Integer value or default; CHECKs that the stored text is numeric.
+  long GetInt(const std::string& name, long default_value) const;
+  /// Double value or default.
+  double GetDouble(const std::string& name, double default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_COMMON_FLAGS_H_

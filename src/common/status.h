@@ -1,0 +1,128 @@
+// Arrow/RocksDB-style Status and StatusOr for fallible operations.
+//
+// Used for operations that can fail at runtime for reasons outside the
+// caller's control (I/O, malformed input, configuration validation).
+// Programming errors use DSWM_CHECK instead.
+
+#ifndef DSWM_COMMON_STATUS_H_
+#define DSWM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dswm {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Result of an operation that can fail without a value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: epsilon must be > 0".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of an operation that yields a T on success.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: success.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status: failure.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DSWM_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    DSWM_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    DSWM_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    DSWM_CHECK(ok());
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dswm
+
+/// Propagates a non-OK Status from the current function.
+#define DSWM_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::dswm::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+#endif  // DSWM_COMMON_STATUS_H_

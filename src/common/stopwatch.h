@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for update-rate measurements (Figure 4(d)).
+
+#ifndef DSWM_COMMON_STOPWATCH_H_
+#define DSWM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dswm {
+
+/// Monotonic wall-clock timer. Start() resets; ElapsedSeconds() reads.
+class Stopwatch {
+ public:
+  Stopwatch() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_COMMON_STOPWATCH_H_

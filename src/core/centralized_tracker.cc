@@ -1,0 +1,28 @@
+#include "core/centralized_tracker.h"
+
+namespace dswm {
+
+CentralizedTracker::CentralizedTracker(const TrackerConfig& config)
+    : config_(config),
+      meh_(config.dim, config.epsilon, config.window) {
+  DSWM_CHECK(config.Validate().ok());
+}
+
+void CentralizedTracker::Observe(int site, const TimedRow& row) {
+  DSWM_CHECK_GE(site, 0);
+  DSWM_CHECK_LT(site, config_.num_sites);
+  comm_.SendUp(config_.dim + 1);  // row + timestamp
+  ++comm_.rows_sent;
+  meh_.Insert(row.values.data(), row.timestamp);
+}
+
+void CentralizedTracker::AdvanceTime(Timestamp t) { meh_.Advance(t); }
+
+Approximation CentralizedTracker::GetApproximation() const {
+  Approximation approx;
+  approx.is_rows = true;
+  approx.sketch_rows = meh_.QueryRows();
+  return approx;
+}
+
+}  // namespace dswm

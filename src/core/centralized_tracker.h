@@ -1,0 +1,42 @@
+// Naive centralization baseline: every site forwards every row to the
+// coordinator, which runs a (centralized) sliding-window covariance
+// sketch -- a matrix exponential histogram.
+//
+// This is the trivial protocol every algorithm in the paper is implicitly
+// compared against: it is exact up to the mEH guarantee but its
+// communication is the entire stream, Theta(n*d) words per window. Used
+// as the reference row in the ablation bench and in tests.
+
+#ifndef DSWM_CORE_CENTRALIZED_TRACKER_H_
+#define DSWM_CORE_CENTRALIZED_TRACKER_H_
+
+#include <string>
+
+#include "core/tracker.h"
+#include "core/tracker_config.h"
+#include "window/matrix_eh.h"
+
+namespace dswm {
+
+/// Ship-everything baseline tracker.
+class CentralizedTracker : public DistributedTracker {
+ public:
+  explicit CentralizedTracker(const TrackerConfig& config);
+
+  void Observe(int site, const TimedRow& row) override;
+  void AdvanceTime(Timestamp t) override;
+  Approximation GetApproximation() const override;
+  const CommStats& comm() const override { return comm_; }
+  long MaxSiteSpaceWords() const override { return 0; }  // sites stateless
+  std::string name() const override { return "CENTRAL"; }
+  int dim() const override { return config_.dim; }
+
+ private:
+  TrackerConfig config_;
+  MatrixExpHistogram meh_;
+  CommStats comm_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_CORE_CENTRALIZED_TRACKER_H_

@@ -1,0 +1,77 @@
+// DA1: first deterministic protocol for tracking a covariance sketch
+// (Algorithm 4).
+//
+// Each site tracks D = C - C_hat, the gap between its sliding-window
+// covariance (maintained space-efficiently through a matrix exponential
+// histogram) and what the coordinator currently believes for this site.
+// When ||D||_2 crosses eps_t * ||A_w||_F^2 the site eigendecomposes D and
+// ships the significant eigenpairs (lambda_i, v_i), d+1 words each; both
+// parties apply C_hat += lambda_i v_i^T v_i. One-way communication only.
+//
+// Engineering notes (ablatable; DESIGN.md item 4):
+//  * Lazy spectral check -- ||D|| can grow by at most the squared-norm
+//    mass that arrived/expired since the last exact check, so the power
+//    iteration runs only when that bound crosses the threshold.
+//  * The site covariance C is maintained incrementally: arrivals add
+//    a^T a; a dropped mEH bucket subtracts its sketch covariance; the
+//    accumulated FD-shrinkage drift is wiped by re-deriving C from the
+//    mEH once per window. All drift terms are inside the mEH error
+//    budget.
+
+#ifndef DSWM_CORE_DA1_TRACKER_H_
+#define DSWM_CORE_DA1_TRACKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tracker.h"
+#include "core/tracker_config.h"
+#include "window/matrix_eh.h"
+
+namespace dswm {
+
+/// Deterministic tracker DA1 (Algorithm 4).
+class Da1Tracker : public DistributedTracker {
+ public:
+  explicit Da1Tracker(const TrackerConfig& config);
+
+  void Observe(int site, const TimedRow& row) override;
+  void AdvanceTime(Timestamp t) override;
+  Approximation GetApproximation() const override;
+  const CommStats& comm() const override { return comm_; }
+  long MaxSiteSpaceWords() const override;
+  std::string name() const override { return "DA1"; }
+  int dim() const override { return config_.dim; }
+
+  /// Number of eigendecompositions performed (tests/ablation).
+  long decompositions() const { return decompositions_; }
+  /// Number of threshold checks that ran the power iteration.
+  long norm_checks() const { return norm_checks_; }
+
+ private:
+  struct SiteState {
+    MatrixExpHistogram meh;
+    Matrix c;               // incremental window covariance (site side)
+    Matrix c_hat;           // coordinator's view of this site
+    double last_gap_norm;   // ||D|| at the last exact check
+    double mass_since_check;
+    Timestamp next_rebuild; // wipe incremental drift when passed
+    std::vector<double> warm;  // warm-start vector for the power iteration
+  };
+
+  void NoteExpirations(SiteState* st, Timestamp t);
+  void MaybeReport(SiteState* st, Timestamp t);
+
+  TrackerConfig config_;
+  double eps_threshold_;
+  std::vector<SiteState> sites_;
+  Matrix coordinator_c_hat_;
+  Timestamp now_;
+  CommStats comm_;
+  long decompositions_ = 0;
+  long norm_checks_ = 0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_CORE_DA1_TRACKER_H_

@@ -1,0 +1,63 @@
+#include "core/iwmt.h"
+
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace dswm {
+
+IwmtProtocol::IwmtProtocol(int d, int ell) : d_(d), residual_(d, ell) {
+  DSWM_CHECK_GT(d, 0);
+}
+
+void IwmtProtocol::Input(const double* row, double theta,
+                         std::vector<IwmtOutput>* out) {
+  DSWM_CHECK_GT(theta, 0.0);
+  residual_.Append(row);
+  mass_since_check_ += NormSquared(row, d_);
+  // The residual's top eigenvalue grows by at most the appended mass, so
+  // no decomposition is needed until this bound reaches theta.
+  if (last_top_ + mass_since_check_ >= theta) CheckAndEmit(theta, out);
+}
+
+void IwmtProtocol::CheckAndEmit(double theta, std::vector<IwmtOutput>* out) {
+  const Matrix rows = residual_.RowsMatrix();
+  const RightSvdResult svd = RightSvd(rows);
+
+  // Emit every direction with sigma^2 >= theta/2 and rebuild the residual
+  // from the rest; afterwards the unreported spectral norm is < theta/2.
+  residual_.Reset();
+  double remaining_top = 0.0;
+  std::vector<double> scaled(d_);
+  for (size_t i = 0; i < svd.sigma_squared.size(); ++i) {
+    const double s2 = svd.sigma_squared[i];
+    if (s2 <= 0.0) continue;
+    const double s = std::sqrt(s2);
+    const double* v = svd.vt.Row(static_cast<int>(i));
+    for (int j = 0; j < d_; ++j) scaled[j] = s * v[j];
+    if (s2 >= theta / 2.0) {
+      IwmtOutput o;
+      o.direction = scaled;
+      out->push_back(std::move(o));
+    } else {
+      residual_.Append(scaled.data());
+      remaining_top = std::max(remaining_top, s2);
+    }
+  }
+  last_top_ = remaining_top;
+  mass_since_check_ = 0.0;
+}
+
+void IwmtProtocol::Flush(std::vector<IwmtOutput>* out) {
+  const Matrix rows = residual_.RowsMatrix();
+  for (int i = 0; i < rows.rows(); ++i) {
+    IwmtOutput o;
+    o.direction.assign(rows.Row(i), rows.Row(i) + d_);
+    out->push_back(std::move(o));
+  }
+  residual_.Reset();
+  last_top_ = 0.0;
+  mass_since_check_ = 0.0;
+}
+
+}  // namespace dswm

@@ -1,0 +1,67 @@
+// IWMT: infinite-window matrix tracking of a single stream
+// (realization of protocol P2 of Ghashami-Phillips-Li, VLDB 2014 [1],
+// used as a black box by DA2 per Algorithm 5).
+//
+// Contract (Section III-B): the protocol consumes a row sequence and emits
+// another row sequence of "significant directions" such that, at every
+// point, the covariance gap between the consumed prefix and the emitted
+// prefix has spectral norm below the threshold theta (plus the Frequent
+// Directions shrinkage of the internal residual sketch, <= input mass /
+// (l+1)).
+//
+// Realization: keep an FD sketch of the *unreported* rows. When the
+// residual's top squared singular value can have reached theta (tracked
+// lazily: last exact top + mass appended since), decompose the small
+// residual and emit every direction sigma_i v_i with sigma_i^2 >= theta/2,
+// removing them from the residual. Each emitted direction carries >=
+// theta/2 squared mass, so a window of mass F emits O(F/theta) directions
+// -- O(d/eps) words at theta = eps * F_hat^2.
+
+#ifndef DSWM_CORE_IWMT_H_
+#define DSWM_CORE_IWMT_H_
+
+#include <vector>
+
+#include "sketch/frequent_directions.h"
+
+namespace dswm {
+
+/// One emitted significant direction.
+struct IwmtOutput {
+  std::vector<double> direction;  // sigma_i * v_i, length d
+};
+
+/// Single-stream significant-direction emitter.
+class IwmtProtocol {
+ public:
+  /// d-dimensional rows; residual FD sketch parameter ell (choose
+  /// ~2/eps).
+  IwmtProtocol(int d, int ell);
+
+  /// Consumes a row under threshold `theta` (> 0; may differ between
+  /// calls, e.g. IWMT_c's growing threshold). Emitted directions, if any,
+  /// are appended to *out.
+  void Input(const double* row, double theta, std::vector<IwmtOutput>* out);
+
+  /// Emits the entire residual (every remaining direction) and resets the
+  /// sketch; DA2 flushes at window boundaries so unreported mass and FD
+  /// shrinkage cannot accumulate across windows.
+  void Flush(std::vector<IwmtOutput>* out);
+
+  /// Squared Frobenius mass currently unreported.
+  double unreported_mass() const { return residual_.input_mass(); }
+
+  long SpaceWords() const { return residual_.SpaceWords(); }
+
+ private:
+  void CheckAndEmit(double theta, std::vector<IwmtOutput>* out);
+
+  int d_;
+  FrequentDirections residual_;
+  double last_top_ = 0.0;         // top sigma^2 at the last decomposition
+  double mass_since_check_ = 0.0; // appended mass since then
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_CORE_IWMT_H_

@@ -1,0 +1,214 @@
+#include "core/shared_threshold_wr_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dswm {
+
+SharedThresholdWrTracker::SharedThresholdWrTracker(
+    const TrackerConfig& config, SamplingScheme scheme)
+    : config_(config),
+      scheme_(scheme),
+      name_(scheme == SamplingScheme::kPriority ? "PWR-ST" : "ESWR-ST"),
+      ell_(config.SampleSize()),
+      tau_(LowestThreshold(scheme)),
+      now_(std::numeric_limits<Timestamp>::min() / 2),
+      fnorm_tracker_(config.num_sites, config.window, config.epsilon / 2.0,
+                     &comm_) {
+  DSWM_CHECK(config.Validate().ok());
+  sites_.reserve(config.num_sites);
+  for (int j = 0; j < config.num_sites; ++j) {
+    SiteState st{std::vector<std::list<Pending>>(ell_),
+                 Rng(config.seed * 90007 + j)};
+    sites_.push_back(std::move(st));
+  }
+  held_.resize(ell_);
+}
+
+void SharedThresholdWrTracker::Ship(int sampler,
+                                    std::shared_ptr<const TimedRow> row,
+                                    double key) {
+  comm_.SendUp(config_.dim + 3);  // row + sampler id + key + timestamp
+  ++comm_.rows_sent;
+  const Timestamp t = row->timestamp;
+  held_[sampler].push_back(CoordEntryWr{std::move(row), key, t});
+  ++total_held_;
+}
+
+void SharedThresholdWrTracker::Observe(int site, const TimedRow& row) {
+  DSWM_CHECK_GE(site, 0);
+  DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+  AdvanceTime(row.timestamp);
+
+  const double w = row.NormSquared();
+  if (w <= 0.0) return;
+  SiteState& st = sites_[site];
+  auto shared_row = std::make_shared<const TimedRow>(row);
+
+  for (int i = 0; i < ell_; ++i) {
+    const double key = DrawKey(scheme_, w, &st.rng);
+    // 1-dominance pruning: queued candidates beaten by this arrival can
+    // never become sampler i's top-1 before they expire.
+    std::list<Pending>& q = st.queues[i];
+    for (auto it = q.begin(); it != q.end();) {
+      it = (it->key <= key) ? q.erase(it) : ++it;
+    }
+    if (key >= tau_) {
+      Ship(i, shared_row, key);
+    } else {
+      q.push_back(Pending{shared_row, key});
+    }
+  }
+  fnorm_tracker_.Observe(site, w, row.timestamp);
+  Maintain();
+}
+
+void SharedThresholdWrTracker::AdvanceTime(Timestamp t) {
+  if (t <= now_) {
+    DSWM_CHECK_EQ(t, now_);
+    return;
+  }
+  now_ = t;
+  const Timestamp cutoff = t - config_.window;
+  for (SiteState& st : sites_) {
+    for (std::list<Pending>& q : st.queues) {
+      // Keys are decreasing in arrival order but expiry is by arrival
+      // order too; the front holds the oldest entries.
+      while (!q.empty() && q.front().row->timestamp <= cutoff) q.pop_front();
+    }
+  }
+  for (std::vector<CoordEntryWr>& h : held_) {
+    const auto new_end = std::remove_if(
+        h.begin(), h.end(),
+        [cutoff](const CoordEntryWr& e) { return e.timestamp <= cutoff; });
+    total_held_ -= static_cast<long>(h.end() - new_end);
+    h.erase(new_end, h.end());
+  }
+  fnorm_tracker_.AdvanceTime(t);
+  Maintain();
+}
+
+bool SharedThresholdWrTracker::AnythingOutstanding() const {
+  for (const SiteState& st : sites_) {
+    for (const std::list<Pending>& q : st.queues) {
+      if (!q.empty()) return true;
+    }
+  }
+  return false;
+}
+
+void SharedThresholdWrTracker::Maintain() {
+  // Raise: too much shipped material held; move tau up to the smallest
+  // per-sampler best so only potential top-1 improvements ship. One
+  // broadcast serves all l samplers -- the whole point of sharing.
+  if (total_held_ >= 4L * ell_) {
+    double min_best = std::numeric_limits<double>::infinity();
+    for (const std::vector<CoordEntryWr>& h : held_) {
+      double best = -std::numeric_limits<double>::infinity();
+      for (const CoordEntryWr& e : h) best = std::max(best, e.key);
+      min_best = std::min(min_best, best);
+    }
+    if (min_best > tau_ && std::isfinite(min_best)) {
+      tau_ = min_best;
+      comm_.Broadcast(config_.num_sites);
+      // Trim held entries strictly below the new threshold except each
+      // sampler's best (coordinator-local bookkeeping, no messages).
+      for (std::vector<CoordEntryWr>& h : held_) {
+        if (h.empty()) continue;
+        auto best_it = std::max_element(
+            h.begin(), h.end(), [](const CoordEntryWr& a,
+                                   const CoordEntryWr& b) {
+              return a.key < b.key;
+            });
+        const CoordEntryWr best = *best_it;
+        const auto new_end = std::remove_if(
+            h.begin(), h.end(), [this](const CoordEntryWr& e) {
+              return e.key < tau_;
+            });
+        total_held_ -= static_cast<long>(h.end() - new_end);
+        h.erase(new_end, h.end());
+        if (h.empty()) {
+          h.push_back(best);
+          ++total_held_;
+        }
+      }
+    }
+  }
+
+  // Refill: some sampler lost all held entries to expiry; halve the
+  // shared threshold and collect from every site until all samplers are
+  // served again (or nothing is left anywhere).
+  auto starved = [this]() {
+    for (const std::vector<CoordEntryWr>& h : held_) {
+      if (h.empty()) return true;
+    }
+    return false;
+  };
+  while (starved() && AnythingOutstanding()) {
+    tau_ = RelaxThreshold(scheme_, tau_);
+    comm_.Broadcast(config_.num_sites);
+    for (SiteState& st : sites_) {
+      for (int i = 0; i < ell_; ++i) {
+        std::list<Pending>& q = st.queues[i];
+        for (auto it = q.begin(); it != q.end();) {
+          if (it->key >= tau_) {
+            Ship(i, it->row, it->key);
+            it = q.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    if (tau_ == LowestThreshold(scheme_)) break;  // everything collected
+  }
+}
+
+int SharedThresholdWrTracker::SamplersWithSample() const {
+  int served = 0;
+  for (const std::vector<CoordEntryWr>& h : held_) {
+    if (!h.empty()) ++served;
+  }
+  return served;
+}
+
+Approximation SharedThresholdWrTracker::GetApproximation() const {
+  Approximation approx;
+  approx.is_rows = true;
+  const double fnorm2 = std::max(fnorm_tracker_.Estimate(), 0.0);
+
+  std::vector<const CoordEntryWr*> picks;
+  for (const std::vector<CoordEntryWr>& h : held_) {
+    const CoordEntryWr* best = nullptr;
+    for (const CoordEntryWr& e : h) {
+      if (best == nullptr || e.key > best->key) best = &e;
+    }
+    if (best != nullptr) picks.push_back(best);
+  }
+  const int k = static_cast<int>(picks.size());
+  approx.sketch_rows = Matrix(k, config_.dim);
+  for (int i = 0; i < k; ++i) {
+    const TimedRow& row = *picks[i]->row;
+    const double w = row.NormSquared();
+    const double scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
+    const double* src = row.values.data();
+    double* dst = approx.sketch_rows.Row(i);
+    for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
+  }
+  return approx;
+}
+
+long SharedThresholdWrTracker::MaxSiteSpaceWords() const {
+  long best = 0;
+  for (const SiteState& st : sites_) {
+    long words = 0;
+    for (const std::list<Pending>& q : st.queues) {
+      words += static_cast<long>(q.size()) * (config_.dim + 2);
+    }
+    best = std::max(best, words);
+  }
+  return best + fnorm_tracker_.MaxSiteSpaceWords();
+}
+
+}  // namespace dswm

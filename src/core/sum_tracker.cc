@@ -1,0 +1,51 @@
+#include "core/sum_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dswm {
+
+SumTracker::SumTracker(int num_sites, Timestamp window, double eps,
+                       CommStats* comm)
+    : eps_report_(eps / 2.0), comm_(comm != nullptr ? comm : &own_) {
+  DSWM_CHECK_GT(num_sites, 0);
+  DSWM_CHECK_GT(eps, 0.0);
+  sites_.reserve(num_sites);
+  for (int j = 0; j < num_sites; ++j) {
+    sites_.push_back(SiteState{ExponentialHistogram(eps / 4.0, window), 0.0});
+  }
+}
+
+void SumTracker::CheckSite(int site, Timestamp t) {
+  SiteState& s = sites_[site];
+  const double c = s.histogram.Query(t);
+  if (std::fabs(c - s.reported) > eps_report_ * c) {
+    // Send D = C - C_hat: one word.
+    comm_->SendUp(1);
+    coordinator_sum_ += c - s.reported;
+    s.reported = c;
+  }
+}
+
+void SumTracker::Observe(int site, double w, Timestamp t) {
+  DSWM_CHECK_GE(site, 0);
+  DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+  sites_[site].histogram.Insert(w, t);
+  CheckSite(site, t);
+}
+
+void SumTracker::AdvanceTime(Timestamp t) {
+  for (int j = 0; j < static_cast<int>(sites_.size()); ++j) CheckSite(j, t);
+}
+
+long SumTracker::MaxSiteSpaceWords() const {
+  long best = 0;
+  for (const SiteState& s : sites_) {
+    best = std::max(best, s.histogram.SpaceWords() + 1);
+  }
+  return best;
+}
+
+}  // namespace dswm

@@ -1,0 +1,66 @@
+// Deterministic SUM tracking over distributed sliding windows
+// (Algorithm 3, Theorem 1).
+//
+// Each site keeps a generalized exponential histogram of its window sum C
+// and the coordinator's current estimate C_hat for this site; when
+// |C - C_hat| > eps' * C it ships the delta D (one word). The coordinator
+// sums the m per-site estimates. Internal slack (eps' = eps/2, gEH at
+// eps/4) absorbs the histogram's own approximation so the end-to-end
+// relative error stays below eps.
+//
+// This is both a standalone public tracker (SUM is matrix tracking with
+// d = 1) and the subroutine ES sampling uses to track ||A_w||_F^2.
+
+#ifndef DSWM_CORE_SUM_TRACKER_H_
+#define DSWM_CORE_SUM_TRACKER_H_
+
+#include <vector>
+
+#include "monitor/comm_stats.h"
+#include "window/exponential_histogram.h"
+
+namespace dswm {
+
+/// Tracks the sum of positive weights in the window across m sites with
+/// relative error <= eps.
+class SumTracker {
+ public:
+  /// If `comm` is non-null, communication is charged to it (shared
+  /// accounting with an enclosing protocol); otherwise to an internal
+  /// CommStats readable via comm().
+  SumTracker(int num_sites, Timestamp window, double eps,
+             CommStats* comm = nullptr);
+
+  /// Weight w (> 0) arrives at `site` at time t (non-decreasing).
+  void Observe(int site, double w, Timestamp t);
+
+  /// Advances the clock; sites re-check their thresholds because expiry
+  /// shrinks C even without arrivals.
+  void AdvanceTime(Timestamp t);
+
+  /// Coordinator's estimate of the window sum.
+  double Estimate() const { return coordinator_sum_; }
+
+  const CommStats& comm() const { return *comm_; }
+
+  /// Space (words) of the most loaded site: gEH buckets + C_hat.
+  long MaxSiteSpaceWords() const;
+
+ private:
+  struct SiteState {
+    ExponentialHistogram histogram;
+    double reported;  // C_hat for this site (site and coordinator agree)
+  };
+
+  void CheckSite(int site, Timestamp t);
+
+  double eps_report_;
+  std::vector<SiteState> sites_;
+  double coordinator_sum_ = 0.0;
+  CommStats own_;
+  CommStats* comm_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_CORE_SUM_TRACKER_H_

@@ -1,0 +1,13 @@
+#include "core/tracker.h"
+
+#include "linalg/psd_sqrt.h"
+
+namespace dswm {
+
+Matrix DistributedTracker::SketchRows() const {
+  Approximation approx = GetApproximation();
+  if (approx.is_rows) return std::move(approx.sketch_rows);
+  return PsdSqrt(approx.covariance);
+}
+
+}  // namespace dswm

@@ -1,0 +1,70 @@
+// The public tracking interface: continuously maintain a covariance sketch
+// of the union of m distributed streams over a time-based sliding window.
+
+#ifndef DSWM_CORE_TRACKER_H_
+#define DSWM_CORE_TRACKER_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+#include "monitor/comm_stats.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// The coordinator's current approximation, in whichever form the protocol
+/// produces natively: sampling protocols hold sketch rows B (l x d with
+/// B^T B ~= A_w^T A_w), deterministic protocols hold the covariance
+/// estimate C_hat = B^T B directly (d x d).
+struct Approximation {
+  /// True when `sketch_rows` is the native form; false when `covariance`
+  /// is.
+  bool is_rows = true;
+  Matrix sketch_rows;
+  Matrix covariance;
+};
+
+/// A distributed sliding-window covariance-sketch tracker.
+///
+/// Usage: call AdvanceTime(t) whenever the global clock moves, Observe()
+/// for each arrival, and read the approximation through SketchRows() or
+/// GetApproximation(). All protocols in the paper (PWOR, PWOR-ALL, ESWOR,
+/// ESWOR-ALL, PWR, ESWR, DA1, DA2) implement this interface; build them
+/// with MakeTracker() (tracker_factory.h).
+class DistributedTracker {
+ public:
+  virtual ~DistributedTracker() = default;
+
+  /// Row `row` arrives at site `site` at time row.timestamp. Timestamps
+  /// across calls must be non-decreasing.
+  virtual void Observe(int site, const TimedRow& row) = 0;
+
+  /// Advances the global clock to `t`: expirations are processed at every
+  /// site and at the coordinator, and the protocol re-establishes its
+  /// invariants (threshold negotiation, refills, backward tracking).
+  virtual void AdvanceTime(Timestamp t) = 0;
+
+  /// The approximation in its native (cheapest) form.
+  virtual Approximation GetApproximation() const = 0;
+
+  /// The sketch B (rows x d) with B^T B ~= A_w^T A_w. For deterministic
+  /// trackers this runs an O(d^3) PSD square root (Algorithm 4/5 QUERY());
+  /// measurement loops should prefer GetApproximation().
+  Matrix SketchRows() const;
+
+  /// Cumulative communication.
+  virtual const CommStats& comm() const = 0;
+
+  /// Current space usage, in words, of the most loaded site.
+  virtual long MaxSiteSpaceWords() const = 0;
+
+  /// Algorithm name as used in the paper's figures ("PWOR", "DA2", ...).
+  virtual std::string name() const = 0;
+
+  /// Row dimension d.
+  virtual int dim() const = 0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_CORE_TRACKER_H_

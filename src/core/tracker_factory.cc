@@ -1,0 +1,86 @@
+#include "core/tracker_factory.h"
+
+#include "core/centralized_tracker.h"
+#include "core/da1_tracker.h"
+#include "core/da2_tracker.h"
+#include "core/sampling_tracker.h"
+#include "core/shared_threshold_wr_tracker.h"
+#include "core/with_replacement_tracker.h"
+
+namespace dswm {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPwor: return "PWOR";
+    case Algorithm::kPworAll: return "PWOR-ALL";
+    case Algorithm::kEswor: return "ESWOR";
+    case Algorithm::kEsworAll: return "ESWOR-ALL";
+    case Algorithm::kDa1: return "DA1";
+    case Algorithm::kDa2: return "DA2";
+    case Algorithm::kPwr: return "PWR";
+    case Algorithm::kEswr: return "ESWR";
+    case Algorithm::kPwrShared: return "PWR-ST";
+    case Algorithm::kEswrShared: return "ESWR-ST";
+    case Algorithm::kCentral: return "CENTRAL";
+  }
+  return "unknown";
+}
+
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
+  for (Algorithm a :
+       {Algorithm::kPwor, Algorithm::kPworAll, Algorithm::kEswor,
+        Algorithm::kEsworAll, Algorithm::kDa1, Algorithm::kDa2,
+        Algorithm::kPwr, Algorithm::kEswr, Algorithm::kPwrShared,
+        Algorithm::kEswrShared, Algorithm::kCentral}) {
+    if (name == AlgorithmName(a)) return a;
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+std::vector<Algorithm> PaperAlgorithms() {
+  return {Algorithm::kPwor, Algorithm::kPworAll, Algorithm::kEswor,
+          Algorithm::kEsworAll, Algorithm::kDa1, Algorithm::kDa2};
+}
+
+StatusOr<std::unique_ptr<DistributedTracker>> MakeTracker(
+    Algorithm algorithm, const TrackerConfig& config) {
+  DSWM_RETURN_NOT_OK(config.Validate());
+  switch (algorithm) {
+    case Algorithm::kPwor:
+      return std::unique_ptr<DistributedTracker>(new SamplingTracker(
+          config, SamplingScheme::kPriority, /*use_all_samples=*/false));
+    case Algorithm::kPworAll:
+      return std::unique_ptr<DistributedTracker>(new SamplingTracker(
+          config, SamplingScheme::kPriority, /*use_all_samples=*/true));
+    case Algorithm::kEswor:
+      return std::unique_ptr<DistributedTracker>(
+          new SamplingTracker(config, SamplingScheme::kEfraimidisSpirakis,
+                              /*use_all_samples=*/false));
+    case Algorithm::kEsworAll:
+      return std::unique_ptr<DistributedTracker>(
+          new SamplingTracker(config, SamplingScheme::kEfraimidisSpirakis,
+                              /*use_all_samples=*/true));
+    case Algorithm::kDa1:
+      return std::unique_ptr<DistributedTracker>(new Da1Tracker(config));
+    case Algorithm::kDa2:
+      return std::unique_ptr<DistributedTracker>(new Da2Tracker(config));
+    case Algorithm::kPwr:
+      return std::unique_ptr<DistributedTracker>(
+          new WithReplacementTracker(config, SamplingScheme::kPriority));
+    case Algorithm::kEswr:
+      return std::unique_ptr<DistributedTracker>(new WithReplacementTracker(
+          config, SamplingScheme::kEfraimidisSpirakis));
+    case Algorithm::kPwrShared:
+      return std::unique_ptr<DistributedTracker>(
+          new SharedThresholdWrTracker(config, SamplingScheme::kPriority));
+    case Algorithm::kEswrShared:
+      return std::unique_ptr<DistributedTracker>(new SharedThresholdWrTracker(
+          config, SamplingScheme::kEfraimidisSpirakis));
+    case Algorithm::kCentral:
+      return std::unique_ptr<DistributedTracker>(
+          new CentralizedTracker(config));
+  }
+  return Status::InvalidArgument("unhandled algorithm");
+}
+
+}  // namespace dswm

@@ -1,0 +1,47 @@
+// Factory for every tracking protocol in the paper.
+
+#ifndef DSWM_CORE_TRACKER_FACTORY_H_
+#define DSWM_CORE_TRACKER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tracker.h"
+#include "core/tracker_config.h"
+
+namespace dswm {
+
+/// The protocols evaluated in the paper, plus the with-replacement
+/// variants it describes but excludes from large-scale experiments.
+enum class Algorithm {
+  kPwor,      // priority sampling without replacement (Alg. 1/2)
+  kPworAll,   // PWOR estimating from all coordinator-held samples
+  kEswor,     // ES sampling without replacement
+  kEsworAll,  // ESWOR estimating from all coordinator-held samples
+  kDa1,       // deterministic, eigenpair shipping (Alg. 4)
+  kDa2,       // deterministic, forward-backward IWMT (Alg. 5)
+  kPwr,       // priority sampling with replacement
+  kEswr,      // ES sampling with replacement
+  kPwrShared,   // PWR under one shared threshold ([2]'s refinement)
+  kEswrShared,  // ESWR under one shared threshold
+  kCentral,     // ship-everything baseline (centralized mEH)
+};
+
+/// Display name matching the paper's figures.
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Parses a display name ("PWOR-ALL", case-sensitive) back to the enum.
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// The six algorithms the paper's experiments compare.
+std::vector<Algorithm> PaperAlgorithms();
+
+/// Builds a tracker; fails on invalid configuration.
+StatusOr<std::unique_ptr<DistributedTracker>> MakeTracker(
+    Algorithm algorithm, const TrackerConfig& config);
+
+}  // namespace dswm
+
+#endif  // DSWM_CORE_TRACKER_FACTORY_H_

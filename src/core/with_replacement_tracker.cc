@@ -1,0 +1,92 @@
+#include "core/with_replacement_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dswm {
+
+WithReplacementTracker::WithReplacementTracker(const TrackerConfig& config,
+                                               SamplingScheme scheme)
+    : config_(config),
+      scheme_(scheme),
+      name_(scheme == SamplingScheme::kPriority ? "PWR" : "ESWR"),
+      fnorm_tracker_(config.num_sites, config.window, config.epsilon / 2.0) {
+  DSWM_CHECK(config.Validate().ok());
+  const int ell = config.SampleSize();
+  samplers_.reserve(ell);
+  for (int i = 0; i < ell; ++i) {
+    TrackerConfig sub = config;
+    sub.ell_override = 1;
+    sub.seed = config.seed + 7919ULL * (i + 1);
+    // Each sub-sampler tracks a single sample without replacement; the
+    // union over independent samplers is a with-replacement sample. The
+    // shared SumTracker below replaces the samplers' own F-norm tracking.
+    samplers_.push_back(std::make_unique<SamplingTracker>(
+        sub, scheme, /*use_all_samples=*/false, /*track_fnorm=*/false));
+  }
+}
+
+void WithReplacementTracker::Observe(int site, const TimedRow& row) {
+  const double w = row.NormSquared();
+  if (w <= 0.0) return;
+  for (auto& s : samplers_) s->Observe(site, row);
+  fnorm_tracker_.Observe(site, w, row.timestamp);
+}
+
+void WithReplacementTracker::AdvanceTime(Timestamp t) {
+  for (auto& s : samplers_) s->AdvanceTime(t);
+  fnorm_tracker_.AdvanceTime(t);
+}
+
+Approximation WithReplacementTracker::GetApproximation() const {
+  Approximation approx;
+  approx.is_rows = true;
+
+  const double fnorm2 = std::max(fnorm_tracker_.Estimate(), 0.0);
+  std::vector<const CoordEntry*> picks;
+  for (const auto& s : samplers_) {
+    const std::vector<const CoordEntry*> top = s->CurrentSamples();
+    if (!top.empty()) picks.push_back(top.front());
+  }
+  const int k = static_cast<int>(picks.size());
+  approx.sketch_rows = Matrix(k, config_.dim);
+  for (int i = 0; i < k; ++i) {
+    const TimedRow& row = picks[i]->row;
+    const double w = row.NormSquared();
+    // Standard WR estimator: each draw has P(row) ~ w / F^2, so the
+    // contribution is rescaled to squared norm F^2 / k.
+    const double scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
+    const double* src = row.values.data();
+    double* dst = approx.sketch_rows.Row(i);
+    for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
+  }
+  return approx;
+}
+
+const CommStats& WithReplacementTracker::comm() const {
+  aggregate_ = CommStats();
+  for (const auto& s : samplers_) {
+    const CommStats& c = s->comm();
+    aggregate_.words_up += c.words_up;
+    aggregate_.words_down += c.words_down;
+    aggregate_.messages += c.messages;
+    aggregate_.broadcasts += c.broadcasts;
+    aggregate_.rows_sent += c.rows_sent;
+  }
+  const CommStats& f = fnorm_tracker_.comm();
+  aggregate_.words_up += f.words_up;
+  aggregate_.words_down += f.words_down;
+  aggregate_.messages += f.messages;
+  return aggregate_;
+}
+
+long WithReplacementTracker::MaxSiteSpaceWords() const {
+  // Approximation: the samplers are independent, so a site's space is the
+  // sum of its per-sampler queues; we report the sum of per-sampler
+  // maxima (an upper bound).
+  long total = 0;
+  for (const auto& s : samplers_) total += s->MaxSiteSpaceWords();
+  return total + fnorm_tracker_.MaxSiteSpaceWords();
+}
+
+}  // namespace dswm

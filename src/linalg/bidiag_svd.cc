@@ -1,0 +1,356 @@
+#include "linalg/bidiag_svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace dswm {
+
+namespace {
+
+// Givens pair with c*a + s*b = r >= 0 and -s*a + c*b = 0.
+void GivensFromPair(double a, double b, double* c, double* s) {
+  const double r = std::hypot(a, b);
+  if (r == 0.0) {
+    *c = 1.0;
+    *s = 0.0;
+    return;
+  }
+  *c = a / r;
+  *s = b / r;
+}
+
+// cols (i, j) of m:  col_i' = c col_i + s col_j;  col_j' = -s col_i + c col_j.
+void RotateColumns(Matrix* m, int i, int j, double c, double s) {
+  for (int k = 0; k < m->rows(); ++k) {
+    const double a = (*m)(k, i);
+    const double b = (*m)(k, j);
+    (*m)(k, i) = c * a + s * b;
+    (*m)(k, j) = -s * a + c * b;
+  }
+}
+
+// rows (i, j) of m:  row_i' = c row_i + s row_j;  row_j' = -s row_i + c row_j.
+void RotateRows(Matrix* m, int i, int j, double c, double s) {
+  double* ri = m->Row(i);
+  double* rj = m->Row(j);
+  for (int k = 0; k < m->cols(); ++k) {
+    const double a = ri[k];
+    const double b = rj[k];
+    ri[k] = c * a + s * b;
+    rj[k] = -s * a + c * b;
+  }
+}
+
+struct Bidiagonal {
+  std::vector<double> diag;    // d[0..m-1]
+  std::vector<double> super;   // e[0..m-2], entry (i, i+1)
+  Matrix u;                    // n x m with A = U B V^T
+  Matrix vt;                   // m x d
+};
+
+// Householder bidiagonalization of a (n x d, n >= d).
+Bidiagonal Bidiagonalize(const Matrix& a) {
+  const int n = a.rows();
+  const int d = a.cols();
+  Matrix w = a;
+
+  // Householder vectors: left[k] lives in rows k..n-1, right[k] in
+  // columns k+1..d-1 of row k.
+  std::vector<std::vector<double>> left(d);
+  std::vector<std::vector<double>> right(d);
+  std::vector<double> left_beta(d, 0.0);
+  std::vector<double> right_beta(d, 0.0);
+
+  for (int k = 0; k < d; ++k) {
+    // Left Householder: zero column k below the diagonal.
+    {
+      double norm2 = 0.0;
+      for (int i = k; i < n; ++i) norm2 += w(i, k) * w(i, k);
+      const double norm = std::sqrt(norm2);
+      if (norm > 0.0) {
+        const double alpha = w(k, k) >= 0.0 ? -norm : norm;
+        std::vector<double>& v = left[k];
+        v.assign(n - k, 0.0);
+        double vnorm2 = 0.0;
+        for (int i = k; i < n; ++i) {
+          v[i - k] = w(i, k) + (i == k ? -alpha : 0.0);
+          vnorm2 += v[i - k] * v[i - k];
+        }
+        if (vnorm2 > 0.0) {
+          left_beta[k] = 2.0 / vnorm2;
+          for (int j = k; j < d; ++j) {
+            double dot = 0.0;
+            for (int i = k; i < n; ++i) dot += v[i - k] * w(i, j);
+            const double f = left_beta[k] * dot;
+            for (int i = k; i < n; ++i) w(i, j) -= f * v[i - k];
+          }
+        }
+      }
+    }
+    // Right Householder: zero row k beyond the superdiagonal.
+    if (k < d - 2) {
+      double norm2 = 0.0;
+      for (int j = k + 1; j < d; ++j) norm2 += w(k, j) * w(k, j);
+      const double norm = std::sqrt(norm2);
+      if (norm > 0.0) {
+        const double alpha = w(k, k + 1) >= 0.0 ? -norm : norm;
+        std::vector<double>& v = right[k];
+        v.assign(d - k - 1, 0.0);
+        double vnorm2 = 0.0;
+        for (int j = k + 1; j < d; ++j) {
+          v[j - k - 1] = w(k, j) + (j == k + 1 ? -alpha : 0.0);
+          vnorm2 += v[j - k - 1] * v[j - k - 1];
+        }
+        if (vnorm2 > 0.0) {
+          right_beta[k] = 2.0 / vnorm2;
+          for (int i = k; i < n; ++i) {
+            double dot = 0.0;
+            for (int j = k + 1; j < d; ++j) dot += v[j - k - 1] * w(i, j);
+            const double f = right_beta[k] * dot;
+            for (int j = k + 1; j < d; ++j) w(i, j) -= f * v[j - k - 1];
+          }
+        }
+      }
+    }
+  }
+
+  Bidiagonal b;
+  b.diag.resize(d);
+  b.super.assign(std::max(d - 1, 0), 0.0);
+  for (int k = 0; k < d; ++k) {
+    b.diag[k] = w(k, k);
+    if (k + 1 < d) b.super[k] = w(k, k + 1);
+  }
+
+  // Back-accumulate U (n x d): U = H_0 H_1 ... H_{d-1} restricted to the
+  // first d columns of the identity.
+  b.u = Matrix(n, d);
+  for (int i = 0; i < std::min(n, d); ++i) b.u(i, i) = 1.0;
+  for (int k = d - 1; k >= 0; --k) {
+    if (left_beta[k] == 0.0) continue;
+    const std::vector<double>& v = left[k];
+    for (int j = 0; j < d; ++j) {
+      double dot = 0.0;
+      for (int i = k; i < n; ++i) dot += v[i - k] * b.u(i, j);
+      const double f = left_beta[k] * dot;
+      for (int i = k; i < n; ++i) b.u(i, j) -= f * v[i - k];
+    }
+  }
+  // Back-accumulate V^T (d x d): B = H_{d-1}..H_0 A G_0..G_{d-3}, so
+  // V^T = G_{d-3} .. G_1 G_0 (each G is a symmetric reflector); apply
+  // the reflectors in ascending order on the left of the identity.
+  b.vt = Matrix::Identity(d);
+  for (int k = 0; k <= d - 3; ++k) {
+    if (right_beta[k] == 0.0) continue;
+    const std::vector<double>& v = right[k];
+    // V^T <- V^T with rows k+1..d-1 reflected.
+    for (int j = 0; j < d; ++j) {
+      double dot = 0.0;
+      for (int i = k + 1; i < d; ++i) dot += v[i - k - 1] * b.vt(i, j);
+      const double f = right_beta[k] * dot;
+      for (int i = k + 1; i < d; ++i) b.vt(i, j) -= f * v[i - k - 1];
+    }
+  }
+  return b;
+}
+
+// One implicit-shift Golub-Kahan QR step on the block [l..q] of B.
+void GolubKahanStep(Bidiagonal* b, int l, int q) {
+  std::vector<double>& d = b->diag;
+  std::vector<double>& e = b->super;
+
+  // Wilkinson shift from the trailing 2x2 of B^T B.
+  const double dq1 = d[q - 1];
+  const double dq = d[q];
+  const double eq1 = (q - 2 >= l) ? e[q - 2] : 0.0;
+  const double eq = e[q - 1];
+  const double t11 = dq1 * dq1 + eq1 * eq1;
+  const double t12 = dq1 * eq;
+  const double t22 = dq * dq + eq * eq;
+  double mu = t22;
+  if (t12 != 0.0) {
+    const double delta = (t11 - t22) / 2.0;
+    const double denom =
+        delta + (delta >= 0.0 ? 1.0 : -1.0) * std::hypot(delta, t12);
+    if (denom != 0.0) mu = t22 - t12 * t12 / denom;
+  }
+
+  double c = 1.0;
+  double s = 0.0;
+  double bulge = 0.0;
+  const double y0 = d[l] * d[l] - mu;
+  const double z0 = d[l] * e[l];
+
+  for (int k = l; k < q; ++k) {
+    // Right rotation on columns (k, k+1).
+    if (k == l) {
+      GivensFromPair(y0, z0, &c, &s);
+    } else {
+      GivensFromPair(e[k - 1], bulge, &c, &s);
+      e[k - 1] = c * e[k - 1] + s * bulge;
+    }
+    {
+      const double dk = d[k];
+      const double ek = e[k];
+      const double dk1 = d[k + 1];
+      d[k] = c * dk + s * ek;
+      e[k] = -s * dk + c * ek;
+      bulge = s * dk1;  // new entry at (k+1, k)
+      d[k + 1] = c * dk1;
+    }
+    RotateRows(&b->vt, k, k + 1, c, s);
+
+    // Left rotation on rows (k, k+1) to kill the subdiagonal bulge.
+    GivensFromPair(d[k], bulge, &c, &s);
+    {
+      const double dk = d[k];
+      const double ek = e[k];
+      const double dk1 = d[k + 1];
+      d[k] = c * dk + s * bulge;
+      e[k] = c * ek + s * dk1;
+      d[k + 1] = -s * ek + c * dk1;
+      if (k + 1 < q) {
+        bulge = s * e[k + 1];  // new entry at (k, k+2)
+        e[k + 1] = c * e[k + 1];
+      }
+    }
+    RotateColumns(&b->u, k, k + 1, c, s);
+  }
+}
+
+// Chase away e[i] when d[i] is (numerically) zero: left rotations of row
+// i against rows i+1..q.
+void ZeroDiagonalChase(Bidiagonal* b, int i, int q) {
+  std::vector<double>& d = b->diag;
+  std::vector<double>& e = b->super;
+  double f = e[i];
+  e[i] = 0.0;
+  for (int j = i + 1; j <= q && f != 0.0; ++j) {
+    const double g = d[j];
+    const double r = std::hypot(f, g);
+    const double c = g / r;
+    const double s = f / r;
+    d[j] = r;
+    // U' : col_i' = c U_i - s U_j ; col_j' = s U_i + c U_j.
+    for (int k = 0; k < b->u.rows(); ++k) {
+      const double a = b->u(k, i);
+      const double bb = b->u(k, j);
+      b->u(k, i) = c * a - s * bb;
+      b->u(k, j) = s * a + c * bb;
+    }
+    if (j < q) {
+      f = -s * e[j];
+      e[j] = c * e[j];
+    }
+  }
+}
+
+void DiagonalizeBidiagonal(Bidiagonal* b) {
+  std::vector<double>& d = b->diag;
+  std::vector<double>& e = b->super;
+  const int m = static_cast<int>(d.size());
+  if (m <= 1) return;
+
+  double scale = 0.0;
+  for (int i = 0; i < m; ++i) {
+    scale = std::max(scale, std::fabs(d[i]));
+    if (i + 1 < m) scale = std::max(scale, std::fabs(e[i]));
+  }
+  if (scale == 0.0) return;
+  const double eps = 1e-15;
+
+  int iterations = 0;
+  const int max_iterations = 60 * m;
+  while (iterations++ < max_iterations) {
+    // Deflate negligible superdiagonals.
+    for (int i = 0; i + 1 < m; ++i) {
+      if (std::fabs(e[i]) <=
+          eps * (std::fabs(d[i]) + std::fabs(d[i + 1]) + scale * 1e-3)) {
+        e[i] = 0.0;
+      }
+    }
+    // Find the trailing fully-diagonal part.
+    int q = m - 1;
+    while (q > 0 && e[q - 1] == 0.0) --q;
+    if (q == 0) break;  // fully diagonal
+    // Find the start of the active block.
+    int l = q - 1;
+    while (l > 0 && e[l - 1] != 0.0) --l;
+
+    // Zero diagonal inside the block? Chase its superdiagonal away first.
+    bool chased = false;
+    for (int i = l; i < q; ++i) {
+      if (std::fabs(d[i]) <= eps * scale) {
+        d[i] = 0.0;
+        ZeroDiagonalChase(b, i, q);
+        chased = true;
+        break;
+      }
+    }
+    if (chased) continue;
+
+    GolubKahanStep(b, l, q);
+  }
+}
+
+}  // namespace
+
+SvdResult BidiagonalSvd(const Matrix& a, double rel_tol) {
+  const int n = a.rows();
+  const int d = a.cols();
+  SvdResult result;
+  if (n == 0 || d == 0) {
+    result.u = Matrix(n, 0);
+    result.vt = Matrix(0, d);
+    return result;
+  }
+  if (n < d) {
+    // A = U S V^T  <=>  A^T = V S U^T.
+    SvdResult t = BidiagonalSvd(a.Transposed(), rel_tol);
+    result.sigma = std::move(t.sigma);
+    result.u = t.vt.Transposed();
+    result.vt = t.u.Transposed();
+    return result;
+  }
+
+  Bidiagonal b = Bidiagonalize(a);
+  DiagonalizeBidiagonal(&b);
+
+  const int m = static_cast<int>(b.diag.size());
+  // Make singular values nonnegative (flip the V^T row).
+  for (int i = 0; i < m; ++i) {
+    if (b.diag[i] < 0.0) {
+      b.diag[i] = -b.diag[i];
+      Scale(b.vt.Row(i), d, -1.0);
+    }
+  }
+  // Sort descending.
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&b](int i, int j) { return b.diag[i] > b.diag[j]; });
+
+  const double sigma_max = m > 0 ? b.diag[order[0]] : 0.0;
+  const double cutoff = std::max(rel_tol * sigma_max, 0.0);
+  int r = 0;
+  while (r < m && b.diag[order[r]] > cutoff) ++r;
+  if (rel_tol == 0.0) {
+    // Keep numerically-nonzero values only.
+    while (r > 0 && b.diag[order[r - 1]] <= 1e-300) --r;
+  }
+
+  result.sigma.resize(r);
+  result.u = Matrix(n, r);
+  result.vt = Matrix(r, d);
+  for (int i = 0; i < r; ++i) {
+    const int p = order[i];
+    result.sigma[i] = b.diag[p];
+    result.vt.SetRow(i, b.vt.Row(p));
+    for (int k = 0; k < n; ++k) result.u(k, i) = b.u(k, p);
+  }
+  return result;
+}
+
+}  // namespace dswm

@@ -1,0 +1,26 @@
+// High-accuracy SVD via Householder bidiagonalization and Golub-Kahan
+// implicit-shift QR iteration.
+//
+// The Gram-side SVD (svd.h) squares the condition number, losing singular
+// values below ~sqrt(eps_machine) * sigma_max; that is fine for sketch
+// shrinking, but library users computing PCA residuals or ill-conditioned
+// spectra need the numerically-sound path. This decomposition computes
+// all singular values to ~eps_machine * sigma_max.
+//
+// Cost: O(n d^2) for the bidiagonalization plus O(d^2) per QR sweep.
+
+#ifndef DSWM_LINALG_BIDIAG_SVD_H_
+#define DSWM_LINALG_BIDIAG_SVD_H_
+
+#include "linalg/svd.h"
+
+namespace dswm {
+
+/// Thin SVD of `a` (any shape) computed without forming a Gram matrix.
+/// Singular values below `rel_tol * sigma_max` are truncated (pass 0 to
+/// keep all numerically-nonzero values).
+SvdResult BidiagonalSvd(const Matrix& a, double rel_tol = 0.0);
+
+}  // namespace dswm
+
+#endif  // DSWM_LINALG_BIDIAG_SVD_H_

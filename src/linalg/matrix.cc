@@ -1,0 +1,150 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dswm {
+
+Matrix Matrix::Identity(int d) {
+  Matrix m(d, d);
+  for (int i = 0; i < d; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::AppendRow(const double* src, int len) {
+  if (empty() && rows_ == 0) {
+    if (cols_ == 0) cols_ = len;
+  }
+  DSWM_CHECK_EQ(len, cols_);
+  data_.insert(data_.end(), src, src + len);
+  ++rows_;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* r = Row(i);
+    for (int j = 0; j < cols_; ++j) t(j, i) = r[j];
+  }
+  return t;
+}
+
+double Matrix::FrobeniusNormSquared() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+void Matrix::AddScaled(const Matrix& other, double alpha) {
+  DSWM_CHECK_EQ(rows_, other.rows_);
+  DSWM_CHECK_EQ(cols_, other.cols_);
+  const double* src = other.data();
+  double* dst = data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Matrix::AddOuterProduct(const double* v, double alpha) {
+  DSWM_CHECK_EQ(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const double vi = alpha * v[i];
+    if (vi == 0.0) continue;
+    double* row = Row(i);
+    for (int j = 0; j < cols_; ++j) row[j] += vi * v[j];
+  }
+}
+
+void Matrix::AddSparseOuterProduct(const double* v,
+                                   const std::vector<int>& support,
+                                   double alpha) {
+  DSWM_CHECK_EQ(rows_, cols_);
+  for (int i : support) {
+    const double vi = alpha * v[i];
+    double* row = Row(i);
+    for (int j : support) row[j] += vi * v[j];
+  }
+}
+
+double Dot(const double* x, const double* y, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double NormSquared(const double* x, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += x[i] * x[i];
+  return s;
+}
+
+void Axpy(double alpha, const double* x, double* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double* x, int n, double alpha) {
+  for (int i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void MatVec(const Matrix& a, const double* x, double* y) {
+  for (int i = 0; i < a.rows(); ++i) y[i] = Dot(a.Row(i), x, a.cols());
+}
+
+void MatTVec(const Matrix& a, const double* x, double* y) {
+  std::fill(y, y + a.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) Axpy(x[i], a.Row(i), y, a.cols());
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  DSWM_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* ar = a.Row(i);
+    double* cr = c.Row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = ar[k];
+      if (aik == 0.0) continue;
+      Axpy(aik, b.Row(k), cr, b.cols());
+    }
+  }
+  return c;
+}
+
+Matrix GramTranspose(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) g.AddOuterProduct(a.Row(i), 1.0);
+  return g;
+}
+
+Matrix Gram(const Matrix& a) {
+  Matrix g(a.rows(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = i; j < a.rows(); ++j) {
+      const double d = Dot(a.Row(i), a.Row(j), a.cols());
+      g(i, j) = d;
+      g(j, i) = d;
+    }
+  }
+  return g;
+}
+
+Matrix Subtract(const Matrix& a, const Matrix& b) {
+  DSWM_CHECK_EQ(a.rows(), b.rows());
+  DSWM_CHECK_EQ(a.cols(), b.cols());
+  Matrix c = a;
+  c.AddScaled(b, -1.0);
+  return c;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  DSWM_CHECK_EQ(a.rows(), b.rows());
+  DSWM_CHECK_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+}  // namespace dswm

@@ -1,0 +1,144 @@
+// Dense row-major matrix and vector kernels.
+//
+// This is the numerical substrate for the whole library (the build
+// environment has no Eigen). It provides exactly the operations the
+// sketching and tracking algorithms need: BLAS-1/2/3 style kernels,
+// Gram products, outer-product updates, and row views.
+
+#ifndef DSWM_LINALG_MATRIX_H_
+#define DSWM_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dswm {
+
+/// Dense row-major matrix of doubles.
+///
+/// Rows are contiguous; `Row(i)` returns a pointer usable as a length-`cols`
+/// vector. The class is a regular value type (copyable, movable).
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0) {
+    DSWM_CHECK_GE(rows, 0);
+    DSWM_CHECK_GE(cols, 0);
+  }
+
+  /// d x d identity.
+  static Matrix Identity(int d);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(int i, int j) {
+    DSWM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  double operator()(int i, int j) const {
+    DSWM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  double* Row(int i) {
+    DSWM_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+  const double* Row(int i) const {
+    DSWM_DCHECK(i >= 0 && i < rows_);
+    return data_.data() + static_cast<size_t>(i) * cols_;
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Sets every entry to zero without reallocating.
+  void SetZero() { std::memset(data_.data(), 0, data_.size() * sizeof(double)); }
+
+  /// Copies `src` (length cols()) into row i.
+  void SetRow(int i, const double* src) {
+    std::memcpy(Row(i), src, sizeof(double) * cols_);
+  }
+
+  /// Appends a row (O(cols) amortized); keeps cols() fixed (or sets it if
+  /// the matrix is empty).
+  void AppendRow(const double* src, int len);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Sum of squared entries, i.e. ||A||_F^2.
+  double FrobeniusNormSquared() const;
+
+  /// this += alpha * other (same shape).
+  void AddScaled(const Matrix& other, double alpha);
+
+  /// this += alpha * v v^T where v has length cols(); requires square.
+  void AddOuterProduct(const double* v, double alpha);
+
+  /// As AddOuterProduct but touching only the listed nonzero coordinates of
+  /// v (O(nnz^2)); used for sparse tf-idf style rows.
+  void AddSparseOuterProduct(const double* v, const std::vector<int>& support,
+                             double alpha);
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+// ---- Vector kernels (operate on raw pointers of explicit length) ----------
+
+/// Dot product of two length-n vectors.
+double Dot(const double* x, const double* y, int n);
+
+/// Squared L2 norm.
+double NormSquared(const double* x, int n);
+
+/// y += alpha * x.
+void Axpy(double alpha, const double* x, double* y, int n);
+
+/// x *= alpha.
+void Scale(double* x, int n, double alpha);
+
+// ---- Matrix kernels --------------------------------------------------------
+
+/// y = A x (y length rows, x length cols).
+void MatVec(const Matrix& a, const double* x, double* y);
+
+/// y = A^T x (y length cols, x length rows).
+void MatTVec(const Matrix& a, const double* x, double* y);
+
+/// Returns A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Returns A^T * A (cols x cols). This is the covariance Gram product used
+/// throughout: for a sketch B it yields B^T B.
+Matrix GramTranspose(const Matrix& a);
+
+/// Returns A * A^T (rows x rows); used by the thin SVD on the short side.
+Matrix Gram(const Matrix& a);
+
+/// Returns A - B (same shape).
+Matrix Subtract(const Matrix& a, const Matrix& b);
+
+/// Max absolute entry difference; used by tests.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace dswm
+
+#endif  // DSWM_LINALG_MATRIX_H_

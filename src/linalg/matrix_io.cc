@@ -1,0 +1,104 @@
+#include "linalg/matrix_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace dswm {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'W', 'M'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status WriteMatrixBinary(const Matrix& m, std::ostream* out) {
+  out->write(kMagic, 4);
+  const uint32_t version = kVersion;
+  const int64_t rows = m.rows();
+  const int64_t cols = m.cols();
+  out->write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out->write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  if (!*out) return Status::IoError("matrix write failed");
+  return Status::OK();
+}
+
+StatusOr<Matrix> ReadMatrixBinary(std::istream* in) {
+  char magic[4];
+  in->read(magic, 4);
+  if (!*in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic: not a dswm matrix");
+  }
+  uint32_t version = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  in->read(reinterpret_cast<char*>(&version), sizeof(version));
+  in->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!*in) return Status::InvalidArgument("truncated matrix header");
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported matrix format version " +
+                                   std::to_string(version));
+  }
+  if (rows < 0 || cols < 0 || rows > (1LL << 32) || cols > (1LL << 32)) {
+    return Status::InvalidArgument("implausible matrix shape");
+  }
+  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  in->read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  if (!*in) return Status::InvalidArgument("truncated matrix payload");
+  return m;
+}
+
+Status SaveMatrixBinary(const Matrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteMatrixBinary(m, &out);
+}
+
+StatusOr<Matrix> LoadMatrixBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadMatrixBinary(&in);
+}
+
+Status WriteMatrixText(const Matrix& m, std::ostream* out) {
+  *out << m.rows() << ' ' << m.cols() << '\n';
+  *out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      if (j > 0) *out << ' ';
+      *out << m(i, j);
+    }
+    *out << '\n';
+  }
+  if (!*out) return Status::IoError("matrix write failed");
+  return Status::OK();
+}
+
+StatusOr<Matrix> ReadMatrixText(std::istream* in) {
+  long long rows = -1;
+  long long cols = -1;
+  if (!(*in >> rows >> cols) || rows < 0 || cols < 0) {
+    return Status::InvalidArgument("bad text matrix header");
+  }
+  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  for (long long i = 0; i < rows; ++i) {
+    for (long long j = 0; j < cols; ++j) {
+      if (!(*in >> m(static_cast<int>(i), static_cast<int>(j)))) {
+        return Status::InvalidArgument("truncated text matrix");
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dswm

@@ -1,0 +1,36 @@
+// Matrix (de)serialization: a versioned little-endian binary format and
+// a human-readable text form. Lets applications persist tracked sketches
+// (e.g. freeze a reference-window PCA basis to disk and reload it in a
+// later monitoring session).
+
+#ifndef DSWM_LINALG_MATRIX_IO_H_
+#define DSWM_LINALG_MATRIX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// Writes `m` in the dswm binary format ("DSWM" magic, version, shape,
+/// row-major doubles).
+Status WriteMatrixBinary(const Matrix& m, std::ostream* out);
+Status SaveMatrixBinary(const Matrix& m, const std::string& path);
+
+/// Reads a matrix written by WriteMatrixBinary. Rejects corrupt or
+/// truncated input.
+StatusOr<Matrix> ReadMatrixBinary(std::istream* in);
+StatusOr<Matrix> LoadMatrixBinary(const std::string& path);
+
+/// Writes "rows cols" then one whitespace-separated row per line, full
+/// precision (round-trips exactly through text).
+Status WriteMatrixText(const Matrix& m, std::ostream* out);
+
+/// Reads the text form.
+StatusOr<Matrix> ReadMatrixText(std::istream* in);
+
+}  // namespace dswm
+
+#endif  // DSWM_LINALG_MATRIX_IO_H_

@@ -1,0 +1,29 @@
+#include "linalg/psd_sqrt.h"
+
+#include <cmath>
+
+#include "linalg/symmetric_eigen.h"
+
+namespace dswm {
+
+Matrix PsdSqrt(const Matrix& c, double rel_tol) {
+  DSWM_CHECK_EQ(c.rows(), c.cols());
+  const int d = c.rows();
+  const EigenResult eig = SymmetricEigen(c);
+  const double lead = eig.values.empty() ? 0.0 : std::max(eig.values[0], 0.0);
+  const double cutoff = lead * rel_tol;
+
+  int r = 0;
+  while (r < d && eig.values[r] > cutoff) ++r;
+
+  Matrix b(r, d);
+  for (int i = 0; i < r; ++i) {
+    const double s = std::sqrt(eig.values[i]);
+    const double* v = eig.vectors.Row(i);
+    double* row = b.Row(i);
+    for (int j = 0; j < d; ++j) row[j] = s * v[j];
+  }
+  return b;
+}
+
+}  // namespace dswm

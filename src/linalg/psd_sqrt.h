@@ -1,0 +1,22 @@
+// Matrix square root of a positive semidefinite covariance estimate.
+//
+// DA1/DA2 coordinators accumulate C_hat = B^T B as a d x d matrix; a
+// caller asking for the sketch itself receives B = Sigma^{1/2} V^T
+// (Algorithm 4/5, QUERY()). Accumulated updates can leave C_hat slightly
+// indefinite, so negative eigenvalues are clamped to zero.
+
+#ifndef DSWM_LINALG_PSD_SQRT_H_
+#define DSWM_LINALG_PSD_SQRT_H_
+
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// Returns an r x d matrix B with B^T B equal to the PSD projection of the
+/// symmetric matrix `c` (negative eigenvalues clamped). Rows with
+/// eigenvalue <= rel_tol * lambda_max are dropped, so r <= d.
+Matrix PsdSqrt(const Matrix& c, double rel_tol = 1e-12);
+
+}  // namespace dswm
+
+#endif  // DSWM_LINALG_PSD_SQRT_H_

@@ -1,0 +1,76 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dswm {
+
+QrResult HouseholderQr(const Matrix& a) {
+  const int n = a.rows();
+  const int m = a.cols();
+  const int k = std::min(n, m);
+
+  Matrix r = a;                       // Will be reduced in place.
+  Matrix q_full = Matrix::Identity(n);
+  std::vector<double> v(n);
+
+  for (int col = 0; col < k; ++col) {
+    // Build the Householder vector for column `col` below the diagonal.
+    double norm2 = 0.0;
+    for (int i = col; i < n; ++i) norm2 += r(i, col) * r(i, col);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) continue;
+    const double alpha = (r(col, col) >= 0.0) ? -norm : norm;
+    double vnorm2 = 0.0;
+    for (int i = col; i < n; ++i) {
+      v[i] = r(i, col);
+      if (i == col) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // R <- (I - beta v v^T) R.
+    for (int j = col; j < m; ++j) {
+      double dot = 0.0;
+      for (int i = col; i < n; ++i) dot += v[i] * r(i, j);
+      const double f = beta * dot;
+      for (int i = col; i < n; ++i) r(i, j) -= f * v[i];
+    }
+    // Q <- Q (I - beta v v^T).
+    for (int i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (int j = col; j < n; ++j) dot += q_full(i, j) * v[j];
+      const double f = beta * dot;
+      for (int j = col; j < n; ++j) q_full(i, j) -= f * v[j];
+    }
+  }
+
+  QrResult result;
+  result.q = Matrix(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) result.q(i, j) = q_full(i, j);
+  }
+  result.r = Matrix(k, m);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i; j < m; ++j) result.r(i, j) = r(i, j);
+  }
+  return result;
+}
+
+Matrix RandomOrthonormalRows(int k, int d, Rng* rng) {
+  DSWM_CHECK_LE(k, d);
+  Matrix g(d, k);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < k; ++j) g(i, j) = rng->NextGaussian();
+  }
+  const QrResult qr = HouseholderQr(g);
+  // Columns of qr.q are orthonormal in R^d; return them as rows.
+  Matrix rows(k, d);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < d; ++j) rows(i, j) = qr.q(j, i);
+  }
+  return rows;
+}
+
+}  // namespace dswm

@@ -1,0 +1,31 @@
+// Householder QR and random orthonormal matrices.
+//
+// Used by the SYNTHETIC workload generator (the paper's A = S D U + N/zeta
+// requires a random U with U U^T = I) and by tests that need controlled
+// spectra.
+
+#ifndef DSWM_LINALG_QR_H_
+#define DSWM_LINALG_QR_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// QR factorization A = Q R with Q (n x k, orthonormal columns) and
+/// R (k x n_cols upper triangular), k = min(rows, cols).
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder QR of `a` (thin form).
+QrResult HouseholderQr(const Matrix& a);
+
+/// Returns a k x d matrix with orthonormal rows (k <= d), Haar-ish
+/// distributed: QR of a Gaussian matrix.
+Matrix RandomOrthonormalRows(int k, int d, Rng* rng);
+
+}  // namespace dswm
+
+#endif  // DSWM_LINALG_QR_H_

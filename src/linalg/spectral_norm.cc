@@ -1,0 +1,88 @@
+#include "linalg/spectral_norm.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dswm {
+
+double SpectralNormSym(const SymmetricApplyFn& apply, int d, int max_iters,
+                       double tol, uint64_t seed) {
+  DSWM_CHECK_GT(d, 0);
+  Rng rng(seed);
+  std::vector<double> x(d);
+  std::vector<double> y(d);
+  for (double& v : x) v = rng.NextGaussian();
+  double xnorm = std::sqrt(NormSquared(x.data(), d));
+  if (xnorm == 0.0) {
+    x[0] = 1.0;
+    xnorm = 1.0;
+  }
+  Scale(x.data(), d, 1.0 / xnorm);
+
+  // Power iteration on M directly converges to the dominant |lambda| for a
+  // symmetric indefinite M (the +/- sign flip does not affect |Rayleigh|),
+  // except when lambda_max = -lambda_min exactly; iterating on M^2 (two
+  // applies per step) removes that failure mode.
+  double prev = 0.0;
+  double est = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    apply(x.data(), y.data());          // y = M x
+    apply(y.data(), x.data());          // x = M^2 x  (pre-normalization)
+    const double norm2 = std::sqrt(NormSquared(x.data(), d));
+    if (norm2 == 0.0) return 0.0;       // x hit the null space: M is tiny.
+    est = std::sqrt(norm2);             // ||M^2 x|| ~ lambda^2 for unit x.
+    Scale(x.data(), d, 1.0 / norm2);
+    if (it > 2 && std::fabs(est - prev) <= tol * std::fabs(est)) break;
+    prev = est;
+  }
+  return est;
+}
+
+double SpectralNormSymWarm(const SymmetricApplyFn& apply, int d,
+                           std::vector<double>* warm, int max_iters,
+                           double tol) {
+  DSWM_CHECK_GT(d, 0);
+  std::vector<double>& x = *warm;
+  if (static_cast<int>(x.size()) != d ||
+      NormSquared(x.data(), d) == 0.0) {
+    x.assign(d, 0.0);
+    Rng rng(0xa11ce);
+    for (double& v : x) v = rng.NextGaussian();
+  }
+  {
+    const double n = std::sqrt(NormSquared(x.data(), d));
+    Scale(x.data(), d, 1.0 / n);
+  }
+  // A dash of fresh randomness each call so a warm vector stuck in an
+  // invariant subspace of a *changed* operator can escape.
+  {
+    Rng rng(0xbee5 + static_cast<uint64_t>(max_iters));
+    for (int i = 0; i < d; ++i) x[i] += 1e-3 * rng.NextGaussian();
+  }
+
+  std::vector<double> y(d);
+  double prev = 0.0;
+  double est = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    apply(x.data(), y.data());
+    apply(y.data(), x.data());
+    const double norm2 = std::sqrt(NormSquared(x.data(), d));
+    if (norm2 == 0.0) return 0.0;
+    est = std::sqrt(norm2);
+    Scale(x.data(), d, 1.0 / norm2);
+    if (it > 1 && std::fabs(est - prev) <= tol * std::fabs(est)) break;
+    prev = est;
+  }
+  return est;
+}
+
+double SpectralNormSym(const Matrix& m, int max_iters, double tol,
+                       uint64_t seed) {
+  DSWM_CHECK_EQ(m.rows(), m.cols());
+  if (m.rows() == 0) return 0.0;
+  return SpectralNormSym(
+      [&m](const double* x, double* y) { MatVec(m, x, y); }, m.rows(),
+      max_iters, tol, seed);
+}
+
+}  // namespace dswm

@@ -1,0 +1,107 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dswm {
+
+namespace {
+
+// Sum of squares of strictly-off-diagonal entries.
+double OffDiagonalMass(const Matrix& a) {
+  double s = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+EigenResult SymmetricEigen(const Matrix& input) {
+  DSWM_CHECK_EQ(input.rows(), input.cols());
+  const int d = input.rows();
+
+  // Work on the symmetrized copy to be robust to tiny asymmetries from
+  // accumulated floating-point updates (C_hat += lambda v v^T etc).
+  Matrix a(d, d);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) a(i, j) = 0.5 * (input(i, j) + input(j, i));
+  }
+
+  Matrix v = Matrix::Identity(d);
+
+  const double total = a.FrobeniusNormSquared();
+  const double tol = total * 1e-24 + 1e-300;
+  constexpr int kMaxSweeps = 64;
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (OffDiagonalMass(a) <= tol) break;
+    for (int p = 0; p < d - 1; ++p) {
+      for (int q = p + 1; q < d; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Skip rotations that cannot change anything at double precision.
+        if (std::fabs(apq) <= 1e-18 * (std::fabs(app) + std::fabs(aqq))) {
+          continue;
+        }
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // A <- J^T A J applied to rows/cols p and q.
+        for (int k = 0; k < d; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < d; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors: V <- V J. We keep eigenvectors as rows
+        // of the result, so accumulate into rows here.
+        for (int k = 0; k < d; ++k) {
+          const double vpk = v(p, k);
+          const double vqk = v(q, k);
+          v(p, k) = c * vpk - s * vqk;
+          v(q, k) = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  std::vector<int> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](int i, int j) { return a(i, i) > a(j, j); });
+
+  EigenResult result;
+  result.values.resize(d);
+  result.vectors = Matrix(d, d);
+  for (int i = 0; i < d; ++i) {
+    result.values[i] = a(order[i], order[i]);
+    result.vectors.SetRow(i, v.Row(order[i]));
+  }
+  return result;
+}
+
+double SpectralNormExact(const Matrix& a) {
+  const EigenResult eig = SymmetricEigen(a);
+  double m = 0.0;
+  for (double lambda : eig.values) m = std::max(m, std::fabs(lambda));
+  return m;
+}
+
+}  // namespace dswm

@@ -1,0 +1,37 @@
+// Symmetric eigendecomposition via cyclic Jacobi rotations.
+//
+// Workhorse used by: DA1's decomposition of D = C - C_hat (Algorithm 4),
+// the thin SVD (on the Gram matrix of the short side), the PSD matrix
+// square root at the coordinator, and the IWMT significant-direction
+// extraction.
+
+#ifndef DSWM_LINALG_SYMMETRIC_EIGEN_H_
+#define DSWM_LINALG_SYMMETRIC_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// Eigendecomposition A = sum_i lambda_i v_i v_i^T of a symmetric matrix.
+struct EigenResult {
+  /// Eigenvalues sorted by decreasing value (signed, not by magnitude).
+  std::vector<double> values;
+  /// Row i is the unit eigenvector for values[i]; shape d x d.
+  Matrix vectors;
+};
+
+/// Decomposes the symmetric matrix `a` (only its symmetric part is used)
+/// with cyclic Jacobi sweeps. Cost O(d^3) per sweep, typically 6-12 sweeps.
+/// Accurate to ~1e-12 relative off-diagonal mass.
+EigenResult SymmetricEigen(const Matrix& a);
+
+/// Largest eigenvalue magnitude max_i |lambda_i|, i.e. the spectral norm of
+/// a symmetric matrix, computed exactly via Jacobi. Prefer
+/// SpectralNormSym (spectral_norm.h) in hot paths.
+double SpectralNormExact(const Matrix& a);
+
+}  // namespace dswm
+
+#endif  // DSWM_LINALG_SYMMETRIC_EIGEN_H_

@@ -1,0 +1,51 @@
+// Communication accounting for the simulated distributed-monitoring model.
+//
+// Follows the paper's cost model (Section IV-A): every real number
+// (row coordinate, priority, timestamp, threshold, scalar update) costs one
+// word; a broadcast of a scalar to m sites costs m words. `msg` in the
+// figures is the average number of words sent per window.
+
+#ifndef DSWM_MONITOR_COMM_STATS_H_
+#define DSWM_MONITOR_COMM_STATS_H_
+
+namespace dswm {
+
+/// Word/message counters shared by all protocols.
+struct CommStats {
+  /// Words sent from sites to the coordinator.
+  long words_up = 0;
+  /// Words sent from the coordinator to sites (threshold broadcasts,
+  /// negotiation requests).
+  long words_down = 0;
+  /// Individual point-to-point messages.
+  long messages = 0;
+  /// Threshold broadcasts (each also counted in words_down).
+  long broadcasts = 0;
+  /// Full rows (or directions) shipped site -> coordinator.
+  long rows_sent = 0;
+
+  long TotalWords() const { return words_up + words_down; }
+
+  /// One site->coordinator message of `words` words.
+  void SendUp(int words) {
+    words_up += words;
+    ++messages;
+  }
+
+  /// One coordinator->site message of `words` words.
+  void SendDown(int words) {
+    words_down += words;
+    ++messages;
+  }
+
+  /// Coordinator broadcast of one scalar to all m sites.
+  void Broadcast(int num_sites) {
+    words_down += num_sites;
+    ++messages;
+    ++broadcasts;
+  }
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_MONITOR_COMM_STATS_H_

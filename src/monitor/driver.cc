@@ -1,0 +1,90 @@
+#include "monitor/driver.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "sketch/covariance.h"
+#include "window/exact_window.h"
+
+namespace dswm {
+
+RunResult RunTracker(DistributedTracker* tracker,
+                     const std::vector<TimedRow>& rows, int num_sites,
+                     Timestamp window, const DriverOptions& options) {
+  RunResult result;
+  result.rows = static_cast<int>(rows.size());
+  if (rows.empty()) return result;
+
+  Rng rng(options.seed);
+  const int n = result.rows;
+
+  // Pick query-point row indices in the steady-state region.
+  const int first = std::min(
+      n - 1, static_cast<int>(options.warmup_fraction * n));
+  std::vector<bool> is_query(n, false);
+  for (int q = 0; q < options.query_points; ++q) {
+    is_query[first + static_cast<int>(rng.NextBelow(n - first))] = true;
+  }
+
+  ExactWindow exact(tracker->dim(), window);
+  Stopwatch tracker_clock;
+  double tracker_seconds = 0.0;
+  double err_sum = 0.0;
+  int err_count = 0;
+
+  for (int i = 0; i < n; ++i) {
+    const TimedRow& row = rows[i];
+    const int site = static_cast<int>(rng.NextBelow(num_sites));
+
+    tracker_clock.Start();
+    tracker->Observe(site, row);
+    tracker_seconds += tracker_clock.ElapsedSeconds();
+
+    exact.Add(row);
+    exact.Advance(row.timestamp);
+
+    if (is_query[i]) {
+      const Approximation approx = tracker->GetApproximation();
+      const double err =
+          approx.is_rows
+              ? CovarianceErrorOfSketch(exact.Covariance(),
+                                        approx.sketch_rows,
+                                        exact.FrobeniusSquared())
+              : CovarianceErrorOfCovariance(exact.Covariance(),
+                                            approx.covariance,
+                                            exact.FrobeniusSquared());
+      err_sum += err;
+      result.max_err = std::max(result.max_err, err);
+      ++err_count;
+      const long site_space = tracker->MaxSiteSpaceWords();
+      result.max_site_space_words =
+          std::max(result.max_site_space_words, site_space);
+      result.trace.push_back(TraceEntry{row.timestamp, err,
+                                        tracker->comm().TotalWords(),
+                                        site_space});
+    }
+  }
+
+  result.avg_err = err_count > 0 ? err_sum / err_count : 0.0;
+
+  const CommStats& comm = tracker->comm();
+  result.total_words = comm.TotalWords();
+  result.messages = comm.messages;
+  result.broadcasts = comm.broadcasts;
+  result.rows_sent = comm.rows_sent;
+
+  const Timestamp span =
+      rows.back().timestamp - rows.front().timestamp + 1;
+  result.windows_spanned =
+      static_cast<double>(span) / static_cast<double>(window);
+  result.words_per_window =
+      result.windows_spanned > 0
+          ? static_cast<double>(result.total_words) / result.windows_spanned
+          : static_cast<double>(result.total_words);
+  result.update_rows_per_sec =
+      tracker_seconds > 0 ? n / tracker_seconds : 0.0;
+  return result;
+}
+
+}  // namespace dswm

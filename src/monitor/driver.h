@@ -1,0 +1,64 @@
+// Experiment driver: feeds a materialized dataset through a tracker,
+// measures covariance error at random query points against the exact
+// window, and reports the paper's metrics (Section IV-A):
+//   msg       -- average words sent per window,
+//   avg_err / max_err -- covariance error over the query points,
+//   space     -- maximum per-site space (words) over the query points,
+//   update rate -- tracker-only rows per second of wall-clock.
+
+#ifndef DSWM_MONITOR_DRIVER_H_
+#define DSWM_MONITOR_DRIVER_H_
+
+#include <vector>
+
+#include "core/tracker.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// Driver options.
+struct DriverOptions {
+  /// Number of random query timestamps (the paper uses 50).
+  int query_points = 50;
+  /// Query points are drawn from row indices >= warmup_fraction * n so
+  /// measurements happen in steady state (after the first window fills).
+  double warmup_fraction = 0.25;
+  /// Seed for site assignment and query-point selection.
+  uint64_t seed = 1234;
+};
+
+/// One query-point measurement (chronological).
+struct TraceEntry {
+  Timestamp timestamp = 0;
+  double err = 0.0;
+  long words_so_far = 0;
+  long site_space_words = 0;
+};
+
+/// Aggregated result of one run.
+struct RunResult {
+  /// Per-query-point series, chronological (size <= options.query_points).
+  std::vector<TraceEntry> trace;
+  double avg_err = 0.0;
+  double max_err = 0.0;
+  double words_per_window = 0.0;  // msg
+  long total_words = 0;
+  long messages = 0;
+  long broadcasts = 0;
+  long rows_sent = 0;
+  long max_site_space_words = 0;
+  double update_rows_per_sec = 0.0;
+  double windows_spanned = 0.0;
+  int rows = 0;
+};
+
+/// Runs `tracker` over `rows` (time-ordered), assigning each row to a
+/// uniformly random site in [0, num_sites). `window` must equal the
+/// tracker's configured window.
+RunResult RunTracker(DistributedTracker* tracker,
+                     const std::vector<TimedRow>& rows, int num_sites,
+                     Timestamp window, const DriverOptions& options);
+
+}  // namespace dswm
+
+#endif  // DSWM_MONITOR_DRIVER_H_

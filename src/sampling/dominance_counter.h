@@ -1,0 +1,72 @@
+// Quantized dominance counting for l-dominance pruning (Definition 1).
+//
+// A queued row may be discarded once l later rows at the same site carry
+// strictly higher priority. Exact per-arrival counting is O(|Q|); instead,
+// keys are quantized into log-scale buckets (8 per octave) and a Fenwick
+// tree counts arrivals per bucket. A row's dominance lower bound is
+// "arrivals in strictly higher buckets since it was queued" -- never an
+// overcount, so pruning on it never discards a potential top-l row; it can
+// only keep rows slightly longer (same-octant near-ties), preserving the
+// O(l log(NR)) space bound up to a small constant.
+
+#ifndef DSWM_SAMPLING_DOMINANCE_COUNTER_H_
+#define DSWM_SAMPLING_DOMINANCE_COUNTER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dswm {
+
+/// Fenwick-tree counter of arrivals by quantized key bucket.
+class DominanceCounter {
+ public:
+  DominanceCounter() : tree_(kSlots + 1, 0) {}
+
+  /// Records an arrival with the given positive bucket value
+  /// (KeyBucketValue of its key).
+  void Add(double bucket_value) {
+    ++total_;
+    for (int i = BucketIndex(bucket_value) + 1; i <= kSlots; i += i & (-i)) {
+      ++tree_[i];
+    }
+  }
+
+  /// Number of recorded arrivals in strictly higher buckets than
+  /// `bucket_value`'s bucket.
+  long CountStrictlyAbove(double bucket_value) const {
+    long prefix = 0;  // arrivals in buckets <= this one
+    for (int i = BucketIndex(bucket_value) + 1; i > 0; i -= i & (-i)) {
+      prefix += tree_[i];
+    }
+    return total_ - prefix;
+  }
+
+  long total() const { return total_; }
+
+  /// Words of memory (for space accounting; fixed).
+  long SpaceWords() const { return static_cast<long>(tree_.size()); }
+
+ private:
+  // 8 sub-buckets per octave over log2 in [-256, 256).
+  static constexpr int kPerOctave = 8;
+  static constexpr int kLogRange = 256;
+  static constexpr int kSlots = 2 * kLogRange * kPerOctave;  // 4096
+
+  static int BucketIndex(double v) {
+    DSWM_DCHECK_GT(v, 0.0);
+    const int idx =
+        static_cast<int>(std::floor(std::log2(v) * kPerOctave)) +
+        kLogRange * kPerOctave;
+    return std::clamp(idx, 0, kSlots - 1);
+  }
+
+  std::vector<long> tree_;
+  long total_ = 0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_SAMPLING_DOMINANCE_COUNTER_H_

@@ -1,0 +1,54 @@
+// Priority-key policies for weighted sampling without replacement.
+//
+// Both classic schemes fit one framework (Section II): assign each row a
+// random key from its weight w = ||a||^2, track the top-l keys.
+//   * Priority sampling (Duffield-Lund-Thorup [26]): key = w / u.
+//   * ES sampling (Efraimidis-Spirakis [27]): key = u^{1/w}, kept in the
+//     log domain (log(u)/w) for numerical stability; ordering is
+//     preserved and "halving" the raw threshold is subtracting log 2.
+
+#ifndef DSWM_SAMPLING_PRIORITY_H_
+#define DSWM_SAMPLING_PRIORITY_H_
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace dswm {
+
+/// Which weighted-sampling key scheme a protocol uses.
+enum class SamplingScheme { kPriority, kEfraimidisSpirakis };
+
+/// Draws the random priority key for a row of weight w (> 0). Larger keys
+/// win. ES keys are log-domain and negative; priority keys are positive.
+inline double DrawKey(SamplingScheme scheme, double weight, Rng* rng) {
+  const double u = rng->NextOpenDouble();
+  if (scheme == SamplingScheme::kPriority) return weight / u;
+  return std::log(u) / weight;  // log of u^{1/w}
+}
+
+/// Sentinel threshold that admits every key (protocol start / fallback).
+inline double LowestThreshold(SamplingScheme scheme) {
+  if (scheme == SamplingScheme::kPriority) return 0.0;
+  return -std::numeric_limits<double>::infinity();
+}
+
+/// Halves the raw threshold (Algorithm 2's tau = tau/2). For log-domain ES
+/// keys this subtracts log 2. Idempotent at the lowest threshold.
+inline double RelaxThreshold(SamplingScheme scheme, double tau) {
+  if (scheme == SamplingScheme::kPriority) return tau * 0.5;
+  return tau - 0.6931471805599453;  // ln 2
+}
+
+/// Monotone map from a key to a positive value, used to quantize keys into
+/// log-scale buckets for dominance counting. Larger key -> larger value.
+inline double KeyBucketValue(SamplingScheme scheme, double key) {
+  if (scheme == SamplingScheme::kPriority) return key;
+  // ES log-domain keys are negative; -1/key is positive and increasing.
+  return -1.0 / key;
+}
+
+}  // namespace dswm
+
+#endif  // DSWM_SAMPLING_PRIORITY_H_

@@ -1,0 +1,110 @@
+#include "sampling/sample_set.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dswm {
+
+void KeyedSampleSet::Insert(CoordEntry entry) {
+  const Timestamp t = entry.row.timestamp;
+  auto it = by_key_.emplace(entry.key, std::move(entry));
+  by_time_.emplace(t, it);
+}
+
+void KeyedSampleSet::EraseTimeIndex(KeyMap::iterator it) {
+  auto range = by_time_.equal_range(it->second.row.timestamp);
+  for (auto t = range.first; t != range.second; ++t) {
+    if (t->second == it) {
+      by_time_.erase(t);
+      return;
+    }
+  }
+  DSWM_CHECK(false);  // index out of sync
+}
+
+int KeyedSampleSet::ExpireBefore(Timestamp cutoff) {
+  int removed = 0;
+  while (!by_time_.empty() && by_time_.begin()->first <= cutoff) {
+    by_key_.erase(by_time_.begin()->second);
+    by_time_.erase(by_time_.begin());
+    ++removed;
+  }
+  return removed;
+}
+
+double KeyedSampleSet::MinKey() const {
+  DSWM_CHECK(!by_key_.empty());
+  return by_key_.begin()->first;
+}
+
+double KeyedSampleSet::MaxKey(double fallback) const {
+  if (by_key_.empty()) return fallback;
+  return by_key_.rbegin()->first;
+}
+
+double KeyedSampleSet::KthLargestKey(int k) const {
+  DSWM_CHECK_GE(k, 1);
+  DSWM_CHECK_LE(k, size());
+  auto it = by_key_.rbegin();
+  for (int i = 1; i < k; ++i) ++it;
+  return it->first;
+}
+
+CoordEntry KeyedSampleSet::PopMin() {
+  DSWM_CHECK(!by_key_.empty());
+  auto it = by_key_.begin();
+  EraseTimeIndex(it);
+  CoordEntry entry = std::move(it->second);
+  by_key_.erase(it);
+  return entry;
+}
+
+CoordEntry KeyedSampleSet::PopMax() {
+  DSWM_CHECK(!by_key_.empty());
+  auto it = std::prev(by_key_.end());
+  EraseTimeIndex(it);
+  CoordEntry entry = std::move(it->second);
+  by_key_.erase(it);
+  return entry;
+}
+
+std::vector<CoordEntry> KeyedSampleSet::TakeAtLeast(double tau) {
+  std::vector<CoordEntry> out;
+  auto it = by_key_.lower_bound(tau);
+  while (it != by_key_.end()) {
+    EraseTimeIndex(it);
+    out.push_back(std::move(it->second));
+    it = by_key_.erase(it);
+  }
+  return out;
+}
+
+std::vector<CoordEntry> KeyedSampleSet::TakeBelow(double tau) {
+  std::vector<CoordEntry> out;
+  auto it = by_key_.begin();
+  while (it != by_key_.end() && it->first < tau) {
+    EraseTimeIndex(it);
+    out.push_back(std::move(it->second));
+    it = by_key_.erase(it);
+  }
+  return out;
+}
+
+std::vector<const CoordEntry*> KeyedSampleSet::TopK(int k) const {
+  DSWM_CHECK_LE(k, size());
+  std::vector<const CoordEntry*> out;
+  out.reserve(k);
+  auto it = by_key_.rbegin();
+  for (int i = 0; i < k; ++i, ++it) out.push_back(&it->second);
+  return out;
+}
+
+std::vector<const CoordEntry*> KeyedSampleSet::All() const {
+  std::vector<const CoordEntry*> out;
+  out.reserve(by_key_.size());
+  for (const auto& [key, entry] : by_key_) out.push_back(&entry);
+  return out;
+}
+
+}  // namespace dswm

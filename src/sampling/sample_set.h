@@ -1,0 +1,68 @@
+// Coordinator-side sample sets S (top-l samples) and S' (candidates),
+// ordered by priority key with timestamp-based expiry.
+
+#ifndef DSWM_SAMPLING_SAMPLE_SET_H_
+#define DSWM_SAMPLING_SAMPLE_SET_H_
+
+#include <map>
+#include <vector>
+
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// A sampled row held by the coordinator.
+struct CoordEntry {
+  TimedRow row;
+  double key;
+};
+
+/// Multiset of (key, row) with expiry; front of the key order is the
+/// minimum priority.
+class KeyedSampleSet {
+ public:
+  void Insert(CoordEntry entry);
+
+  /// Removes entries with timestamp <= cutoff; returns how many.
+  int ExpireBefore(Timestamp cutoff);
+
+  int size() const { return static_cast<int>(by_key_.size()); }
+  bool empty() const { return by_key_.empty(); }
+
+  /// Smallest key; requires !empty().
+  double MinKey() const;
+  /// Largest key, or `fallback` when empty.
+  double MaxKey(double fallback) const;
+  /// k-th largest key (k >= 1); requires size() >= k. O(k).
+  double KthLargestKey(int k) const;
+
+  /// Removes and returns the minimum-key entry; requires !empty().
+  CoordEntry PopMin();
+  /// Removes and returns the maximum-key entry; requires !empty().
+  CoordEntry PopMax();
+
+  /// Removes and returns all entries with key >= tau.
+  std::vector<CoordEntry> TakeAtLeast(double tau);
+  /// Removes and returns all entries with key < tau.
+  std::vector<CoordEntry> TakeBelow(double tau);
+
+  /// Copies the `k` largest-key entries (k <= size()).
+  std::vector<const CoordEntry*> TopK(int k) const;
+  /// Copies pointers to all entries.
+  std::vector<const CoordEntry*> All() const;
+
+ private:
+  using KeyMap = std::multimap<double, CoordEntry>;
+  // Secondary index: timestamp -> iterator into by_key_ (multimap
+  // iterators are stable under unrelated insert/erase).
+  using TimeMap = std::multimap<Timestamp, KeyMap::iterator>;
+
+  void EraseTimeIndex(KeyMap::iterator it);
+
+  KeyMap by_key_;
+  TimeMap by_time_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_SAMPLING_SAMPLE_SET_H_

@@ -1,0 +1,94 @@
+#include "sampling/site_queue.h"
+
+#include <algorithm>
+
+namespace dswm {
+
+SiteSampleQueue::SiteSampleQueue(int ell, Timestamp window)
+    : ell_(ell), window_(window) {
+  DSWM_CHECK_GE(ell, 1);
+  DSWM_CHECK_GT(window, 0);
+}
+
+void SiteSampleQueue::NoteArrival(double bucket_value) {
+  counter_.Add(bucket_value);
+}
+
+void SiteSampleQueue::Enqueue(TimedRow row, double key, double bucket_value) {
+  Stored stored;
+  stored.entry.row = std::move(row);
+  stored.entry.key = key;
+  stored.entry.above_at_arrival = counter_.CountStrictlyAbove(bucket_value);
+  stored.bucket_value = bucket_value;
+  entries_.push_back(std::move(stored));
+  auto it = std::prev(entries_.end());
+  by_key_.emplace(key, it);
+
+  // Amortized pruning: a full dominance pass costs O(|Q|), so run it only
+  // when the queue has grown past twice its last pruned size.
+  if (entries_.size() >= std::max<size_t>(2 * last_prune_size_, 64)) {
+    PruneDominated();
+    last_prune_size_ = entries_.size();
+  }
+}
+
+void SiteSampleQueue::EraseKeyIndex(EntryList::iterator it) {
+  auto range = by_key_.equal_range(it->entry.key);
+  for (auto k = range.first; k != range.second; ++k) {
+    if (k->second == it) {
+      by_key_.erase(k);
+      return;
+    }
+  }
+  DSWM_CHECK(false);  // index out of sync
+}
+
+void SiteSampleQueue::PruneDominated() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const long dominated =
+        counter_.CountStrictlyAbove(it->bucket_value) -
+        it->entry.above_at_arrival;
+    if (dominated >= ell_) {
+      EraseKeyIndex(it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SiteSampleQueue::Expire(Timestamp t_now) {
+  const Timestamp cutoff = t_now - window_;
+  while (!entries_.empty() &&
+         entries_.front().entry.row.timestamp <= cutoff) {
+    EraseKeyIndex(entries_.begin());
+    entries_.pop_front();
+  }
+}
+
+std::vector<SiteEntry> SiteSampleQueue::TakeAtLeast(double tau) {
+  std::vector<SiteEntry> out;
+  auto it = by_key_.lower_bound(tau);
+  while (it != by_key_.end()) {
+    out.push_back(std::move(it->second->entry));
+    entries_.erase(it->second);
+    it = by_key_.erase(it);
+  }
+  return out;
+}
+
+double SiteSampleQueue::MaxKey(double fallback) const {
+  if (by_key_.empty()) return fallback;
+  return by_key_.rbegin()->first;
+}
+
+SiteEntry SiteSampleQueue::PopMax() {
+  DSWM_CHECK(!by_key_.empty());
+  auto it = std::prev(by_key_.end());
+  SiteEntry entry = std::move(it->second->entry);
+  entries_.erase(it->second);
+  by_key_.erase(it);
+  return entry;
+}
+
+}  // namespace dswm

@@ -1,0 +1,88 @@
+// Per-site local queue of rows waiting to (possibly) join the sample
+// (Algorithm 1, lines 5-11).
+//
+// A row is queued when its priority is below the current threshold tau. It
+// leaves the queue when it (a) expires, (b) becomes right-l-dominated
+// (Definition 1; counted via DominanceCounter), or (c) qualifies after a
+// threshold decrease and is shipped to the coordinator.
+
+#ifndef DSWM_SAMPLING_SITE_QUEUE_H_
+#define DSWM_SAMPLING_SITE_QUEUE_H_
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "sampling/dominance_counter.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// A queued row with its priority key.
+struct SiteEntry {
+  TimedRow row;
+  double key;
+  long above_at_arrival;  // DominanceCounter::CountStrictlyAbove at enqueue
+};
+
+/// Local queue with l-dominance pruning and by-key access.
+class SiteSampleQueue {
+ public:
+  /// Queue for a site: prune rows dominated by `ell` later arrivals;
+  /// expire rows older than `window` ticks.
+  SiteSampleQueue(int ell, Timestamp window);
+
+  /// Records an arrival's key (every arrival at this site, including rows
+  /// sent straight to the coordinator) for dominance accounting.
+  /// `bucket_value` = KeyBucketValue(scheme, key).
+  void NoteArrival(double bucket_value);
+
+  /// Queues a row whose key was below tau. `bucket_value` as above.
+  void Enqueue(TimedRow row, double key, double bucket_value);
+
+  /// Drops expired entries as of t_now.
+  void Expire(Timestamp t_now);
+
+  /// Removes and returns all entries with key >= tau (threshold decrease;
+  /// Algorithm 2 lines 13-16).
+  std::vector<SiteEntry> TakeAtLeast(double tau);
+
+  /// True if any entry is queued.
+  bool empty() const { return entries_.empty(); }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  /// Largest queued key, or `fallback` when empty.
+  double MaxKey(double fallback) const;
+
+  /// Removes and returns the entry with the largest key; requires
+  /// !empty().
+  SiteEntry PopMax();
+
+  /// Current space in words: queued rows * (d + 3) + the dominance
+  /// counter.
+  long SpaceWords(int dim) const {
+    return static_cast<long>(entries_.size()) * (dim + 3) +
+           counter_.SpaceWords();
+  }
+
+ private:
+  struct Stored {
+    SiteEntry entry;
+    double bucket_value;
+  };
+  using EntryList = std::list<Stored>;
+
+  void PruneDominated();
+  void EraseKeyIndex(EntryList::iterator it);
+
+  int ell_;
+  Timestamp window_;
+  DominanceCounter counter_;
+  EntryList entries_;  // arrival order: front = oldest
+  std::multimap<double, EntryList::iterator> by_key_;
+  size_t last_prune_size_ = 0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_SAMPLING_SITE_QUEUE_H_

@@ -1,0 +1,49 @@
+#include "sketch/covariance.h"
+
+#include <vector>
+
+namespace dswm {
+
+double CovarianceError(const Matrix& cov_exact,
+                       const SymmetricApplyFn& estimate_apply,
+                       double fnorm2) {
+  const int d = cov_exact.rows();
+  DSWM_CHECK_EQ(cov_exact.cols(), d);
+  if (fnorm2 <= 0.0) return 0.0;
+
+  std::vector<double> tmp(d);
+  const SymmetricApplyFn diff = [&](const double* x, double* y) {
+    MatVec(cov_exact, x, y);                  // y = C x
+    estimate_apply(x, tmp.data());            // tmp = S x
+    for (int i = 0; i < d; ++i) y[i] -= tmp[i];
+  };
+  return SpectralNormSym(diff, d) / fnorm2;
+}
+
+double CovarianceErrorOfSketch(const Matrix& cov_exact,
+                               const Matrix& sketch_rows, double fnorm2) {
+  const int d = cov_exact.rows();
+  std::vector<double> z(std::max(sketch_rows.rows(), 1));
+  return CovarianceError(
+      cov_exact,
+      [&](const double* x, double* y) {
+        if (sketch_rows.rows() == 0) {
+          std::fill(y, y + d, 0.0);
+          return;
+        }
+        MatVec(sketch_rows, x, z.data());      // z = B x
+        MatTVec(sketch_rows, z.data(), y);     // y = B^T z
+      },
+      fnorm2);
+}
+
+double CovarianceErrorOfCovariance(const Matrix& cov_exact,
+                                   const Matrix& cov_estimate,
+                                   double fnorm2) {
+  return CovarianceError(
+      cov_exact,
+      [&](const double* x, double* y) { MatVec(cov_estimate, x, y); },
+      fnorm2);
+}
+
+}  // namespace dswm

@@ -1,0 +1,34 @@
+// Covariance-error evaluation: err = ||A^T A - B^T B||_2 / ||A||_F^2.
+//
+// This is the paper's quality metric (Section I-A). Evaluators take the
+// exact window covariance C = A_w^T A_w plus the approximation in either
+// sketch-rows or covariance-matrix form, and run power iteration on the
+// implicit difference operator so a query costs O(d^2 + l*d) rather than
+// O(d^3).
+
+#ifndef DSWM_SKETCH_COVARIANCE_H_
+#define DSWM_SKETCH_COVARIANCE_H_
+
+#include "linalg/matrix.h"
+#include "linalg/spectral_norm.h"
+
+namespace dswm {
+
+/// ||C - S||_2 / fnorm2 where S is given implicitly by `estimate_apply`
+/// (y = S x). `cov_exact` is the d x d exact covariance; `fnorm2` is
+/// ||A_w||_F^2. Returns 0 when the window is empty (fnorm2 == 0).
+double CovarianceError(const Matrix& cov_exact,
+                       const SymmetricApplyFn& estimate_apply, double fnorm2);
+
+/// Covariance error of a sketch given as rows B (l x d): S = B^T B applied
+/// in O(l*d) per power-iteration step.
+double CovarianceErrorOfSketch(const Matrix& cov_exact,
+                               const Matrix& sketch_rows, double fnorm2);
+
+/// Covariance error of an explicit d x d covariance estimate.
+double CovarianceErrorOfCovariance(const Matrix& cov_exact,
+                                   const Matrix& cov_estimate, double fnorm2);
+
+}  // namespace dswm
+
+#endif  // DSWM_SKETCH_COVARIANCE_H_

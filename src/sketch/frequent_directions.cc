@@ -1,0 +1,93 @@
+#include "sketch/frequent_directions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.h"
+
+namespace dswm {
+
+FrequentDirections::FrequentDirections(int d, int ell)
+    : d_(d), ell_(ell), capacity_(2 * ell), buffer_(0, d) {
+  DSWM_CHECK_GT(d, 0);
+  DSWM_CHECK_GE(ell, 1);
+}
+
+void FrequentDirections::Append(const double* row) {
+  if (count_ == capacity_) Shrink();
+  if (count_ == buffer_.rows()) {
+    buffer_.AppendRow(row, d_);
+  } else {
+    buffer_.SetRow(count_, row);
+  }
+  ++count_;
+  input_mass_ += NormSquared(row, d_);
+}
+
+void FrequentDirections::Shrink() {
+  if (count_ <= ell_) return;
+
+  Matrix live(count_, d_);
+  for (int i = 0; i < count_; ++i) live.SetRow(i, buffer_.Row(i));
+  const RightSvdResult svd = RightSvd(live);
+
+  // delta = sigma^2 of the (ell+1)-th direction (0 if fewer exist).
+  const int k = static_cast<int>(svd.sigma_squared.size());
+  const double delta = (ell_ < k) ? svd.sigma_squared[ell_] : 0.0;
+  shrinkage_ += delta;
+
+  // Rebuild the buffer with the shrunk directions; this keeps memory
+  // proportional to live rows (mEH holds many small buckets).
+  Matrix shrunk(0, d_);
+  std::vector<double> scaled(d_);
+  for (int i = 0; i < std::min(ell_, k); ++i) {
+    const double s2 = svd.sigma_squared[i] - delta;
+    if (s2 <= 0.0) break;
+    const double s = std::sqrt(s2);
+    const double* v = svd.vt.Row(i);
+    for (int j = 0; j < d_; ++j) scaled[j] = s * v[j];
+    shrunk.AppendRow(scaled.data(), d_);
+  }
+  count_ = shrunk.rows();
+  buffer_ = std::move(shrunk);
+}
+
+Matrix FrequentDirections::RowsMatrix() const {
+  Matrix m(count_, d_);
+  for (int i = 0; i < count_; ++i) m.SetRow(i, buffer_.Row(i));
+  return m;
+}
+
+Matrix FrequentDirections::Covariance() const {
+  Matrix c(d_, d_);
+  for (int i = 0; i < count_; ++i) c.AddOuterProduct(buffer_.Row(i), 1.0);
+  return c;
+}
+
+void FrequentDirections::Merge(const FrequentDirections& other) {
+  DSWM_CHECK_EQ(d_, other.d_);
+  for (int i = 0; i < other.count_; ++i) {
+    if (count_ == capacity_) Shrink();
+    if (count_ == buffer_.rows()) {
+      buffer_.AppendRow(other.buffer_.Row(i), d_);
+    } else {
+      buffer_.SetRow(count_, other.buffer_.Row(i));
+    }
+    ++count_;
+  }
+  input_mass_ += other.input_mass_;
+  shrinkage_ += other.shrinkage_;
+}
+
+void FrequentDirections::Compact() {
+  if (count_ > ell_) Shrink();
+}
+
+void FrequentDirections::Reset() {
+  count_ = 0;
+  input_mass_ = 0.0;
+  shrinkage_ = 0.0;
+  buffer_ = Matrix(0, d_);
+}
+
+}  // namespace dswm

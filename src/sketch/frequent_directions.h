@@ -1,0 +1,76 @@
+// Frequent Directions (Liberty, KDD 2013) with a 2l row buffer.
+//
+// Maintains a sketch B of at most 2l rows over a stream of rows of A such
+// that  0 <= x^T (A^T A - B^T B) x <= Delta <= ||A||_F^2 / (l+1)  for all
+// unit x, where Delta is the total shrinkage (sum of the per-shrink
+// subtracted sigma^2). Choosing l ~ 1/eps gives an eps-covariance sketch.
+//
+// Used by: the matrix exponential histogram buckets (mEH, [17]), the IWMT
+// protocol inside DA2 ([1]), and as the centralized baseline.
+
+#ifndef DSWM_SKETCH_FREQUENT_DIRECTIONS_H_
+#define DSWM_SKETCH_FREQUENT_DIRECTIONS_H_
+
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// Streaming Frequent Directions sketch.
+class FrequentDirections {
+ public:
+  /// Sketch over d-dimensional rows with parameter l >= 1; holds at most
+  /// 2l rows and guarantees covariance error <= ||A||_F^2 / (l+1).
+  FrequentDirections(int d, int ell);
+
+  int dim() const { return d_; }
+  int ell() const { return ell_; }
+
+  /// Number of rows currently held (sketch + unshrunk buffer), <= 2l.
+  int row_count() const { return count_; }
+
+  /// Appends one row of A; triggers a shrink when the buffer fills.
+  void Append(const double* row);
+
+  /// Total squared Frobenius mass of all input appended so far.
+  double input_mass() const { return input_mass_; }
+
+  /// Total shrinkage Delta: an upper bound on ||A^T A - B^T B||_2, and an
+  /// exact accounting of the deleted directional mass.
+  double shrinkage() const { return shrinkage_; }
+
+  /// Current sketch rows as a row_count() x d matrix (copies).
+  Matrix RowsMatrix() const;
+
+  /// B^T B, the d x d covariance estimate.
+  Matrix Covariance() const;
+
+  /// Appends every row of `other`'s sketch into this sketch (mergeability:
+  /// the combined guarantee is the sum of both shrinkages plus any new
+  /// shrinkage incurred). `other` must have the same dimension.
+  void Merge(const FrequentDirections& other);
+
+  /// Forces a shrink down to at most l rows (idempotent when already
+  /// small). Used before serializing a bucket or emitting a sketch.
+  void Compact();
+
+  /// Drops all rows and accounting.
+  void Reset();
+
+  /// Space in words currently used (rows * d), for space accounting.
+  long SpaceWords() const { return static_cast<long>(count_) * d_; }
+
+ private:
+  void Shrink();
+
+  int d_;
+  int ell_;
+  int capacity_;
+  int count_ = 0;
+  double input_mass_ = 0.0;
+  double shrinkage_ = 0.0;
+  Matrix buffer_;  // capacity_ x d; first count_ rows are live.
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_SKETCH_FREQUENT_DIRECTIONS_H_

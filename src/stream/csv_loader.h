@@ -1,0 +1,41 @@
+// CSV ingestion: load real datasets (e.g. the actual PAMAP dump) as a
+// timed row stream, so the synthetic stand-ins can be swapped for the
+// originals when available.
+
+#ifndef DSWM_STREAM_CSV_LOADER_H_
+#define DSWM_STREAM_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// Options for LoadCsv.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Rows whose field count differs from the first row are rejected.
+  bool skip_header = false;
+  /// Column holding the timestamp; -1 assigns timestamps 1..n in file
+  /// order. The timestamp column is excluded from the row values.
+  int timestamp_column = -1;
+  /// Multiplier applied to parsed timestamps before rounding to ticks
+  /// (e.g. 100 for centisecond resolution).
+  double timestamp_scale = 1.0;
+};
+
+/// Parses a delimiter-separated numeric file into timed rows. Fails with
+/// InvalidArgument on malformed numerics or ragged rows, IoError when the
+/// file cannot be read.
+StatusOr<std::vector<TimedRow>> LoadCsv(const std::string& path,
+                                        const CsvOptions& options = {});
+
+/// Parses CSV content already in memory (used by tests and pipelines).
+StatusOr<std::vector<TimedRow>> ParseCsv(const std::string& content,
+                                         const CsvOptions& options = {});
+
+}  // namespace dswm
+
+#endif  // DSWM_STREAM_CSV_LOADER_H_

@@ -1,0 +1,42 @@
+#include "stream/row_stream.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dswm {
+
+std::vector<TimedRow> Materialize(RowStream* stream, int max_rows) {
+  std::vector<TimedRow> rows;
+  rows.reserve(max_rows);
+  for (int i = 0; i < max_rows; ++i) {
+    std::optional<TimedRow> row = stream->Next();
+    if (!row.has_value()) break;
+    rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+DatasetSummary Summarize(const std::vector<TimedRow>& rows,
+                         Timestamp window) {
+  DatasetSummary s;
+  s.rows = static_cast<int>(rows.size());
+  if (rows.empty()) return s;
+  s.dim = static_cast<int>(rows.front().values.size());
+  s.span = rows.back().timestamp - rows.front().timestamp;
+
+  double min_w = std::numeric_limits<double>::infinity();
+  double max_w = 0.0;
+  for (const TimedRow& r : rows) {
+    const double w = r.NormSquared();
+    if (w <= 0.0) continue;
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+  }
+  s.norm_ratio = (max_w > 0.0 && min_w > 0.0) ? max_w / min_w : 0.0;
+  s.avg_rows_per_window =
+      s.span > 0 ? static_cast<double>(s.rows) * window / s.span
+                 : static_cast<double>(s.rows);
+  return s;
+}
+
+}  // namespace dswm

@@ -1,0 +1,44 @@
+// Stream abstractions and helpers shared by all workload generators.
+
+#ifndef DSWM_STREAM_ROW_STREAM_H_
+#define DSWM_STREAM_ROW_STREAM_H_
+
+#include <optional>
+#include <vector>
+
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// A finite source of timestamped rows (non-decreasing timestamps).
+class RowStream {
+ public:
+  virtual ~RowStream() = default;
+
+  /// Next row, or nullopt at end of stream.
+  virtual std::optional<TimedRow> Next() = 0;
+
+  /// Row dimension d.
+  virtual int dim() const = 0;
+};
+
+/// Materializes up to `max_rows` rows (the benches generate a dataset once
+/// and reuse it across every algorithm and parameter setting).
+std::vector<TimedRow> Materialize(RowStream* stream, int max_rows);
+
+/// Summary statistics of a materialized dataset (the paper's Table III).
+struct DatasetSummary {
+  int rows = 0;
+  int dim = 0;
+  Timestamp span = 0;            // last - first timestamp
+  double norm_ratio = 0.0;       // R: max/min squared row norm (zero rows
+                                 // excluded)
+  double avg_rows_per_window = 0.0;
+};
+
+/// Computes Table III statistics for a window of length `window`.
+DatasetSummary Summarize(const std::vector<TimedRow>& rows, Timestamp window);
+
+}  // namespace dswm
+
+#endif  // DSWM_STREAM_ROW_STREAM_H_

@@ -1,0 +1,53 @@
+#include "stream/synthetic.h"
+
+#include <cmath>
+
+#include "linalg/qr.h"
+
+namespace dswm {
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticConfig& config)
+    : config_(config), rng_(config.seed) {
+  DSWM_CHECK_GT(config.rows, 0);
+  DSWM_CHECK_GT(config.dim, 0);
+  DSWM_CHECK_GE(config.segments, 1);
+}
+
+void SyntheticGenerator::StartSegment() {
+  ++segment_;
+  const int d = config_.dim;
+  // du_ row i = D_ii * u_i where u_i is the i-th orthonormal row of U.
+  du_ = RandomOrthonormalRows(d, d, &rng_);
+  for (int i = 0; i < d; ++i) {
+    const double dii = 1.0 - static_cast<double>(i) / d;
+    Scale(du_.Row(i), d, dii);
+  }
+}
+
+std::optional<TimedRow> SyntheticGenerator::Next() {
+  if (emitted_ >= config_.rows) return std::nullopt;
+  const int d = config_.dim;
+  const int per_segment = (config_.rows + config_.segments - 1) /
+                          config_.segments;
+  if (emitted_ % per_segment == 0 && segment_ + 1 <= emitted_ / per_segment) {
+    StartSegment();
+  }
+
+  TimedRow row;
+  row.values.assign(d, 0.0);
+  // row = s^T (D U) + n / zeta.
+  for (int i = 0; i < d; ++i) {
+    const double s = rng_.NextGaussian();
+    Axpy(s, du_.Row(i), row.values.data(), d);
+  }
+  for (int j = 0; j < d; ++j) {
+    row.values[j] += rng_.NextGaussian() / config_.zeta;
+  }
+
+  clock_ += rng_.NextExponential(config_.lambda);
+  row.timestamp = static_cast<Timestamp>(std::ceil(clock_));
+  ++emitted_;
+  return row;
+}
+
+}  // namespace dswm

@@ -1,0 +1,50 @@
+// SYNTHETIC workload: the paper's noisy low-rank-signal matrix.
+//
+// Each of three equal segments is A = S D U + N / zeta (Section IV-A):
+// S has i.i.d. standard-normal entries, D is diagonal with
+// D_ii = 1 - (i-1)/d, U is a random matrix with U U^T = I, N is standard
+// Gaussian noise and zeta = 10 so the signal is recoverable. Each segment
+// draws a fresh U, so the dominant subspace rotates twice over the
+// stream. Timestamps follow a Poisson arrival process with rate lambda.
+
+#ifndef DSWM_STREAM_SYNTHETIC_H_
+#define DSWM_STREAM_SYNTHETIC_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "stream/row_stream.h"
+
+namespace dswm {
+
+/// Configuration of the SYNTHETIC generator.
+struct SyntheticConfig {
+  int rows = 500000;     // total rows n (paper default)
+  int dim = 300;         // d (paper default)
+  double zeta = 10.0;    // noise attenuation
+  double lambda = 1.0;   // Poisson arrival rate (rows per tick)
+  int segments = 3;      // concatenated sub-matrices
+  uint64_t seed = 42;
+};
+
+/// Streaming generator for the SYNTHETIC dataset.
+class SyntheticGenerator : public RowStream {
+ public:
+  explicit SyntheticGenerator(const SyntheticConfig& config);
+
+  std::optional<TimedRow> Next() override;
+  int dim() const override { return config_.dim; }
+
+ private:
+  void StartSegment();
+
+  SyntheticConfig config_;
+  Rng rng_;
+  int emitted_ = 0;
+  int segment_ = -1;
+  Matrix du_;           // D * U for the current segment (d x d)
+  double clock_ = 0.0;  // continuous Poisson clock
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_STREAM_SYNTHETIC_H_

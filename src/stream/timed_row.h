@@ -1,0 +1,41 @@
+// The stream item: a timestamped d-dimensional row.
+
+#ifndef DSWM_STREAM_TIMED_ROW_H_
+#define DSWM_STREAM_TIMED_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// Timestamps are integer ticks; the window (t_now - W, t_now] is measured
+/// in the same ticks. Poisson arrival processes are discretized to ticks.
+using Timestamp = int64_t;
+
+/// One stream record (a_i, t_i).
+struct TimedRow {
+  /// Dense row values, length d.
+  std::vector<double> values;
+  /// Arrival time t_i.
+  Timestamp timestamp = 0;
+  /// Indices of nonzero coordinates; empty means "treat as dense". Sparse
+  /// workloads (tf-idf style) populate this so covariance updates cost
+  /// O(nnz^2) instead of O(d^2).
+  std::vector<int> support;
+
+  /// Squared L2 norm ||a_i||^2, the sampling weight w_i.
+  double NormSquared() const {
+    if (!support.empty()) {
+      double s = 0.0;
+      for (int j : support) s += values[j] * values[j];
+      return s;
+    }
+    return dswm::NormSquared(values.data(), static_cast<int>(values.size()));
+  }
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_STREAM_TIMED_ROW_H_

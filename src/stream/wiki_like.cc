@@ -1,0 +1,66 @@
+#include "stream/wiki_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dswm {
+
+WikiLikeGenerator::WikiLikeGenerator(const WikiLikeConfig& config)
+    : config_(config), rng_(config.seed) {
+  DSWM_CHECK_GT(config.rows, 0);
+  DSWM_CHECK_GT(config.dim, 1);
+  DSWM_CHECK_GE(config.min_doc_len, 1);
+  DSWM_CHECK_GE(config.max_doc_len, config.min_doc_len);
+
+  // Zipfian popularity p_j ~ 1/(j+1)^s and idf_j = log(total/p_j-ish).
+  zipf_cdf_.resize(config.dim);
+  idf_.resize(config.dim);
+  double total = 0.0;
+  for (int j = 0; j < config.dim; ++j) {
+    total += 1.0 / std::pow(j + 1.0, config.zipf_s);
+    zipf_cdf_[j] = total;
+  }
+  for (int j = 0; j < config.dim; ++j) {
+    zipf_cdf_[j] /= total;
+    const double p = (1.0 / std::pow(j + 1.0, config.zipf_s)) / total;
+    idf_[j] = std::log(1.0 / p);
+  }
+}
+
+int WikiLikeGenerator::SampleWord() {
+  const double u = rng_.NextDouble();
+  return static_cast<int>(
+      std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u) -
+      zipf_cdf_.begin());
+}
+
+int WikiLikeGenerator::SampleDocLen() {
+  // Pareto-like: len = min * u^{-1/alpha}, truncated.
+  const double u = rng_.NextOpenDouble();
+  const double len =
+      config_.min_doc_len * std::pow(u, -1.0 / config_.doc_len_alpha);
+  return std::min(config_.max_doc_len, static_cast<int>(len));
+}
+
+std::optional<TimedRow> WikiLikeGenerator::Next() {
+  if (emitted_ >= config_.rows) return std::nullopt;
+
+  TimedRow row;
+  row.values.assign(config_.dim, 0.0);
+  const int len = SampleDocLen();
+  for (int k = 0; k < len; ++k) {
+    const int word = SampleWord();
+    if (row.values[word] == 0.0) row.support.push_back(word);
+    // tf increments geometrically-ish: repeated draws of popular words
+    // accumulate naturally.
+    row.values[word] += idf_[word];
+  }
+  std::sort(row.support.begin(), row.support.end());
+
+  clock_ += 1.0 / config_.rows_per_day;
+  row.timestamp = static_cast<Timestamp>(std::ceil(clock_));
+  ++emitted_;
+  return row;
+}
+
+}  // namespace dswm

@@ -1,0 +1,58 @@
+// WIKI-like workload: synthetic stand-in for the tf-idf English-Wikipedia
+// matrix (not retrievable offline; see DESIGN.md item 2).
+//
+// Sparse rows over a vocabulary of d words: word popularity is Zipfian,
+// document length follows a power law, entries are tf-idf-like weights
+// (tf geometric, idf = log(1/popularity)). The induced squared-norm ratio
+// R is in the thousands (paper: 2998.83), which is the property the
+// evaluation turns on (it limits mEH compression and stresses the
+// samplers). Timestamps model article publication days: many rows share a
+// day, days advance steadily.
+
+#ifndef DSWM_STREAM_WIKI_LIKE_H_
+#define DSWM_STREAM_WIKI_LIKE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/row_stream.h"
+
+namespace dswm {
+
+/// Configuration of the WIKI-like generator.
+struct WikiLikeConfig {
+  int rows = 78608;         // paper's row count
+  int dim = 512;            // vocabulary size (paper: 7047; scaled down --
+                            // DESIGN.md item 2)
+  double zipf_s = 1.1;      // word-popularity exponent
+  int min_doc_len = 6;      // tf-idf draws per row, power-law distributed
+  int max_doc_len = 800;
+  double doc_len_alpha = 1.1;
+  double rows_per_day = 20.0;  // ~78608 rows over ~3949 days
+  uint64_t seed = 11;
+};
+
+/// Streaming generator for the WIKI-like dataset; rows carry a sparse
+/// support set.
+class WikiLikeGenerator : public RowStream {
+ public:
+  explicit WikiLikeGenerator(const WikiLikeConfig& config);
+
+  std::optional<TimedRow> Next() override;
+  int dim() const override { return config_.dim; }
+
+ private:
+  int SampleWord();
+  int SampleDocLen();
+
+  WikiLikeConfig config_;
+  Rng rng_;
+  std::vector<double> zipf_cdf_;  // cumulative word-popularity distribution
+  std::vector<double> idf_;
+  int emitted_ = 0;
+  double clock_ = 0.0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_STREAM_WIKI_LIKE_H_

@@ -1,0 +1,48 @@
+#include "window/exact_window.h"
+
+#include "common/check.h"
+
+namespace dswm {
+
+ExactWindow::ExactWindow(int d, Timestamp window)
+    : d_(d), window_(window), cov_(d, d) {
+  DSWM_CHECK_GT(d, 0);
+  DSWM_CHECK_GT(window, 0);
+}
+
+void ExactWindow::Apply(const TimedRow& row, double sign) {
+  if (!row.support.empty()) {
+    cov_.AddSparseOuterProduct(row.values.data(), row.support, sign);
+  } else {
+    cov_.AddOuterProduct(row.values.data(), sign);
+  }
+  fnorm2_ += sign * row.NormSquared();
+}
+
+void ExactWindow::Add(const TimedRow& row) {
+  DSWM_CHECK_EQ(static_cast<int>(row.values.size()), d_);
+  Apply(row, 1.0);
+  rows_.push_back(row);
+}
+
+void ExactWindow::Advance(Timestamp t_now) {
+  const Timestamp cutoff = t_now - window_;
+  while (!rows_.empty() && rows_.front().timestamp <= cutoff) {
+    Apply(rows_.front(), -1.0);
+    rows_.pop_front();
+  }
+  if (rows_.empty()) {
+    cov_.SetZero();  // kill accumulated floating-point residue
+    fnorm2_ = 0.0;
+  }
+}
+
+Matrix ExactWindow::RowsMatrix() const {
+  Matrix m(static_cast<int>(rows_.size()), d_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    m.SetRow(static_cast<int>(i), rows_[i].values.data());
+  }
+  return m;
+}
+
+}  // namespace dswm

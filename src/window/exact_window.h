@@ -1,0 +1,56 @@
+// Exact sliding-window reference: stores every active row and maintains
+// the exact covariance A_w^T A_w incrementally.
+//
+// This is the ground truth the driver measures protocols against, and
+// doubles as the "store all active rows" fallback the paper assumes when
+// mEH is not used. Sparse rows update the covariance in O(nnz^2).
+
+#ifndef DSWM_WINDOW_EXACT_WINDOW_H_
+#define DSWM_WINDOW_EXACT_WINDOW_H_
+
+#include <deque>
+
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// Exact time-based sliding-window matrix with incremental covariance.
+class ExactWindow {
+ public:
+  /// d-dimensional rows over a window of `window` ticks.
+  ExactWindow(int d, Timestamp window);
+
+  /// Adds a row (timestamps non-decreasing).
+  void Add(const TimedRow& row);
+
+  /// Expires rows older than t_now - window.
+  void Advance(Timestamp t_now);
+
+  /// Exact d x d covariance A_w^T A_w of active rows.
+  const Matrix& Covariance() const { return cov_; }
+
+  /// Exact ||A_w||_F^2.
+  double FrobeniusSquared() const { return fnorm2_; }
+
+  /// Number of active rows.
+  int size() const { return static_cast<int>(rows_.size()); }
+
+  /// Materializes the active rows as a matrix (tests only; O(n*d)).
+  Matrix RowsMatrix() const;
+
+  /// Active rows, oldest first.
+  const std::deque<TimedRow>& rows() const { return rows_; }
+
+ private:
+  void Apply(const TimedRow& row, double sign);
+
+  int d_;
+  Timestamp window_;
+  std::deque<TimedRow> rows_;
+  Matrix cov_;
+  double fnorm2_ = 0.0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_WINDOW_EXACT_WINDOW_H_

@@ -1,0 +1,71 @@
+#include "window/exponential_histogram.h"
+
+#include "common/check.h"
+
+namespace dswm {
+
+ExponentialHistogram::ExponentialHistogram(double eps, Timestamp window)
+    : eps_(eps), window_(window) {
+  DSWM_CHECK_GT(eps, 0.0);
+  DSWM_CHECK_GT(window, 0);
+}
+
+void ExponentialHistogram::Insert(double w, Timestamp t) {
+  DSWM_CHECK_GT(w, 0.0);
+  DSWM_CHECK_GE(t, last_time_);
+  last_time_ = t;
+  ExpireUpTo(t);
+  buckets_.push_back(Bucket{w, t, false});
+  total_ += w;
+  if (++inserts_since_compress_ >= 8) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void ExponentialHistogram::ExpireUpTo(Timestamp t_now) {
+  const Timestamp cutoff = t_now - window_;
+  while (!buckets_.empty() && buckets_.front().t_newest <= cutoff) {
+    total_ -= buckets_.front().sum;
+    buckets_.pop_front();
+  }
+}
+
+void ExponentialHistogram::Compress() {
+  if (buckets_.size() < 2) return;
+  // One pass oldest -> newest. prefix = mass of buckets strictly older than
+  // the pair under consideration; suffix of the pair = total - prefix -
+  // pair mass.
+  double prefix = 0.0;
+  size_t i = 0;
+  while (i + 1 < buckets_.size()) {
+    const double pair = buckets_[i].sum + buckets_[i + 1].sum;
+    const double suffix = total_ - prefix - pair;
+    if (pair <= eps_ * suffix) {
+      buckets_[i].sum = pair;
+      buckets_[i].t_newest = buckets_[i + 1].t_newest;
+      buckets_[i].merged = true;
+      buckets_.erase(buckets_.begin() + static_cast<long>(i) + 1);
+      // Re-test the same position: the merged bucket may merge again.
+    } else {
+      prefix += buckets_[i].sum;
+      ++i;
+    }
+  }
+}
+
+double ExponentialHistogram::Query(Timestamp t_now) {
+  DSWM_CHECK_GE(t_now, last_time_);
+  last_time_ = t_now;
+  ExpireUpTo(t_now);
+  return Estimate();
+}
+
+double ExponentialHistogram::Estimate() const {
+  if (buckets_.empty()) return 0.0;
+  double est = total_;
+  if (buckets_.front().merged) est -= 0.5 * buckets_.front().sum;
+  return est;
+}
+
+}  // namespace dswm

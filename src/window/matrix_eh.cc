@@ -1,0 +1,106 @@
+#include "window/matrix_eh.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dswm {
+
+MatrixExpHistogram::MatrixExpHistogram(int d, double eps, Timestamp window)
+    : d_(d),
+      eps_bucket_(eps / 3.0),
+      ell_(static_cast<int>(std::ceil(3.0 / eps))),
+      window_(window) {
+  DSWM_CHECK_GT(d, 0);
+  DSWM_CHECK_GT(eps, 0.0);
+  DSWM_CHECK_GT(window, 0);
+}
+
+void MatrixExpHistogram::Insert(const double* row, Timestamp t) {
+  DSWM_CHECK_GE(t, last_time_);
+  last_time_ = t;
+  Advance(t);
+
+  Bucket b{FrequentDirections(d_, ell_), NormSquared(row, d_), t, t, false};
+  b.fd.Append(row);
+  total_mass_ += b.mass;
+  buckets_.push_back(std::move(b));
+
+  if (++inserts_since_compress_ >= 4) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void MatrixExpHistogram::Advance(Timestamp t_now,
+                                 std::vector<Bucket>* dropped) {
+  DSWM_CHECK_GE(t_now, last_time_);
+  last_time_ = t_now;
+  const Timestamp cutoff = t_now - window_;
+  while (!buckets_.empty() && buckets_.front().t_newest <= cutoff) {
+    total_mass_ -= buckets_.front().mass;
+    if (dropped != nullptr) dropped->push_back(std::move(buckets_.front()));
+    buckets_.pop_front();
+  }
+}
+
+void MatrixExpHistogram::Compress() {
+  if (buckets_.size() < 2) return;
+  double prefix = 0.0;
+  size_t i = 0;
+  while (i + 1 < buckets_.size()) {
+    const double pair = buckets_[i].mass + buckets_[i + 1].mass;
+    const double suffix = total_mass_ - prefix - pair;
+    if (pair <= eps_bucket_ * suffix) {
+      Bucket& dst = buckets_[i];
+      Bucket& src = buckets_[i + 1];
+      dst.fd.Merge(src.fd);
+      dst.mass = pair;
+      dst.t_newest = src.t_newest;
+      dst.merged = true;
+      buckets_.erase(buckets_.begin() + static_cast<long>(i) + 1);
+    } else {
+      prefix += buckets_[i].mass;
+      ++i;
+    }
+  }
+}
+
+Matrix MatrixExpHistogram::QueryRows() const {
+  Matrix rows(0, d_);
+  for (const Bucket& b : buckets_) {
+    const Matrix m = b.fd.RowsMatrix();
+    for (int i = 0; i < m.rows(); ++i) rows.AppendRow(m.Row(i), d_);
+  }
+  return rows;
+}
+
+Matrix MatrixExpHistogram::QueryCovariance() const {
+  Matrix c(d_, d_);
+  for (const Bucket& b : buckets_) {
+    const Matrix m = b.fd.RowsMatrix();
+    for (int i = 0; i < m.rows(); ++i) c.AddOuterProduct(m.Row(i), 1.0);
+  }
+  return c;
+}
+
+double MatrixExpHistogram::FrobeniusSquaredEstimate() const {
+  if (buckets_.empty()) return 0.0;
+  double est = total_mass_;
+  if (buckets_.front().merged) est -= 0.5 * buckets_.front().mass;
+  return est;
+}
+
+int MatrixExpHistogram::TotalRows() const {
+  int n = 0;
+  for (const Bucket& b : buckets_) n += b.fd.row_count();
+  return n;
+}
+
+long MatrixExpHistogram::SpaceWords() const {
+  long words = 0;
+  for (const Bucket& b : buckets_) words += b.fd.SpaceWords() + 4;
+  return words;
+}
+
+}  // namespace dswm

@@ -1,0 +1,87 @@
+// Matrix exponential histogram (mEH) -- sliding-window covariance sketch
+// (Wei et al., SIGMOD 2016 [17]).
+//
+// Same bucket skeleton as the scalar gEH, but each bucket holds a Frequent
+// Directions sketch of its rows and its exact squared-Frobenius mass.
+// Error sources at query time:
+//   * the partially-expired oldest bucket: <= its mass <= eps_b * window
+//     mass (same suffix-growth argument as the scalar gEH);
+//   * FD shrinkage inside buckets: <= sum of bucket shrinkages, controlled
+//     by the per-bucket sketch parameter l.
+// Internal parameters are derived from the caller's eps so the combined
+// covariance error stays below eps (verified by property tests).
+//
+// Space: O((1/eps) log(NR)) buckets x O(1/eps) rows x d words, matching
+// the d/eps^2 log(NR) per-site bound of Table II.
+
+#ifndef DSWM_WINDOW_MATRIX_EH_H_
+#define DSWM_WINDOW_MATRIX_EH_H_
+
+#include <cmath>
+#include <deque>
+
+#include "sketch/frequent_directions.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// Sliding-window covariance sketch with covariance error <= eps * F^2.
+class MatrixExpHistogram {
+ public:
+  /// One time-interval bucket.
+  struct Bucket {
+    FrequentDirections fd;
+    double mass;           // exact squared-Frobenius mass of rows in bucket
+    Timestamp t_oldest;
+    Timestamp t_newest;
+    bool merged;
+  };
+
+  /// d-dimensional rows, window length `window` ticks, target covariance
+  /// error eps.
+  MatrixExpHistogram(int d, double eps, Timestamp window);
+
+  /// Inserts a row at time t (non-decreasing).
+  void Insert(const double* row, Timestamp t);
+
+  /// Expires old buckets as of t_now (call before reading). If `dropped`
+  /// is non-null, expired buckets are moved into it (DA1 subtracts their
+  /// covariance from its incremental window covariance).
+  void Advance(Timestamp t_now, std::vector<Bucket>* dropped = nullptr);
+
+  /// Sketch rows of all live buckets concatenated (l' x d).
+  Matrix QueryRows() const;
+
+  /// d x d covariance estimate C' ~= A_w^T A_w.
+  Matrix QueryCovariance() const;
+
+  /// Estimate of ||A_w||_F^2 (relative error <= eps/2).
+  double FrobeniusSquaredEstimate() const;
+
+  /// Live buckets, oldest first; DA2's reverse replay walks these.
+  const std::deque<Bucket>& buckets() const { return buckets_; }
+
+  int dim() const { return d_; }
+
+  /// Total rows held across buckets.
+  int TotalRows() const;
+
+  /// Space usage in words (sketch rows * d + per-bucket bookkeeping).
+  long SpaceWords() const;
+
+ private:
+  void Compress();
+
+  int d_;
+  double eps_bucket_;  // merge-rule epsilon
+  int ell_;            // per-bucket FD parameter
+  Timestamp window_;
+  std::deque<Bucket> buckets_;  // front = oldest
+  double total_mass_ = 0.0;
+  Timestamp last_time_ = 0;
+  int inserts_since_compress_ = 0;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_WINDOW_MATRIX_EH_H_

@@ -1,0 +1,79 @@
+#include "core/centralized_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/tracker_factory.h"
+#include "monitor/driver.h"
+#include "sketch/covariance.h"
+#include "stream/synthetic.h"
+#include "window/exact_window.h"
+
+namespace dswm {
+namespace {
+
+TEST(CentralizedTracker, NearExactButShipsEverything) {
+  const int d = 8;
+  const Timestamp window = 400;
+  SyntheticConfig data;
+  data.rows = 2000;
+  data.dim = d;
+  SyntheticGenerator gen(data);
+  const std::vector<TimedRow> rows = Materialize(&gen, data.rows);
+
+  TrackerConfig config;
+  config.dim = d;
+  config.num_sites = 4;
+  config.window = window;
+  config.epsilon = 0.1;
+  auto tracker = MakeTracker(Algorithm::kCentral, config);
+  ASSERT_TRUE(tracker.ok());
+  EXPECT_EQ(tracker.value()->name(), "CENTRAL");
+
+  DriverOptions options;
+  options.query_points = 15;
+  const RunResult r =
+      RunTracker(tracker.value().get(), rows, 4, window, options);
+
+  // Near-exact (only the mEH guarantee applies)...
+  EXPECT_LE(r.max_err, 0.1);
+  // ...at exactly full-stream communication cost.
+  EXPECT_EQ(r.rows_sent, static_cast<long>(rows.size()));
+  EXPECT_EQ(r.total_words, static_cast<long>(rows.size()) * (d + 1));
+  // Sites hold nothing.
+  EXPECT_EQ(r.max_site_space_words, 0);
+}
+
+TEST(CentralizedTracker, EveryProtocolCommunicatesLessThanCentral) {
+  const int d = 6;
+  const Timestamp window = 500;
+  SyntheticConfig data;
+  data.rows = 4000;
+  data.dim = d;
+  SyntheticGenerator gen(data);
+  const std::vector<TimedRow> rows = Materialize(&gen, data.rows);
+
+  TrackerConfig config;
+  config.dim = d;
+  config.num_sites = 4;
+  config.window = window;
+  config.epsilon = 0.2;
+  config.seed = 3;
+
+  DriverOptions options;
+  options.query_points = 3;
+  auto central = MakeTracker(Algorithm::kCentral, config);
+  const long central_words =
+      RunTracker(central.value().get(), rows, 4, window, options).total_words;
+
+  for (Algorithm a : PaperAlgorithms()) {
+    auto tracker = MakeTracker(a, config);
+    const long words =
+        RunTracker(tracker.value().get(), rows, 4, window, options)
+            .total_words;
+    EXPECT_LT(words, central_words) << AlgorithmName(a);
+  }
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,83 @@
+// Reproducibility: all protocols are deterministic functions of
+// (config.seed, stream), so identical runs must produce identical
+// communication, samples, and sketches -- the property every experiment
+// in EXPERIMENTS.md relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/tracker_factory.h"
+#include "monitor/driver.h"
+#include "stream/synthetic.h"
+
+namespace dswm {
+namespace {
+
+std::vector<TimedRow> Data() {
+  SyntheticConfig config;
+  config.rows = 2500;
+  config.dim = 6;
+  config.seed = 8;
+  SyntheticGenerator gen(config);
+  return Materialize(&gen, config.rows);
+}
+
+class Determinism : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(Determinism, IdenticalRunsIdenticalResults) {
+  const Algorithm algorithm = GetParam();
+  const std::vector<TimedRow> rows = Data();
+
+  auto run = [&rows, algorithm]() {
+    TrackerConfig config;
+    config.dim = 6;
+    config.num_sites = 3;
+    config.window = 500;
+    config.epsilon = 0.2;
+    config.ell_override = 20;
+    config.seed = 77;
+    auto tracker = MakeTracker(algorithm, config);
+    DSWM_CHECK(tracker.ok());
+    DriverOptions options;
+    options.query_points = 10;
+    options.seed = 5;
+    const RunResult r =
+        RunTracker(tracker.value().get(), rows, 3, 500, options);
+    return std::make_pair(r, tracker.value()->SketchRows());
+  };
+
+  const auto [r1, sketch1] = run();
+  const auto [r2, sketch2] = run();
+  EXPECT_EQ(r1.total_words, r2.total_words);
+  EXPECT_EQ(r1.messages, r2.messages);
+  EXPECT_EQ(r1.rows_sent, r2.rows_sent);
+  EXPECT_EQ(r1.broadcasts, r2.broadcasts);
+  EXPECT_DOUBLE_EQ(r1.avg_err, r2.avg_err);
+  EXPECT_DOUBLE_EQ(r1.max_err, r2.max_err);
+  EXPECT_EQ(r1.max_site_space_words, r2.max_site_space_words);
+  EXPECT_EQ(sketch1, sketch2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Determinism,
+                         ::testing::ValuesIn(PaperAlgorithms()));
+
+TEST(Determinism, DifferentSeedsDifferForSampling) {
+  const std::vector<TimedRow> rows = Data();
+  auto words = [&rows](uint64_t seed) {
+    TrackerConfig config;
+    config.dim = 6;
+    config.num_sites = 3;
+    config.window = 500;
+    config.epsilon = 0.2;
+    config.ell_override = 20;
+    config.seed = seed;
+    auto tracker = MakeTracker(Algorithm::kPwor, config);
+    DriverOptions options;
+    options.query_points = 3;
+    return RunTracker(tracker.value().get(), rows, 3, 500, options)
+        .total_words;
+  };
+  EXPECT_NE(words(1), words(2));  // different priority draws
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,108 @@
+// Driver trace series and communication-accounting consistency across
+// every protocol.
+
+#include <gtest/gtest.h>
+
+#include "core/tracker_factory.h"
+#include "monitor/driver.h"
+#include "stream/synthetic.h"
+
+namespace dswm {
+namespace {
+
+std::vector<TimedRow> Data(int rows) {
+  SyntheticConfig config;
+  config.rows = rows;
+  config.dim = 5;
+  config.seed = 13;
+  SyntheticGenerator gen(config);
+  return Materialize(&gen, rows);
+}
+
+TEST(DriverTrace, ChronologicalAndConsistentWithAggregates) {
+  const std::vector<TimedRow> rows = Data(2000);
+  TrackerConfig config;
+  config.dim = 5;
+  config.num_sites = 3;
+  config.window = 400;
+  config.epsilon = 0.2;
+  config.ell_override = 20;
+  auto tracker = MakeTracker(Algorithm::kPwor, config);
+  DriverOptions options;
+  options.query_points = 20;
+  const RunResult r =
+      RunTracker(tracker.value().get(), rows, 3, 400, options);
+
+  ASSERT_FALSE(r.trace.empty());
+  ASSERT_LE(static_cast<int>(r.trace.size()), options.query_points);
+
+  double max_err = 0.0;
+  double sum_err = 0.0;
+  long prev_words = -1;
+  Timestamp prev_t = -1;
+  long max_space = 0;
+  for (const TraceEntry& e : r.trace) {
+    EXPECT_GE(e.timestamp, prev_t);         // chronological
+    EXPECT_GE(e.words_so_far, prev_words);  // cumulative words monotone
+    prev_t = e.timestamp;
+    prev_words = e.words_so_far;
+    max_err = std::max(max_err, e.err);
+    sum_err += e.err;
+    max_space = std::max(max_space, e.site_space_words);
+  }
+  EXPECT_DOUBLE_EQ(max_err, r.max_err);
+  EXPECT_NEAR(sum_err / r.trace.size(), r.avg_err, 1e-12);
+  EXPECT_EQ(max_space, r.max_site_space_words);
+  EXPECT_LE(r.trace.back().words_so_far, r.total_words);
+}
+
+class CommConsistency : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(CommConsistency, CountersAreCoherent) {
+  const Algorithm algorithm = GetParam();
+  const std::vector<TimedRow> rows = Data(1500);
+  TrackerConfig config;
+  config.dim = 5;
+  config.num_sites = 4;
+  config.window = 300;
+  config.epsilon = 0.25;
+  config.ell_override = 16;
+  auto tracker = MakeTracker(algorithm, config);
+  DriverOptions options;
+  options.query_points = 5;
+  RunTracker(tracker.value().get(), rows, 4, 300, options);
+
+  const CommStats& c = tracker.value()->comm();
+  EXPECT_EQ(c.TotalWords(), c.words_up + c.words_down);
+  EXPECT_GE(c.words_up, 0);
+  EXPECT_GE(c.words_down, 0);
+  EXPECT_GE(c.messages, c.broadcasts);
+  // Every shipped row/direction costs at least d words up.
+  EXPECT_GE(c.words_up, c.rows_sent * 5);
+  // Broadcasts cost exactly m words each and are part of words_down.
+  EXPECT_GE(c.words_down, c.broadcasts * 4);
+  // Something happened.
+  EXPECT_GT(c.messages, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CommConsistency,
+                         ::testing::ValuesIn(PaperAlgorithms()));
+
+TEST(CommConsistency, DeterministicProtocolsNeverTalkDown) {
+  const std::vector<TimedRow> rows = Data(1500);
+  for (Algorithm a : {Algorithm::kDa1, Algorithm::kDa2}) {
+    TrackerConfig config;
+    config.dim = 5;
+    config.num_sites = 4;
+    config.window = 300;
+    config.epsilon = 0.25;
+    auto tracker = MakeTracker(a, config);
+    DriverOptions options;
+    options.query_points = 2;
+    RunTracker(tracker.value().get(), rows, 4, 300, options);
+    EXPECT_EQ(tracker.value()->comm().words_down, 0) << AlgorithmName(a);
+  }
+}
+
+}  // namespace
+}  // namespace dswm

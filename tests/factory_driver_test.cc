@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/tracker_factory.h"
+#include "monitor/driver.h"
+#include "stream/synthetic.h"
+
+namespace dswm {
+namespace {
+
+TEST(Factory, NamesRoundTrip) {
+  for (Algorithm a :
+       {Algorithm::kPwor, Algorithm::kPworAll, Algorithm::kEswor,
+        Algorithm::kEsworAll, Algorithm::kDa1, Algorithm::kDa2,
+        Algorithm::kPwr, Algorithm::kEswr}) {
+    const auto parsed = ParseAlgorithm(AlgorithmName(a));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), a);
+  }
+}
+
+TEST(Factory, RejectsUnknownName) {
+  EXPECT_FALSE(ParseAlgorithm("GRADIENT-DESCENT").ok());
+}
+
+TEST(Factory, RejectsInvalidConfig) {
+  TrackerConfig config;  // dim = 0
+  EXPECT_FALSE(MakeTracker(Algorithm::kPwor, config).ok());
+
+  config.dim = 4;
+  config.epsilon = 0.0;
+  EXPECT_FALSE(MakeTracker(Algorithm::kDa2, config).ok());
+
+  config.epsilon = 0.1;
+  config.num_sites = 0;
+  EXPECT_FALSE(MakeTracker(Algorithm::kDa1, config).ok());
+}
+
+TEST(Factory, BuildsEveryAlgorithmWithMatchingName) {
+  TrackerConfig config;
+  config.dim = 3;
+  config.num_sites = 2;
+  config.window = 100;
+  config.epsilon = 0.2;
+  config.ell_override = 8;
+  for (Algorithm a : PaperAlgorithms()) {
+    auto tracker = MakeTracker(a, config);
+    ASSERT_TRUE(tracker.ok());
+    EXPECT_EQ(tracker.value()->name(), AlgorithmName(a));
+    EXPECT_EQ(tracker.value()->dim(), 3);
+  }
+}
+
+TEST(TrackerConfig, SampleSizeDerivation) {
+  TrackerConfig config;
+  config.epsilon = 0.1;
+  config.sample_constant = 1.0;
+  // ceil(log(10)/0.01) = ceil(230.25...) = 231.
+  EXPECT_EQ(config.SampleSize(), 231);
+  config.ell_override = 77;
+  EXPECT_EQ(config.SampleSize(), 77);
+}
+
+TEST(Driver, ReportsSaneMetrics) {
+  SyntheticConfig data;
+  data.rows = 1200;
+  data.dim = 6;
+  SyntheticGenerator gen(data);
+  const std::vector<TimedRow> rows = Materialize(&gen, data.rows);
+
+  TrackerConfig config;
+  config.dim = 6;
+  config.num_sites = 2;
+  config.window = 300;
+  config.epsilon = 0.25;
+  config.ell_override = 30;
+  auto tracker = MakeTracker(Algorithm::kPwor, config);
+  ASSERT_TRUE(tracker.ok());
+
+  DriverOptions options;
+  options.query_points = 10;
+  const RunResult r =
+      RunTracker(tracker.value().get(), rows, 2, 300, options);
+  EXPECT_EQ(r.rows, 1200);
+  EXPECT_GT(r.windows_spanned, 2.0);
+  EXPECT_GT(r.words_per_window, 0.0);
+  EXPECT_GT(r.update_rows_per_sec, 0.0);
+  EXPECT_GT(r.max_site_space_words, 0);
+  EXPECT_GE(r.max_err, r.avg_err);
+  EXPECT_LE(r.avg_err, 1.0);
+}
+
+TEST(Driver, EmptyDataset) {
+  TrackerConfig config;
+  config.dim = 3;
+  config.num_sites = 1;
+  config.window = 10;
+  config.epsilon = 0.2;
+  auto tracker = MakeTracker(Algorithm::kDa2, config);
+  const RunResult r =
+      RunTracker(tracker.value().get(), {}, 1, 10, DriverOptions());
+  EXPECT_EQ(r.rows, 0);
+  EXPECT_EQ(r.total_words, 0);
+}
+
+TEST(Tracker, SketchRowsFromCovarianceForm) {
+  // DistributedTracker::SketchRows must PSD-sqrt the covariance form.
+  TrackerConfig config;
+  config.dim = 4;
+  config.num_sites = 1;
+  config.window = 100;
+  config.epsilon = 0.3;
+  auto tracker = MakeTracker(Algorithm::kDa1, config);
+  Rng rng(3);
+  for (int i = 1; i <= 300; ++i) {
+    TimedRow row;
+    row.timestamp = i;
+    row.values = {rng.NextGaussian(), rng.NextGaussian(), rng.NextGaussian(),
+                  rng.NextGaussian()};
+    tracker.value()->Observe(0, row);
+  }
+  const Matrix b = tracker.value()->SketchRows();
+  EXPECT_GT(b.rows(), 0);
+  EXPECT_EQ(b.cols(), 4);
+  const Matrix cov = tracker.value()->GetApproximation().covariance;
+  // B^T B ~= PSD projection of the covariance estimate.
+  EXPECT_LT(MaxAbsDiff(GramTranspose(b), cov),
+            0.05 * (1.0 + cov.FrobeniusNormSquared()));
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,123 @@
+#include "core/iwmt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/spectral_norm.h"
+
+namespace dswm {
+namespace {
+
+struct IwmtCase {
+  int d;
+  int ell;
+  double theta_scale;  // theta as a fraction of final stream mass
+};
+
+class IwmtProperty : public ::testing::TestWithParam<IwmtCase> {};
+
+TEST_P(IwmtProperty, PrefixCovarianceGapStaysBounded) {
+  const auto [d, ell, theta_scale] = GetParam();
+  IwmtProtocol iwmt(d, ell);
+  Rng rng(101 + d);
+
+  Matrix input_cov(d, d);
+  Matrix output_cov(d, d);
+  double input_mass = 0.0;
+  std::vector<double> row(d);
+  std::vector<IwmtOutput> outs;
+
+  double worst_ratio = 0.0;
+  for (int i = 0; i < 1500; ++i) {
+    for (int j = 0; j < d; ++j) row[j] = rng.NextGaussian();
+    input_cov.AddOuterProduct(row.data(), 1.0);
+    input_mass += NormSquared(row.data(), d);
+    const double theta = std::max(theta_scale * input_mass, 1e-12);
+
+    outs.clear();
+    iwmt.Input(row.data(), theta, &outs);
+    for (const IwmtOutput& o : outs) {
+      output_cov.AddOuterProduct(o.direction.data(), 1.0);
+      // Every emitted direction carries >= theta/2 squared mass (the
+      // communication bound's linchpin).
+      EXPECT_GE(NormSquared(o.direction.data(), d), theta / 2.0 - 1e-9);
+    }
+
+    if (i > 50 && i % 31 == 0) {
+      const double gap =
+          SpectralNormSym(Subtract(input_cov, output_cov));
+      // Contract: gap <= theta + FD shrinkage (<= mass/(ell+1)).
+      const double budget = theta + input_mass / (ell + 1) + 1e-9;
+      worst_ratio = std::max(worst_ratio, gap / budget);
+    }
+  }
+  EXPECT_LE(worst_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IwmtProperty,
+                         ::testing::Values(IwmtCase{8, 4, 0.05},
+                                           IwmtCase{8, 10, 0.02},
+                                           IwmtCase{16, 8, 0.1},
+                                           IwmtCase{4, 2, 0.2},
+                                           IwmtCase{24, 12, 0.05}));
+
+TEST(Iwmt, FlushEmitsEverythingAndResets) {
+  const int d = 6;
+  IwmtProtocol iwmt(d, 3);
+  Rng rng(5);
+  Matrix input_cov(d, d);
+  std::vector<double> row(d);
+  std::vector<IwmtOutput> outs;
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < d; ++j) row[j] = rng.NextGaussian();
+    input_cov.AddOuterProduct(row.data(), 1.0);
+    iwmt.Input(row.data(), 1e9, &outs);  // huge theta: nothing emits
+  }
+  EXPECT_TRUE(outs.empty());
+  EXPECT_GT(iwmt.unreported_mass(), 0.0);
+
+  iwmt.Flush(&outs);
+  EXPECT_FALSE(outs.empty());
+  EXPECT_DOUBLE_EQ(iwmt.unreported_mass(), 0.0);
+
+  Matrix output_cov(d, d);
+  for (const IwmtOutput& o : outs) {
+    output_cov.AddOuterProduct(o.direction.data(), 1.0);
+  }
+  // After a flush, the only gap left is FD shrinkage.
+  const double gap = SpectralNormSym(Subtract(input_cov, output_cov));
+  EXPECT_LE(gap, input_cov.FrobeniusNormSquared());
+  EXPECT_LE(gap, 40.0 * d / 4.0);  // mass/(ell+1) ballpark
+}
+
+TEST(Iwmt, CommunicationSublinearInStreamLength) {
+  const int d = 8;
+  IwmtProtocol iwmt(d, 4);
+  Rng rng(6);
+  std::vector<double> row(d);
+  std::vector<IwmtOutput> outs;
+  double mass = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    for (int j = 0; j < d; ++j) row[j] = rng.NextGaussian();
+    mass += NormSquared(row.data(), d);
+    iwmt.Input(row.data(), std::max(0.05 * mass, 1e-12), &outs);
+  }
+  // #directions <= 2*mass/theta_final-ish; far below 5000 rows.
+  EXPECT_LT(outs.size(), 500u);
+  EXPECT_GT(outs.size(), 2u);
+}
+
+TEST(Iwmt, SingleHeavyRowEmitsImmediately) {
+  const int d = 4;
+  IwmtProtocol iwmt(d, 2);
+  std::vector<IwmtOutput> outs;
+  const double heavy[] = {100.0, 0.0, 0.0, 0.0};
+  iwmt.Input(heavy, /*theta=*/50.0, &outs);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_NEAR(NormSquared(outs[0].direction.data(), d), 10000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace dswm

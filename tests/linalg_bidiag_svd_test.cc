@@ -1,0 +1,156 @@
+#include "linalg/bidiag_svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/qr.h"
+
+namespace dswm {
+namespace {
+
+Matrix RandomMatrix(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+Matrix Reconstruct(const SvdResult& svd, int n, int d) {
+  Matrix a(n, d);
+  const int r = static_cast<int>(svd.sigma.size());
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < r; ++k) {
+      Axpy(svd.u(i, k) * svd.sigma[k], svd.vt.Row(k), a.Row(i), d);
+    }
+  }
+  return a;
+}
+
+void CheckSvd(const Matrix& a, const SvdResult& svd, double tol) {
+  const int n = a.rows();
+  const int d = a.cols();
+  const int r = static_cast<int>(svd.sigma.size());
+  for (int i = 1; i < r; ++i) EXPECT_GE(svd.sigma[i - 1], svd.sigma[i]);
+  for (double s : svd.sigma) EXPECT_GE(s, 0.0);
+  // Orthonormal factors.
+  for (int i = 0; i < r; ++i) {
+    for (int j = i; j < r; ++j) {
+      EXPECT_NEAR(Dot(svd.vt.Row(i), svd.vt.Row(j), d), i == j ? 1.0 : 0.0,
+                  1e-9);
+      double u_dot = 0.0;
+      for (int k = 0; k < n; ++k) u_dot += svd.u(k, i) * svd.u(k, j);
+      EXPECT_NEAR(u_dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  const double scale = std::sqrt(a.FrobeniusNormSquared()) + 1e-12;
+  EXPECT_LT(MaxAbsDiff(Reconstruct(svd, n, d), a) / scale, tol);
+}
+
+struct Shape {
+  int n;
+  int d;
+};
+
+class BidiagSvdProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BidiagSvdProperty, ReconstructsOrthonormally) {
+  const auto [n, d] = GetParam();
+  const Matrix a = RandomMatrix(n, d, 17 * n + d);
+  CheckSvd(a, BidiagonalSvd(a), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BidiagSvdProperty,
+    ::testing::Values(Shape{1, 1}, Shape{2, 2}, Shape{5, 3}, Shape{3, 5},
+                      Shape{10, 10}, Shape{40, 12}, Shape{12, 40},
+                      Shape{64, 32}, Shape{33, 33}));
+
+TEST(BidiagSvd, MatchesGramSvdOnWellConditioned) {
+  const Matrix a = RandomMatrix(20, 8, 5);
+  const SvdResult accurate = BidiagonalSvd(a);
+  const SvdResult gram = ThinSvd(a);
+  ASSERT_EQ(accurate.sigma.size(), gram.sigma.size());
+  for (size_t i = 0; i < accurate.sigma.size(); ++i) {
+    EXPECT_NEAR(accurate.sigma[i], gram.sigma[i], 1e-7 * accurate.sigma[0]);
+  }
+}
+
+TEST(BidiagSvd, ResolvesTinySingularValuesGramCannot) {
+  // Construct A with singular values {1, 1e-9}: squaring through the
+  // Gram matrix puts 1e-18 at the edge of double precision, while the
+  // bidiagonal path recovers 1e-9 to full relative accuracy.
+  Rng rng(9);
+  const Matrix u = RandomOrthonormalRows(2, 12, &rng);
+  const Matrix v = RandomOrthonormalRows(2, 12, &rng);
+  Matrix a(12, 12);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      a(i, j) = 1.0 * u(0, i) * v(0, j) + 1e-9 * u(1, i) * v(1, j);
+    }
+  }
+  const SvdResult svd = BidiagonalSvd(a, /*rel_tol=*/1e-12);
+  ASSERT_GE(svd.sigma.size(), 2u);
+  EXPECT_NEAR(svd.sigma[0], 1.0, 1e-10);
+  EXPECT_NEAR(svd.sigma[1], 1e-9, 1e-12);
+}
+
+TEST(BidiagSvd, ExactlyRankDeficient) {
+  // Rank-2 matrix built from outer products.
+  Rng rng(11);
+  Matrix a(10, 6);
+  const Matrix u = RandomOrthonormalRows(2, 10, &rng);
+  const Matrix v = RandomOrthonormalRows(2, 6, &rng);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      a(i, j) = 3.0 * u(0, i) * v(0, j) + 2.0 * u(1, i) * v(1, j);
+    }
+  }
+  const SvdResult svd = BidiagonalSvd(a, 1e-10);
+  ASSERT_EQ(svd.sigma.size(), 2u);
+  EXPECT_NEAR(svd.sigma[0], 3.0, 1e-9);
+  EXPECT_NEAR(svd.sigma[1], 2.0, 1e-9);
+  CheckSvd(a, svd, 1e-9);
+}
+
+TEST(BidiagSvd, ZeroMatrix) {
+  const SvdResult svd = BidiagonalSvd(Matrix(4, 3));
+  EXPECT_TRUE(svd.sigma.empty());
+}
+
+TEST(BidiagSvd, ZeroColumnInside) {
+  // Forces a zero diagonal in the bidiagonal form (the chase path).
+  Matrix a(4, 3);
+  a(0, 0) = 1.0;
+  a(1, 2) = 2.0;
+  a(2, 2) = 1.0;  // column 1 entirely zero
+  const SvdResult svd = BidiagonalSvd(a);
+  CheckSvd(a, svd, 1e-10);
+}
+
+TEST(BidiagSvd, GradedSpectrum) {
+  // sigma_i = 2^{-i}: all must be recovered with small relative error.
+  const int k = 16;
+  Rng rng(13);
+  const Matrix u = RandomOrthonormalRows(k, 24, &rng);
+  const Matrix v = RandomOrthonormalRows(k, 20, &rng);
+  Matrix a(24, 20);
+  for (int c = 0; c < k; ++c) {
+    const double sigma = std::pow(2.0, -c);
+    for (int i = 0; i < 24; ++i) {
+      Axpy(sigma * u(c, i), v.Row(c), a.Row(i), 20);
+    }
+  }
+  const SvdResult svd = BidiagonalSvd(a, 1e-12);
+  ASSERT_GE(svd.sigma.size(), static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    EXPECT_NEAR(svd.sigma[c], std::pow(2.0, -c), 1e-10 * std::pow(2.0, -c) + 1e-13)
+        << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace dswm

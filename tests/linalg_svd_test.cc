@@ -1,0 +1,125 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dswm {
+namespace {
+
+Matrix RandomMatrix(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+Matrix ReconstructFromSvd(const SvdResult& svd) {
+  const int n = svd.u.rows();
+  const int d = svd.vt.cols();
+  const int r = static_cast<int>(svd.sigma.size());
+  Matrix a(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < r; ++k) {
+      Axpy(svd.u(i, k) * svd.sigma[k], svd.vt.Row(k), a.Row(i), d);
+    }
+  }
+  return a;
+}
+
+struct Shape {
+  int n;
+  int d;
+};
+
+class SvdProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SvdProperty, ReconstructsWithOrthonormalFactors) {
+  const auto [n, d] = GetParam();
+  const Matrix a = RandomMatrix(n, d, 31 * n + d);
+  const SvdResult svd = ThinSvd(a);
+  const int r = static_cast<int>(svd.sigma.size());
+  ASSERT_LE(r, std::min(n, d));
+
+  // Descending nonnegative singular values.
+  for (int i = 1; i < r; ++i) EXPECT_GE(svd.sigma[i - 1], svd.sigma[i]);
+  for (double s : svd.sigma) EXPECT_GE(s, 0.0);
+
+  // Vt rows orthonormal.
+  for (int i = 0; i < r; ++i) {
+    for (int j = i; j < r; ++j) {
+      EXPECT_NEAR(Dot(svd.vt.Row(i), svd.vt.Row(j), d), i == j ? 1.0 : 0.0,
+                  1e-8);
+    }
+  }
+  // U columns orthonormal.
+  for (int i = 0; i < r; ++i) {
+    for (int j = i; j < r; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < n; ++k) dot += svd.u(k, i) * svd.u(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-7);
+    }
+  }
+
+  const double scale = std::sqrt(a.FrobeniusNormSquared()) + 1e-12;
+  EXPECT_LT(MaxAbsDiff(ReconstructFromSvd(svd), a) / scale, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdProperty,
+    ::testing::Values(Shape{1, 1}, Shape{3, 8}, Shape{8, 3}, Shape{5, 5},
+                      Shape{2, 40}, Shape{40, 2}, Shape{20, 64},
+                      Shape{64, 20}));
+
+TEST(Svd, RankDeficientDropsZeroDirections) {
+  // Two identical rows: rank 1.
+  Matrix a(2, 4);
+  for (int j = 0; j < 4; ++j) {
+    a(0, j) = j + 1.0;
+    a(1, j) = j + 1.0;
+  }
+  const SvdResult svd = ThinSvd(a);
+  ASSERT_EQ(svd.sigma.size(), 1u);
+  EXPECT_NEAR(svd.sigma[0] * svd.sigma[0], 2.0 * (1 + 4 + 9 + 16), 1e-9);
+}
+
+TEST(Svd, EmptyMatrix) {
+  const SvdResult svd = ThinSvd(Matrix(0, 5));
+  EXPECT_TRUE(svd.sigma.empty());
+}
+
+TEST(RightSvd, SigmaSquaredMatchesGramEigenvalues) {
+  const Matrix a = RandomMatrix(6, 4, 77);
+  const RightSvdResult r = RightSvd(a);
+  // sum sigma^2 = ||A||_F^2.
+  double sum = 0.0;
+  for (double s2 : r.sigma_squared) sum += s2;
+  EXPECT_NEAR(sum, a.FrobeniusNormSquared(), 1e-8);
+  // A^T A v_i = sigma_i^2 v_i.
+  const Matrix g = GramTranspose(a);
+  std::vector<double> gv(4);
+  for (int i = 0; i < 4; ++i) {
+    MatVec(g, r.vt.Row(i), gv.data());
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(gv[j], r.sigma_squared[i] * r.vt(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(RightSvd, WideMatrixUsesSmallGram) {
+  // 3 x 200: the decomposition must go through the 3x3 Gram matrix and
+  // still produce orthonormal right vectors.
+  const Matrix a = RandomMatrix(3, 200, 5);
+  const RightSvdResult r = RightSvd(a);
+  ASSERT_EQ(r.vt.rows(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(NormSquared(r.vt.Row(i), 200), 1.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace dswm

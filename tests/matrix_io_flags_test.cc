@@ -1,0 +1,116 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "linalg/matrix_io.h"
+
+namespace dswm {
+namespace {
+
+Matrix RandomMatrix(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+TEST(MatrixIo, BinaryRoundTrip) {
+  const Matrix m = RandomMatrix(7, 5, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMatrixBinary(m, &buffer).ok());
+  const auto loaded = ReadMatrixBinary(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), m);
+}
+
+TEST(MatrixIo, BinaryEmptyMatrix) {
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMatrixBinary(Matrix(0, 3), &buffer).ok());
+  const auto loaded = ReadMatrixBinary(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().rows(), 0);
+  EXPECT_EQ(loaded.value().cols(), 3);
+}
+
+TEST(MatrixIo, RejectsBadMagic) {
+  std::stringstream buffer("NOPE....");
+  EXPECT_FALSE(ReadMatrixBinary(&buffer).ok());
+}
+
+TEST(MatrixIo, RejectsTruncatedPayload) {
+  const Matrix m = RandomMatrix(4, 4, 2);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMatrixBinary(m, &buffer).ok());
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 9);
+  std::stringstream truncated(bytes);
+  EXPECT_FALSE(ReadMatrixBinary(&truncated).ok());
+}
+
+TEST(MatrixIo, TextRoundTripExact) {
+  const Matrix m = RandomMatrix(3, 6, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMatrixText(m, &buffer).ok());
+  const auto loaded = ReadMatrixText(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), m);  // max_digits10 => bit-exact round trip
+}
+
+TEST(MatrixIo, TextRejectsTruncation) {
+  std::stringstream buffer("2 2\n1 2\n3\n");
+  EXPECT_FALSE(ReadMatrixText(&buffer).ok());
+}
+
+TEST(MatrixIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dswm_matrix_io.bin";
+  const Matrix m = RandomMatrix(5, 9, 4);
+  ASSERT_TRUE(SaveMatrixBinary(m, path).ok());
+  const auto loaded = LoadMatrixBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), m);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, MissingFile) {
+  EXPECT_EQ(LoadMatrixBinary("/definitely/not/here.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(Flags, ParsesBothForms) {
+  const char* argv[] = {"prog", "run",          "--epsilon=0.1",
+                        "--sites", "20",        "--dataset=wiki"};
+  const auto flags =
+      FlagSet::Parse(6, argv, {"epsilon", "sites", "dataset"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags.value().positional().size(), 1u);
+  EXPECT_EQ(flags.value().positional()[0], "run");
+  EXPECT_DOUBLE_EQ(flags.value().GetDouble("epsilon", 0), 0.1);
+  EXPECT_EQ(flags.value().GetInt("sites", 0), 20);
+  EXPECT_EQ(flags.value().GetString("dataset", ""), "wiki");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const auto flags = FlagSet::Parse(1, argv, {"x"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags.value().Has("x"));
+  EXPECT_EQ(flags.value().GetInt("x", 42), 42);
+  EXPECT_EQ(flags.value().GetString("x", "d"), "d");
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(FlagSet::Parse(2, argv, {"real"}).ok());
+}
+
+TEST(Flags, RejectsTrailingValuelessFlag) {
+  const char* argv[] = {"prog", "--sites"};
+  EXPECT_FALSE(FlagSet::Parse(2, argv, {"sites"}).ok());
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,249 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sampling/dominance_counter.h"
+#include "sampling/priority.h"
+#include "sampling/sample_set.h"
+#include "sampling/site_queue.h"
+
+namespace dswm {
+namespace {
+
+TimedRow MakeRow(double value, Timestamp t) {
+  TimedRow row;
+  row.values = {value};
+  row.timestamp = t;
+  return row;
+}
+
+// ---- Priority policies -----------------------------------------------------
+
+TEST(PriorityPolicy, PriorityKeysExceedWeight) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double w = 0.5 + rng.NextDouble();
+    const double key = DrawKey(SamplingScheme::kPriority, w, &rng);
+    EXPECT_GT(key, w);  // w/u with u in (0,1)
+  }
+}
+
+TEST(PriorityPolicy, EsKeysAreNegativeLogDomain) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double w = 0.5 + rng.NextDouble();
+    const double key = DrawKey(SamplingScheme::kEfraimidisSpirakis, w, &rng);
+    EXPECT_LT(key, 0.0);
+    EXPECT_GT(KeyBucketValue(SamplingScheme::kEfraimidisSpirakis, key), 0.0);
+  }
+}
+
+TEST(PriorityPolicy, EsHigherWeightWinsInExpectation) {
+  // P(key_w > key_1) = w/(w+1) for ES sampling; check statistically.
+  Rng rng(3);
+  const double w = 4.0;
+  int wins = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double kw = DrawKey(SamplingScheme::kEfraimidisSpirakis, w, &rng);
+    const double k1 = DrawKey(SamplingScheme::kEfraimidisSpirakis, 1.0, &rng);
+    if (kw > k1) ++wins;
+  }
+  EXPECT_NEAR(static_cast<double>(wins) / trials, w / (w + 1.0), 0.02);
+}
+
+TEST(PriorityPolicy, RelaxLowersThresholdMonotonically) {
+  for (SamplingScheme s :
+       {SamplingScheme::kPriority, SamplingScheme::kEfraimidisSpirakis}) {
+    double tau = s == SamplingScheme::kPriority ? 100.0 : -0.5;
+    for (int i = 0; i < 10; ++i) {
+      const double next = RelaxThreshold(s, tau);
+      EXPECT_LT(next, tau);
+      tau = next;
+    }
+    // Lowest threshold is a fixed point.
+    const double low = LowestThreshold(s);
+    EXPECT_LE(RelaxThreshold(s, low), low);
+  }
+}
+
+// ---- DominanceCounter ------------------------------------------------------
+
+TEST(DominanceCounter, CountsStrictlyHigherBuckets) {
+  DominanceCounter c;
+  c.Add(1.0);
+  c.Add(10.0);
+  c.Add(100.0);
+  EXPECT_EQ(c.total(), 3);
+  EXPECT_EQ(c.CountStrictlyAbove(1.0), 2);
+  EXPECT_EQ(c.CountStrictlyAbove(100.0), 0);
+  EXPECT_EQ(c.CountStrictlyAbove(0.001), 3);
+}
+
+TEST(DominanceCounter, SameBucketNotCounted) {
+  DominanceCounter c;
+  c.Add(1.0);
+  c.Add(1.0);
+  // Near-ties land in the same log-scale bucket: conservatively 0.
+  EXPECT_EQ(c.CountStrictlyAbove(1.0), 0);
+}
+
+TEST(DominanceCounter, NeverOvercountsVsExact) {
+  Rng rng(7);
+  DominanceCounter c;
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp(3.0 * rng.NextGaussian());
+    // Exact count of strictly larger values added so far.
+    long exact = 0;
+    for (double u : values) {
+      if (u > v) ++exact;
+    }
+    EXPECT_LE(c.CountStrictlyAbove(v), exact);
+    c.Add(v);
+    values.push_back(v);
+  }
+}
+
+// ---- SiteSampleQueue -------------------------------------------------------
+
+TEST(SiteSampleQueue, ExpiresOldEntries) {
+  SiteSampleQueue q(2, 10);
+  q.NoteArrival(1.0);
+  q.Enqueue(MakeRow(1.0, 1), 1.0, 1.0);
+  q.NoteArrival(2.0);
+  q.Enqueue(MakeRow(1.0, 8), 2.0, 2.0);
+  EXPECT_EQ(q.size(), 2);
+  q.Expire(11);  // cutoff 1
+  EXPECT_EQ(q.size(), 1);
+  EXPECT_DOUBLE_EQ(q.MaxKey(-1), 2.0);
+}
+
+TEST(SiteSampleQueue, TakeAtLeastRemovesQualified) {
+  SiteSampleQueue q(2, 100);
+  for (int i = 1; i <= 5; ++i) {
+    const double key = i * 10.0;
+    q.NoteArrival(key);
+    q.Enqueue(MakeRow(1.0, i), key, key);
+  }
+  const auto taken = q.TakeAtLeast(30.0);
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_EQ(q.size(), 2);
+  for (const SiteEntry& e : taken) EXPECT_GE(e.key, 30.0);
+}
+
+TEST(SiteSampleQueue, PopMaxReturnsLargest) {
+  SiteSampleQueue q(2, 100);
+  for (double key : {5.0, 50.0, 0.5}) {
+    q.NoteArrival(key);
+    q.Enqueue(MakeRow(1.0, 1), key, key);
+  }
+  EXPECT_DOUBLE_EQ(q.PopMax().key, 50.0);
+  EXPECT_DOUBLE_EQ(q.PopMax().key, 5.0);
+  EXPECT_EQ(q.size(), 1);
+}
+
+TEST(SiteSampleQueue, PrunesDominatedEntriesEventually) {
+  // One tiny-key entry, then floods of large keys: with ell=4 the tiny
+  // entry must eventually be pruned (amortized), well before 10x growth.
+  SiteSampleQueue q(4, 1000000);
+  q.NoteArrival(1.0);
+  q.Enqueue(MakeRow(1.0, 1), 1.0, 1.0);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double key = 1000.0 + rng.NextDouble();
+    q.NoteArrival(key);
+    q.Enqueue(MakeRow(1.0, 2 + i), key, key);
+  }
+  // The tiny key must be gone; survivors are all large.
+  EXPECT_GT(q.TakeAtLeast(500.0).size(), 0u);
+  EXPECT_EQ(q.TakeAtLeast(0.0).size(), 0u);
+}
+
+TEST(SiteSampleQueue, KeepsEverythingNotDominated) {
+  // With ell larger than the stream, nothing may be pruned.
+  SiteSampleQueue q(1000, 1000000);
+  Rng rng(10);
+  for (int i = 0; i < 300; ++i) {
+    const double key = std::exp(rng.NextGaussian());
+    q.NoteArrival(key);
+    q.Enqueue(MakeRow(1.0, 1 + i), key, key);
+  }
+  EXPECT_EQ(q.size(), 300);
+}
+
+TEST(SiteSampleQueue, SpaceWordsScalesWithEntries) {
+  SiteSampleQueue q(2, 100);
+  const long empty = q.SpaceWords(5);
+  q.NoteArrival(1.0);
+  q.Enqueue(MakeRow(1.0, 1), 1.0, 1.0);
+  EXPECT_EQ(q.SpaceWords(5) - empty, 5 + 3);
+}
+
+// ---- KeyedSampleSet --------------------------------------------------------
+
+TEST(KeyedSampleSet, OrderedOperations) {
+  KeyedSampleSet s;
+  s.Insert({MakeRow(1.0, 1), 5.0});
+  s.Insert({MakeRow(1.0, 2), 1.0});
+  s.Insert({MakeRow(1.0, 3), 9.0});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_DOUBLE_EQ(s.MinKey(), 1.0);
+  EXPECT_DOUBLE_EQ(s.MaxKey(-1), 9.0);
+  EXPECT_DOUBLE_EQ(s.KthLargestKey(1), 9.0);
+  EXPECT_DOUBLE_EQ(s.KthLargestKey(2), 5.0);
+  EXPECT_DOUBLE_EQ(s.KthLargestKey(3), 1.0);
+}
+
+TEST(KeyedSampleSet, ExpireBeforeRemovesByTimestamp) {
+  KeyedSampleSet s;
+  s.Insert({MakeRow(1.0, 10), 5.0});
+  s.Insert({MakeRow(1.0, 20), 1.0});
+  EXPECT_EQ(s.ExpireBefore(10), 1);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_DOUBLE_EQ(s.MinKey(), 1.0);
+}
+
+TEST(KeyedSampleSet, PopMinPopMax) {
+  KeyedSampleSet s;
+  s.Insert({MakeRow(1.0, 1), 5.0});
+  s.Insert({MakeRow(1.0, 2), 1.0});
+  s.Insert({MakeRow(1.0, 3), 9.0});
+  EXPECT_DOUBLE_EQ(s.PopMin().key, 1.0);
+  EXPECT_DOUBLE_EQ(s.PopMax().key, 9.0);
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(KeyedSampleSet, TakeBelowAndAtLeastPartition) {
+  KeyedSampleSet s;
+  for (int i = 1; i <= 10; ++i) s.Insert({MakeRow(1.0, i), i * 1.0});
+  const auto low = s.TakeBelow(4.0);
+  EXPECT_EQ(low.size(), 3u);
+  const auto high = s.TakeAtLeast(8.0);
+  EXPECT_EQ(high.size(), 3u);
+  EXPECT_EQ(s.size(), 4);
+}
+
+TEST(KeyedSampleSet, TopKReturnsLargest) {
+  KeyedSampleSet s;
+  for (int i = 1; i <= 5; ++i) s.Insert({MakeRow(1.0, i), i * 1.0});
+  const auto top = s.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0]->key, 5.0);
+  EXPECT_DOUBLE_EQ(top[1]->key, 4.0);
+}
+
+TEST(KeyedSampleSet, DuplicateKeysAndTimestamps) {
+  KeyedSampleSet s;
+  s.Insert({MakeRow(1.0, 7), 3.0});
+  s.Insert({MakeRow(2.0, 7), 3.0});
+  s.Insert({MakeRow(3.0, 7), 3.0});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.ExpireBefore(7), 3);
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,142 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/pamap_like.h"
+#include "stream/row_stream.h"
+#include "stream/synthetic.h"
+#include "stream/wiki_like.h"
+
+namespace dswm {
+namespace {
+
+template <typename Gen, typename Config>
+std::vector<TimedRow> Generate(const Config& config, int n) {
+  Gen gen(config);
+  return Materialize(&gen, n);
+}
+
+TEST(Synthetic, DeterministicForFixedSeed) {
+  SyntheticConfig config;
+  config.rows = 50;
+  config.dim = 8;
+  auto a = Generate<SyntheticGenerator>(config, 50);
+  auto b = Generate<SyntheticGenerator>(config, 50);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].values, b[i].values);
+  }
+}
+
+TEST(Synthetic, TimestampsNonDecreasingPoissonRate) {
+  SyntheticConfig config;
+  config.rows = 5000;
+  config.dim = 4;
+  const auto rows = Generate<SyntheticGenerator>(config, config.rows);
+  ASSERT_EQ(rows.size(), 5000u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].timestamp, rows[i].timestamp);
+  }
+  // Poisson(1): span ~ n.
+  const Timestamp span = rows.back().timestamp - rows.front().timestamp;
+  EXPECT_NEAR(static_cast<double>(span), 5000.0, 500.0);
+}
+
+TEST(Synthetic, LowNormRatioMatchesPaper) {
+  // Paper Table III: SYNTHETIC R = 3.72 (mild skew).
+  SyntheticConfig config;
+  config.rows = 20000;
+  config.dim = 64;
+  const auto rows = Generate<SyntheticGenerator>(config, config.rows);
+  const DatasetSummary s = Summarize(rows, 1000);
+  EXPECT_GT(s.norm_ratio, 1.5);
+  EXPECT_LT(s.norm_ratio, 30.0);
+}
+
+TEST(Synthetic, SignalDominatesNoise) {
+  SyntheticConfig config;
+  config.rows = 2000;
+  config.dim = 32;
+  config.zeta = 10.0;
+  const auto rows = Generate<SyntheticGenerator>(config, config.rows);
+  // Average squared norm ~ sum_i (1 - i/d)^2 (~ d/3) + d/zeta^2.
+  double avg = 0.0;
+  for (const auto& r : rows) avg += r.NormSquared();
+  avg /= rows.size();
+  const double signal = config.dim / 3.0;
+  EXPECT_GT(avg, 0.5 * signal);
+  EXPECT_LT(avg, 2.0 * signal);
+}
+
+TEST(PamapLike, ShapeAndSkew) {
+  PamapLikeConfig config;
+  config.rows = 40000;
+  const auto rows = Generate<PamapLikeGenerator>(config, config.rows);
+  ASSERT_EQ(rows.size(), 40000u);
+  EXPECT_EQ(rows.front().values.size(), 43u);
+  const DatasetSummary s = Summarize(rows, 10000);
+  // Paper: R = 60.78. Accept the right order of magnitude.
+  EXPECT_GT(s.norm_ratio, 15.0);
+  EXPECT_LT(s.norm_ratio, 2000.0);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    ASSERT_LE(rows[i - 1].timestamp, rows[i].timestamp);
+  }
+}
+
+TEST(WikiLike, SparseRowsWithLargeNormRatio) {
+  WikiLikeConfig config;
+  config.rows = 20000;
+  config.dim = 256;
+  const auto rows = Generate<WikiLikeGenerator>(config, config.rows);
+  ASSERT_EQ(rows.size(), 20000u);
+
+  double max_nnz = 0.0;
+  for (const auto& r : rows) {
+    ASSERT_FALSE(r.support.empty());
+    max_nnz = std::max(max_nnz, static_cast<double>(r.support.size()));
+    // Support lists exactly the nonzeros.
+    int nnz = 0;
+    for (double v : r.values) {
+      if (v != 0.0) ++nnz;
+    }
+    EXPECT_EQ(nnz, static_cast<int>(r.support.size()));
+  }
+  EXPECT_LT(max_nnz, 256.0);  // genuinely sparse
+
+  const DatasetSummary s = Summarize(rows, 300);
+  // Paper: R = 2998.83. Accept hundreds-to-tens-of-thousands.
+  EXPECT_GT(s.norm_ratio, 100.0);
+  EXPECT_LT(s.norm_ratio, 100000.0);
+}
+
+TEST(Summarize, ComputesWindowAverage) {
+  std::vector<TimedRow> rows(100);
+  for (int i = 0; i < 100; ++i) {
+    rows[i].values = {1.0};
+    rows[i].timestamp = i + 1;  // span 99
+  }
+  const DatasetSummary s = Summarize(rows, 33);
+  EXPECT_EQ(s.rows, 100);
+  EXPECT_EQ(s.dim, 1);
+  EXPECT_NEAR(s.avg_rows_per_window, 100.0 * 33 / 99, 1e-9);
+  EXPECT_DOUBLE_EQ(s.norm_ratio, 1.0);
+}
+
+TEST(Summarize, EmptyDataset) {
+  const DatasetSummary s = Summarize({}, 10);
+  EXPECT_EQ(s.rows, 0);
+  EXPECT_EQ(s.dim, 0);
+}
+
+TEST(Materialize, StopsAtStreamEnd) {
+  SyntheticConfig config;
+  config.rows = 10;
+  config.dim = 3;
+  SyntheticGenerator gen(config);
+  const auto rows = Materialize(&gen, 100);
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,133 @@
+#include "core/sum_tracker.h"
+
+#include <cmath>
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dswm {
+namespace {
+
+// Exact reference: per-site window sums.
+class ExactDistributedSum {
+ public:
+  ExactDistributedSum(int sites, Timestamp window)
+      : window_(window), items_(sites) {}
+  void Observe(int site, double w, Timestamp t) {
+    items_[site].push_back({w, t});
+  }
+  double Query(Timestamp now) {
+    double total = 0.0;
+    for (auto& q : items_) {
+      while (!q.empty() && q.front().second <= now - window_) q.pop_front();
+      for (const auto& [w, t] : q) total += w;
+    }
+    return total;
+  }
+
+ private:
+  Timestamp window_;
+  std::vector<std::deque<std::pair<double, Timestamp>>> items_;
+};
+
+struct SumCase {
+  double eps;
+  int sites;
+  bool heavy;
+};
+
+class SumTrackerProperty : public ::testing::TestWithParam<SumCase> {};
+
+TEST_P(SumTrackerProperty, RelativeErrorBoundHolds) {
+  const auto [eps, sites, heavy] = GetParam();
+  const Timestamp window = 600;
+  SumTracker tracker(sites, window, eps);
+  ExactDistributedSum exact(sites, window);
+  Rng rng(11 + sites);
+
+  double worst = 0.0;
+  for (int i = 1; i <= 8000; ++i) {
+    const Timestamp t = i;
+    const int site = static_cast<int>(rng.NextBelow(sites));
+    const double w =
+        heavy ? std::exp(3.0 * rng.NextGaussian()) : 1.0 + rng.NextDouble();
+    tracker.AdvanceTime(t);
+    tracker.Observe(site, w, t);
+    exact.Observe(site, w, t);
+    if (i % 17 == 0) {
+      const double truth = exact.Query(t);
+      if (truth <= 0) continue;
+      worst = std::max(worst,
+                       std::fabs(tracker.Estimate() - truth) / truth);
+    }
+  }
+  EXPECT_LE(worst, eps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SumTrackerProperty,
+    ::testing::Values(SumCase{0.3, 1, false}, SumCase{0.1, 1, false},
+                      SumCase{0.1, 5, false}, SumCase{0.1, 5, true},
+                      SumCase{0.05, 3, true}, SumCase{0.02, 2, false}));
+
+TEST(SumTracker, EstimateDropsToZeroAfterFullExpiry) {
+  SumTracker tracker(2, 50, 0.1);
+  tracker.Observe(0, 10.0, 1);
+  tracker.Observe(1, 20.0, 2);
+  EXPECT_GT(tracker.Estimate(), 0.0);
+  tracker.AdvanceTime(1000);
+  EXPECT_DOUBLE_EQ(tracker.Estimate(), 0.0);
+}
+
+TEST(SumTracker, CommunicationScalesLogarithmicallyNotLinearly) {
+  const Timestamp window = 2000;
+  SumTracker tracker(1, window, 0.1);
+  Rng rng(5);
+  for (int i = 1; i <= 20000; ++i) {
+    tracker.AdvanceTime(i);
+    tracker.Observe(0, 1.0 + rng.NextDouble(), i);
+  }
+  // 20000 arrivals, 10 windows: O((1/eps) log(NR)) messages per window is
+  // a few hundred; sending every arrival would be 20000 messages.
+  EXPECT_LT(tracker.comm().messages, 3000);
+  EXPECT_GT(tracker.comm().messages, 10);
+  // One-way protocol: nothing flows down.
+  EXPECT_EQ(tracker.comm().words_down, 0);
+}
+
+TEST(SumTracker, TighterEpsilonCostsMoreCommunication) {
+  auto run = [](double eps) {
+    SumTracker tracker(2, 500, eps);
+    Rng rng(6);
+    for (int i = 1; i <= 5000; ++i) {
+      tracker.AdvanceTime(i);
+      tracker.Observe(static_cast<int>(rng.NextBelow(2)),
+                      1.0 + rng.NextDouble(), i);
+    }
+    return tracker.comm().TotalWords();
+  };
+  EXPECT_GT(run(0.02), run(0.2));
+}
+
+TEST(SumTracker, ExternalCommStatsCharged) {
+  CommStats shared;
+  SumTracker tracker(1, 100, 0.1, &shared);
+  tracker.Observe(0, 5.0, 1);
+  EXPECT_GT(shared.TotalWords(), 0);
+  EXPECT_EQ(&tracker.comm(), &shared);
+}
+
+TEST(SumTracker, SpaceBoundedBySketchNotStream) {
+  SumTracker tracker(1, 5000, 0.1);
+  Rng rng(7);
+  for (int i = 1; i <= 20000; ++i) {
+    tracker.AdvanceTime(i);
+    tracker.Observe(0, 1.0 + rng.NextDouble(), i);
+  }
+  EXPECT_LT(tracker.MaxSiteSpaceWords(), 3000);  // << 5000 active items
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,81 @@
+#include "window/exact_window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dswm {
+namespace {
+
+TimedRow Row(std::vector<double> v, Timestamp t) {
+  TimedRow row;
+  row.values = std::move(v);
+  row.timestamp = t;
+  return row;
+}
+
+TEST(ExactWindow, CovarianceMatchesDirectComputation) {
+  ExactWindow w(2, 100);
+  w.Add(Row({1.0, 2.0}, 1));
+  w.Add(Row({3.0, -1.0}, 2));
+  w.Advance(2);
+  const Matrix c = w.Covariance();
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0 + 9.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0 - 3.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0 + 1.0);
+  EXPECT_DOUBLE_EQ(w.FrobeniusSquared(), 15.0);
+}
+
+TEST(ExactWindow, ExpiryRemovesContributions) {
+  ExactWindow w(2, 10);
+  w.Add(Row({5.0, 0.0}, 1));
+  w.Add(Row({0.0, 2.0}, 8));
+  w.Advance(11);  // cutoff 1: first row (t=1 <= 1) expires
+  EXPECT_EQ(w.size(), 1);
+  EXPECT_DOUBLE_EQ(w.Covariance()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(w.FrobeniusSquared(), 4.0);
+}
+
+TEST(ExactWindow, EmptyWindowResetsResidue) {
+  ExactWindow w(3, 5);
+  Rng rng(1);
+  for (int i = 1; i <= 100; ++i) {
+    TimedRow r;
+    r.timestamp = i;
+    r.values = {rng.NextGaussian(), rng.NextGaussian(), rng.NextGaussian()};
+    w.Add(r);
+    w.Advance(i);
+  }
+  w.Advance(1000);
+  EXPECT_EQ(w.size(), 0);
+  EXPECT_DOUBLE_EQ(w.FrobeniusSquared(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Covariance().FrobeniusNormSquared(), 0.0);
+}
+
+TEST(ExactWindow, SparseRowsMatchDense) {
+  ExactWindow sparse(4, 100);
+  ExactWindow dense(4, 100);
+
+  TimedRow s = Row({0.0, 3.0, 0.0, -2.0}, 1);
+  s.support = {1, 3};
+  sparse.Add(s);
+
+  TimedRow d = Row({0.0, 3.0, 0.0, -2.0}, 1);
+  dense.Add(d);
+
+  EXPECT_LT(MaxAbsDiff(sparse.Covariance(), dense.Covariance()), 1e-15);
+  EXPECT_DOUBLE_EQ(sparse.FrobeniusSquared(), dense.FrobeniusSquared());
+}
+
+TEST(ExactWindow, RowsMatrixMaterializesActiveRows) {
+  ExactWindow w(2, 100);
+  w.Add(Row({1.0, 0.0}, 1));
+  w.Add(Row({0.0, 1.0}, 2));
+  const Matrix m = w.RowsMatrix();
+  ASSERT_EQ(m.rows(), 2);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace dswm
