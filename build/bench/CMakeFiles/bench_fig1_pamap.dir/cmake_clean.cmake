@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pamap.dir/bench_fig1_pamap.cc.o"
+  "CMakeFiles/bench_fig1_pamap.dir/bench_fig1_pamap.cc.o.d"
+  "bench_fig1_pamap"
+  "bench_fig1_pamap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pamap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_wiki.dir/bench_fig3_wiki.cc.o"
+  "CMakeFiles/bench_fig3_wiki.dir/bench_fig3_wiki.cc.o.d"
+  "bench_fig3_wiki"
+  "bench_fig3_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sketch.dir/bench_micro_sketch.cc.o"
+  "CMakeFiles/bench_micro_sketch.dir/bench_micro_sketch.cc.o.d"
+  "bench_micro_sketch"
+  "bench_micro_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dswm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dswm_bench_harness.dir/harness.cc.o.d"
+  "libdswm_bench_harness.a"
+  "libdswm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dswm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

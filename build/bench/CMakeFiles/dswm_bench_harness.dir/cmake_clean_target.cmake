@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdswm_bench_harness.a"
+)

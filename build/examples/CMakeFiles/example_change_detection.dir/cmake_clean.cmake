@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_change_detection.dir/change_detection.cpp.o"
+  "CMakeFiles/example_change_detection.dir/change_detection.cpp.o.d"
+  "example_change_detection"
+  "example_change_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_change_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sum_tracking.dir/sum_tracking.cpp.o"
+  "CMakeFiles/example_sum_tracking.dir/sum_tracking.cpp.o.d"
+  "example_sum_tracking"
+  "example_sum_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sum_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/anomaly_scorer.cc" "src/CMakeFiles/dswm.dir/analytics/anomaly_scorer.cc.o" "gcc" "src/CMakeFiles/dswm.dir/analytics/anomaly_scorer.cc.o.d"
+  "/root/repo/src/analytics/approx_pca.cc" "src/CMakeFiles/dswm.dir/analytics/approx_pca.cc.o" "gcc" "src/CMakeFiles/dswm.dir/analytics/approx_pca.cc.o.d"
+  "/root/repo/src/analytics/change_detector.cc" "src/CMakeFiles/dswm.dir/analytics/change_detector.cc.o" "gcc" "src/CMakeFiles/dswm.dir/analytics/change_detector.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/dswm.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/dswm.dir/common/flags.cc.o.d"
+  "/root/repo/src/core/centralized_tracker.cc" "src/CMakeFiles/dswm.dir/core/centralized_tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/centralized_tracker.cc.o.d"
+  "/root/repo/src/core/da1_tracker.cc" "src/CMakeFiles/dswm.dir/core/da1_tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/da1_tracker.cc.o.d"
+  "/root/repo/src/core/da2_tracker.cc" "src/CMakeFiles/dswm.dir/core/da2_tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/da2_tracker.cc.o.d"
+  "/root/repo/src/core/iwmt.cc" "src/CMakeFiles/dswm.dir/core/iwmt.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/iwmt.cc.o.d"
+  "/root/repo/src/core/sampling_tracker.cc" "src/CMakeFiles/dswm.dir/core/sampling_tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/sampling_tracker.cc.o.d"
+  "/root/repo/src/core/shared_threshold_wr_tracker.cc" "src/CMakeFiles/dswm.dir/core/shared_threshold_wr_tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/shared_threshold_wr_tracker.cc.o.d"
+  "/root/repo/src/core/sum_tracker.cc" "src/CMakeFiles/dswm.dir/core/sum_tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/sum_tracker.cc.o.d"
+  "/root/repo/src/core/tracker.cc" "src/CMakeFiles/dswm.dir/core/tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/tracker.cc.o.d"
+  "/root/repo/src/core/tracker_factory.cc" "src/CMakeFiles/dswm.dir/core/tracker_factory.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/tracker_factory.cc.o.d"
+  "/root/repo/src/core/with_replacement_tracker.cc" "src/CMakeFiles/dswm.dir/core/with_replacement_tracker.cc.o" "gcc" "src/CMakeFiles/dswm.dir/core/with_replacement_tracker.cc.o.d"
+  "/root/repo/src/linalg/bidiag_svd.cc" "src/CMakeFiles/dswm.dir/linalg/bidiag_svd.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/bidiag_svd.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/dswm.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/matrix_io.cc" "src/CMakeFiles/dswm.dir/linalg/matrix_io.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/matrix_io.cc.o.d"
+  "/root/repo/src/linalg/psd_sqrt.cc" "src/CMakeFiles/dswm.dir/linalg/psd_sqrt.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/psd_sqrt.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/dswm.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/spectral_norm.cc" "src/CMakeFiles/dswm.dir/linalg/spectral_norm.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/spectral_norm.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/CMakeFiles/dswm.dir/linalg/svd.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/svd.cc.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cc" "src/CMakeFiles/dswm.dir/linalg/symmetric_eigen.cc.o" "gcc" "src/CMakeFiles/dswm.dir/linalg/symmetric_eigen.cc.o.d"
+  "/root/repo/src/monitor/driver.cc" "src/CMakeFiles/dswm.dir/monitor/driver.cc.o" "gcc" "src/CMakeFiles/dswm.dir/monitor/driver.cc.o.d"
+  "/root/repo/src/sampling/sample_set.cc" "src/CMakeFiles/dswm.dir/sampling/sample_set.cc.o" "gcc" "src/CMakeFiles/dswm.dir/sampling/sample_set.cc.o.d"
+  "/root/repo/src/sampling/site_queue.cc" "src/CMakeFiles/dswm.dir/sampling/site_queue.cc.o" "gcc" "src/CMakeFiles/dswm.dir/sampling/site_queue.cc.o.d"
+  "/root/repo/src/sketch/covariance.cc" "src/CMakeFiles/dswm.dir/sketch/covariance.cc.o" "gcc" "src/CMakeFiles/dswm.dir/sketch/covariance.cc.o.d"
+  "/root/repo/src/sketch/frequent_directions.cc" "src/CMakeFiles/dswm.dir/sketch/frequent_directions.cc.o" "gcc" "src/CMakeFiles/dswm.dir/sketch/frequent_directions.cc.o.d"
+  "/root/repo/src/stream/csv_loader.cc" "src/CMakeFiles/dswm.dir/stream/csv_loader.cc.o" "gcc" "src/CMakeFiles/dswm.dir/stream/csv_loader.cc.o.d"
+  "/root/repo/src/stream/pamap_like.cc" "src/CMakeFiles/dswm.dir/stream/pamap_like.cc.o" "gcc" "src/CMakeFiles/dswm.dir/stream/pamap_like.cc.o.d"
+  "/root/repo/src/stream/row_stream.cc" "src/CMakeFiles/dswm.dir/stream/row_stream.cc.o" "gcc" "src/CMakeFiles/dswm.dir/stream/row_stream.cc.o.d"
+  "/root/repo/src/stream/synthetic.cc" "src/CMakeFiles/dswm.dir/stream/synthetic.cc.o" "gcc" "src/CMakeFiles/dswm.dir/stream/synthetic.cc.o.d"
+  "/root/repo/src/stream/wiki_like.cc" "src/CMakeFiles/dswm.dir/stream/wiki_like.cc.o" "gcc" "src/CMakeFiles/dswm.dir/stream/wiki_like.cc.o.d"
+  "/root/repo/src/window/exact_window.cc" "src/CMakeFiles/dswm.dir/window/exact_window.cc.o" "gcc" "src/CMakeFiles/dswm.dir/window/exact_window.cc.o.d"
+  "/root/repo/src/window/exponential_histogram.cc" "src/CMakeFiles/dswm.dir/window/exponential_histogram.cc.o" "gcc" "src/CMakeFiles/dswm.dir/window/exponential_histogram.cc.o.d"
+  "/root/repo/src/window/matrix_eh.cc" "src/CMakeFiles/dswm.dir/window/matrix_eh.cc.o" "gcc" "src/CMakeFiles/dswm.dir/window/matrix_eh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

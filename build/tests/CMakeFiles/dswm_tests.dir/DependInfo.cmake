@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics_test.cc" "tests/CMakeFiles/dswm_tests.dir/analytics_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/analytics_test.cc.o.d"
+  "/root/repo/tests/centralized_tracker_test.cc" "tests/CMakeFiles/dswm_tests.dir/centralized_tracker_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/centralized_tracker_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dswm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/cross_validation_test.cc" "tests/CMakeFiles/dswm_tests.dir/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/cross_validation_test.cc.o.d"
+  "/root/repo/tests/csv_loader_test.cc" "tests/CMakeFiles/dswm_tests.dir/csv_loader_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/csv_loader_test.cc.o.d"
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/dswm_tests.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/determinism_test.cc.o.d"
+  "/root/repo/tests/deterministic_tracker_test.cc" "tests/CMakeFiles/dswm_tests.dir/deterministic_tracker_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/deterministic_tracker_test.cc.o.d"
+  "/root/repo/tests/driver_trace_comm_test.cc" "tests/CMakeFiles/dswm_tests.dir/driver_trace_comm_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/driver_trace_comm_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/dswm_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/estimator_statistics_test.cc" "tests/CMakeFiles/dswm_tests.dir/estimator_statistics_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/estimator_statistics_test.cc.o.d"
+  "/root/repo/tests/factory_driver_test.cc" "tests/CMakeFiles/dswm_tests.dir/factory_driver_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/factory_driver_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dswm_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/iwmt_test.cc" "tests/CMakeFiles/dswm_tests.dir/iwmt_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/iwmt_test.cc.o.d"
+  "/root/repo/tests/linalg_bidiag_svd_test.cc" "tests/CMakeFiles/dswm_tests.dir/linalg_bidiag_svd_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/linalg_bidiag_svd_test.cc.o.d"
+  "/root/repo/tests/linalg_eigen_test.cc" "tests/CMakeFiles/dswm_tests.dir/linalg_eigen_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/linalg_eigen_test.cc.o.d"
+  "/root/repo/tests/linalg_matrix_test.cc" "tests/CMakeFiles/dswm_tests.dir/linalg_matrix_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/linalg_matrix_test.cc.o.d"
+  "/root/repo/tests/linalg_qr_spectral_test.cc" "tests/CMakeFiles/dswm_tests.dir/linalg_qr_spectral_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/linalg_qr_spectral_test.cc.o.d"
+  "/root/repo/tests/linalg_svd_test.cc" "tests/CMakeFiles/dswm_tests.dir/linalg_svd_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/linalg_svd_test.cc.o.d"
+  "/root/repo/tests/matrix_io_flags_test.cc" "tests/CMakeFiles/dswm_tests.dir/matrix_io_flags_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/matrix_io_flags_test.cc.o.d"
+  "/root/repo/tests/sampling_structures_test.cc" "tests/CMakeFiles/dswm_tests.dir/sampling_structures_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/sampling_structures_test.cc.o.d"
+  "/root/repo/tests/sampling_tracker_test.cc" "tests/CMakeFiles/dswm_tests.dir/sampling_tracker_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/sampling_tracker_test.cc.o.d"
+  "/root/repo/tests/sequence_window_test.cc" "tests/CMakeFiles/dswm_tests.dir/sequence_window_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/sequence_window_test.cc.o.d"
+  "/root/repo/tests/shared_threshold_wr_test.cc" "tests/CMakeFiles/dswm_tests.dir/shared_threshold_wr_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/shared_threshold_wr_test.cc.o.d"
+  "/root/repo/tests/sketch_fd_test.cc" "tests/CMakeFiles/dswm_tests.dir/sketch_fd_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/sketch_fd_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/dswm_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/sum_tracker_test.cc" "tests/CMakeFiles/dswm_tests.dir/sum_tracker_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/sum_tracker_test.cc.o.d"
+  "/root/repo/tests/window_eh_test.cc" "tests/CMakeFiles/dswm_tests.dir/window_eh_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/window_eh_test.cc.o.d"
+  "/root/repo/tests/window_exact_test.cc" "tests/CMakeFiles/dswm_tests.dir/window_exact_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/window_exact_test.cc.o.d"
+  "/root/repo/tests/window_meh_test.cc" "tests/CMakeFiles/dswm_tests.dir/window_meh_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/window_meh_test.cc.o.d"
+  "/root/repo/tests/wr_tracker_test.cc" "tests/CMakeFiles/dswm_tests.dir/wr_tracker_test.cc.o" "gcc" "tests/CMakeFiles/dswm_tests.dir/wr_tracker_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dswm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dswm_cli.dir/dswm_cli.cc.o"
+  "CMakeFiles/dswm_cli.dir/dswm_cli.cc.o.d"
+  "dswm_cli"
+  "dswm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dswm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
