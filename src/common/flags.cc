@@ -26,8 +26,15 @@ StatusOr<FlagSet> FlagSet::Parse(int argc, const char* const* argv,
       }
       value = argv[++i];
     }
+    if (name.empty()) {
+      return Status::InvalidArgument("malformed flag '" + arg +
+                                     "': empty flag name");
+    }
     if (std::find(known.begin(), known.end(), name) == known.end()) {
       return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (flags.values_.count(name) > 0) {
+      return Status::InvalidArgument("duplicate flag --" + name);
     }
     flags.values_[name] = std::move(value);
   }

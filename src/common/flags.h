@@ -18,24 +18,24 @@ namespace dswm {
 class FlagSet {
  public:
   /// Parses argv[1..]; `known` lists the accepted flag names (without
-  /// leading dashes). Fails on unknown flags or a trailing valueless
-  /// "--name".
+  /// leading dashes). Fails on unknown flags, duplicate flags, an empty
+  /// flag name ("--=v"), or a trailing valueless "--name".
   static StatusOr<FlagSet> Parse(int argc, const char* const* argv,
                                  const std::vector<std::string>& known);
 
-  bool Has(const std::string& name) const {
+  [[nodiscard]] bool Has(const std::string& name) const {
     return values_.count(name) > 0;
   }
 
   /// String value or default.
-  std::string GetString(const std::string& name,
+  [[nodiscard]] std::string GetString(const std::string& name,
                         const std::string& default_value) const;
   /// Integer value or default; CHECKs that the stored text is numeric.
-  long GetInt(const std::string& name, long default_value) const;
+  [[nodiscard]] long GetInt(const std::string& name, long default_value) const;
   /// Double value or default.
-  double GetDouble(const std::string& name, double default_value) const;
+  [[nodiscard]] double GetDouble(const std::string& name, double default_value) const;
 
-  const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> values_;

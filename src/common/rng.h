@@ -26,7 +26,7 @@ class Rng {
   }
 
   /// Uniform 64-bit draw.
-  uint64_t NextU64() {
+  [[nodiscard]] uint64_t NextU64() {
     const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
     const uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -39,20 +39,20 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  double NextDouble() {
+  [[nodiscard]] double NextDouble() {
     return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
   }
 
   /// Uniform double in the open interval (0, 1); never returns 0 exactly,
   /// which sampling priorities (w/u and u^{1/w}) require.
-  double NextOpenDouble() {
+  [[nodiscard]] double NextOpenDouble() {
     double u = NextDouble();
     while (u == 0.0) u = NextDouble();
     return u;
   }
 
   /// Uniform integer in [0, n).
-  uint64_t NextBelow(uint64_t n) {
+  [[nodiscard]] uint64_t NextBelow(uint64_t n) {
     DSWM_CHECK_GT(n, 0u);
     // Lemire's multiply-shift rejection-free-enough mapping; bias is
     // negligible for n << 2^64 which is all we use.
@@ -61,7 +61,7 @@ class Rng {
   }
 
   /// Standard normal via Box-Muller (cached second value).
-  double NextGaussian() {
+  [[nodiscard]] double NextGaussian() {
     if (has_cached_) {
       has_cached_ = false;
       return cached_;
@@ -77,7 +77,7 @@ class Rng {
 
   /// Exponential with rate lambda (mean 1/lambda); used for Poisson
   /// arrival-process inter-arrival gaps.
-  double NextExponential(double lambda) {
+  [[nodiscard]] double NextExponential(double lambda) {
     DSWM_CHECK_GT(lambda, 0.0);
     return -std::log(NextOpenDouble()) / lambda;
   }

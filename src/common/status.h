@@ -27,7 +27,7 @@ enum class StatusCode {
 };
 
 /// Result of an operation that can fail without a value.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -52,12 +52,12 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: epsilon must be > 0".
-  std::string ToString() const {
+  [[nodiscard]] std::string ToString() const {
     if (ok()) return "OK";
     return std::string(CodeName(code_)) + ": " + message_;
   }
@@ -85,7 +85,7 @@ class Status {
 
 /// Result of an operation that yields a T on success.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a value: success.
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
@@ -94,19 +94,19 @@ class StatusOr {
     DSWM_CHECK(!status_.ok());
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// The contained value; requires ok().
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     DSWM_CHECK(ok());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     DSWM_CHECK(ok());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     DSWM_CHECK(ok());
     return *std::move(value_);
   }

@@ -47,7 +47,7 @@ void Da1Tracker::NoteExpirations(SiteState* st, Timestamp t) {
   }
 }
 
-void Da1Tracker::MaybeReport(SiteState* st, Timestamp t) {
+void Da1Tracker::MaybeReport(SiteState* st, Timestamp /*t*/) {
   if (st->mass_since_check <= 0.0) return;  // D unchanged since last check
 
   const double fnorm2 = st->meh.FrobeniusSquaredEstimate();

@@ -49,9 +49,9 @@ class IwmtProtocol {
   void Flush(std::vector<IwmtOutput>* out);
 
   /// Squared Frobenius mass currently unreported.
-  double unreported_mass() const { return residual_.input_mass(); }
+  [[nodiscard]] double unreported_mass() const { return residual_.input_mass(); }
 
-  long SpaceWords() const { return residual_.SpaceWords(); }
+  [[nodiscard]] long SpaceWords() const { return residual_.SpaceWords(); }
 
  private:
   void CheckAndEmit(double theta, std::vector<IwmtOutput>* out);

@@ -39,12 +39,12 @@ class SumTracker {
   void AdvanceTime(Timestamp t);
 
   /// Coordinator's estimate of the window sum.
-  double Estimate() const { return coordinator_sum_; }
+  [[nodiscard]] double Estimate() const { return coordinator_sum_; }
 
-  const CommStats& comm() const { return *comm_; }
+  [[nodiscard]] const CommStats& comm() const { return *comm_; }
 
   /// Space (words) of the most loaded site: gEH buckets + C_hat.
-  long MaxSiteSpaceWords() const;
+  [[nodiscard]] long MaxSiteSpaceWords() const;
 
  private:
   struct SiteState {

@@ -45,24 +45,24 @@ class DistributedTracker {
   virtual void AdvanceTime(Timestamp t) = 0;
 
   /// The approximation in its native (cheapest) form.
-  virtual Approximation GetApproximation() const = 0;
+  [[nodiscard]] virtual Approximation GetApproximation() const = 0;
 
   /// The sketch B (rows x d) with B^T B ~= A_w^T A_w. For deterministic
   /// trackers this runs an O(d^3) PSD square root (Algorithm 4/5 QUERY());
   /// measurement loops should prefer GetApproximation().
-  Matrix SketchRows() const;
+  [[nodiscard]] Matrix SketchRows() const;
 
   /// Cumulative communication.
-  virtual const CommStats& comm() const = 0;
+  [[nodiscard]] virtual const CommStats& comm() const = 0;
 
   /// Current space usage, in words, of the most loaded site.
-  virtual long MaxSiteSpaceWords() const = 0;
+  [[nodiscard]] virtual long MaxSiteSpaceWords() const = 0;
 
   /// Algorithm name as used in the paper's figures ("PWOR", "DA2", ...).
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
   /// Row dimension d.
-  virtual int dim() const = 0;
+  [[nodiscard]] virtual int dim() const = 0;
 };
 
 }  // namespace dswm

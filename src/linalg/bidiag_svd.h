@@ -19,7 +19,7 @@ namespace dswm {
 /// Thin SVD of `a` (any shape) computed without forming a Gram matrix.
 /// Singular values below `rel_tol * sigma_max` are truncated (pass 0 to
 /// keep all numerically-nonzero values).
-SvdResult BidiagonalSvd(const Matrix& a, double rel_tol = 0.0);
+[[nodiscard]] SvdResult BidiagonalSvd(const Matrix& a, double rel_tol = 0.0);
 
 }  // namespace dswm
 

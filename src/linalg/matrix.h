@@ -34,32 +34,43 @@ class Matrix {
   }
 
   /// d x d identity.
-  static Matrix Identity(int d);
+  [[nodiscard]] static Matrix Identity(int d);
 
-  int rows() const { return rows_; }
-  int cols() const { return cols_; }
-  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
 
-  double& operator()(int i, int j) {
+  [[nodiscard]] double& operator()(int i, int j) {
     DSWM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[static_cast<size_t>(i) * cols_ + j];
   }
-  double operator()(int i, int j) const {
+  [[nodiscard]] double operator()(int i, int j) const {
     DSWM_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
     return data_[static_cast<size_t>(i) * cols_ + j];
   }
 
-  double* Row(int i) {
+  /// Bounds-checked access: CHECK-fails on out-of-range (i, j) in every
+  /// build type. Prefer operator() in hot loops (DCHECK-only bounds).
+  [[nodiscard]] double& at(int i, int j) {
+    DSWM_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+  [[nodiscard]] double at(int i, int j) const {
+    DSWM_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i) * cols_ + j];
+  }
+
+  [[nodiscard]] double* Row(int i) {
     DSWM_DCHECK(i >= 0 && i < rows_);
     return data_.data() + static_cast<size_t>(i) * cols_;
   }
-  const double* Row(int i) const {
+  [[nodiscard]] const double* Row(int i) const {
     DSWM_DCHECK(i >= 0 && i < rows_);
     return data_.data() + static_cast<size_t>(i) * cols_;
   }
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
 
   /// Sets every entry to zero without reallocating.
   void SetZero() { std::memset(data_.data(), 0, data_.size() * sizeof(double)); }
@@ -74,10 +85,10 @@ class Matrix {
   void AppendRow(const double* src, int len);
 
   /// Returns the transpose.
-  Matrix Transposed() const;
+  [[nodiscard]] Matrix Transposed() const;
 
   /// Sum of squared entries, i.e. ||A||_F^2.
-  double FrobeniusNormSquared() const;
+  [[nodiscard]] double FrobeniusNormSquared() const;
 
   /// this += alpha * other (same shape).
   void AddScaled(const Matrix& other, double alpha);
@@ -90,7 +101,7 @@ class Matrix {
   void AddSparseOuterProduct(const double* v, const std::vector<int>& support,
                              double alpha);
 
-  bool operator==(const Matrix& other) const {
+  [[nodiscard]] bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&
            data_ == other.data_;
   }
@@ -104,10 +115,10 @@ class Matrix {
 // ---- Vector kernels (operate on raw pointers of explicit length) ----------
 
 /// Dot product of two length-n vectors.
-double Dot(const double* x, const double* y, int n);
+[[nodiscard]] double Dot(const double* x, const double* y, int n);
 
 /// Squared L2 norm.
-double NormSquared(const double* x, int n);
+[[nodiscard]] double NormSquared(const double* x, int n);
 
 /// y += alpha * x.
 void Axpy(double alpha, const double* x, double* y, int n);
@@ -124,20 +135,20 @@ void MatVec(const Matrix& a, const double* x, double* y);
 void MatTVec(const Matrix& a, const double* x, double* y);
 
 /// Returns A * B.
-Matrix MatMul(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// Returns A^T * A (cols x cols). This is the covariance Gram product used
 /// throughout: for a sketch B it yields B^T B.
-Matrix GramTranspose(const Matrix& a);
+[[nodiscard]] Matrix GramTranspose(const Matrix& a);
 
 /// Returns A * A^T (rows x rows); used by the thin SVD on the short side.
-Matrix Gram(const Matrix& a);
+[[nodiscard]] Matrix Gram(const Matrix& a);
 
 /// Returns A - B (same shape).
-Matrix Subtract(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix Subtract(const Matrix& a, const Matrix& b);
 
 /// Max absolute entry difference; used by tests.
-double MaxAbsDiff(const Matrix& a, const Matrix& b);
+[[nodiscard]] double MaxAbsDiff(const Matrix& a, const Matrix& b);
 
 }  // namespace dswm
 

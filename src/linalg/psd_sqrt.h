@@ -15,7 +15,7 @@ namespace dswm {
 /// Returns an r x d matrix B with B^T B equal to the PSD projection of the
 /// symmetric matrix `c` (negative eigenvalues clamped). Rows with
 /// eigenvalue <= rel_tol * lambda_max are dropped, so r <= d.
-Matrix PsdSqrt(const Matrix& c, double rel_tol = 1e-12);
+[[nodiscard]] Matrix PsdSqrt(const Matrix& c, double rel_tol = 1e-12);
 
 }  // namespace dswm
 

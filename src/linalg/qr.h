@@ -20,11 +20,11 @@ struct QrResult {
 };
 
 /// Householder QR of `a` (thin form).
-QrResult HouseholderQr(const Matrix& a);
+[[nodiscard]] QrResult HouseholderQr(const Matrix& a);
 
 /// Returns a k x d matrix with orthonormal rows (k <= d), Haar-ish
 /// distributed: QR of a Gaussian matrix.
-Matrix RandomOrthonormalRows(int k, int d, Rng* rng);
+[[nodiscard]] Matrix RandomOrthonormalRows(int k, int d, Rng* rng);
 
 }  // namespace dswm
 

@@ -26,18 +26,18 @@ using SymmetricApplyFn = std::function<void(const double* x, double* y)>;
 /// Relative accuracy is ~`tol` for matrices with any eigengap; for the
 /// (measure-zero) gap-free worst case the estimate is a lower bound within
 /// a few percent after `max_iters` steps -- ample for error reporting.
-double SpectralNormSym(const SymmetricApplyFn& apply, int d,
+[[nodiscard]] double SpectralNormSym(const SymmetricApplyFn& apply, int d,
                        int max_iters = 300, double tol = 1e-9,
                        uint64_t seed = 0x5eed);
 
 /// Convenience overload for an explicit symmetric matrix.
-double SpectralNormSym(const Matrix& m, int max_iters = 300,
+[[nodiscard]] double SpectralNormSym(const Matrix& m, int max_iters = 300,
                        double tol = 1e-9, uint64_t seed = 0x5eed);
 
 /// As SpectralNormSym but warm-started from *warm (resized/seeded if it
 /// does not match d); the converged iterate is written back, so repeated
 /// calls against a slowly-drifting operator converge in a few steps.
-double SpectralNormSymWarm(const SymmetricApplyFn& apply, int d,
+[[nodiscard]] double SpectralNormSymWarm(const SymmetricApplyFn& apply, int d,
                            std::vector<double>* warm, int max_iters = 60,
                            double tol = 1e-6);
 

@@ -31,7 +31,7 @@ struct SvdResult {
 /// Computes the thin SVD of `a`. Singular values below
 /// `rel_tol * sigma_max` are dropped (rank truncation); pass 0 to keep all
 /// numerically-nonzero values.
-SvdResult ThinSvd(const Matrix& a, double rel_tol = 1e-10);
+[[nodiscard]] SvdResult ThinSvd(const Matrix& a, double rel_tol = 1e-10);
 
 /// Right singular vectors and *squared* singular values of `a`, skipping the
 /// computation of U. This is the exact shape Frequent Directions needs for
@@ -45,7 +45,7 @@ struct RightSvdResult {
 };
 
 /// Computes right singular vectors + squared singular values of `a`.
-RightSvdResult RightSvd(const Matrix& a);
+[[nodiscard]] RightSvdResult RightSvd(const Matrix& a);
 
 }  // namespace dswm
 

@@ -25,12 +25,12 @@ struct EigenResult {
 /// Decomposes the symmetric matrix `a` (only its symmetric part is used)
 /// with cyclic Jacobi sweeps. Cost O(d^3) per sweep, typically 6-12 sweeps.
 /// Accurate to ~1e-12 relative off-diagonal mass.
-EigenResult SymmetricEigen(const Matrix& a);
+[[nodiscard]] EigenResult SymmetricEigen(const Matrix& a);
 
 /// Largest eigenvalue magnitude max_i |lambda_i|, i.e. the spectral norm of
 /// a symmetric matrix, computed exactly via Jacobi. Prefer
 /// SpectralNormSym (spectral_norm.h) in hot paths.
-double SpectralNormExact(const Matrix& a);
+[[nodiscard]] double SpectralNormExact(const Matrix& a);
 
 }  // namespace dswm
 

@@ -24,7 +24,7 @@ struct CommStats {
   /// Full rows (or directions) shipped site -> coordinator.
   long rows_sent = 0;
 
-  long TotalWords() const { return words_up + words_down; }
+  [[nodiscard]] long TotalWords() const { return words_up + words_down; }
 
   /// One site->coordinator message of `words` words.
   void SendUp(int words) {

@@ -36,7 +36,7 @@ class DominanceCounter {
 
   /// Number of recorded arrivals in strictly higher buckets than
   /// `bucket_value`'s bucket.
-  long CountStrictlyAbove(double bucket_value) const {
+  [[nodiscard]] long CountStrictlyAbove(double bucket_value) const {
     long prefix = 0;  // arrivals in buckets <= this one
     for (int i = BucketIndex(bucket_value) + 1; i > 0; i -= i & (-i)) {
       prefix += tree_[i];
@@ -44,10 +44,10 @@ class DominanceCounter {
     return total_ - prefix;
   }
 
-  long total() const { return total_; }
+  [[nodiscard]] long total() const { return total_; }
 
   /// Words of memory (for space accounting; fixed).
-  long SpaceWords() const { return static_cast<long>(tree_.size()); }
+  [[nodiscard]] long SpaceWords() const { return static_cast<long>(tree_.size()); }
 
  private:
   // 8 sub-buckets per octave over log2 in [-256, 256).

@@ -22,28 +22,28 @@ enum class SamplingScheme { kPriority, kEfraimidisSpirakis };
 
 /// Draws the random priority key for a row of weight w (> 0). Larger keys
 /// win. ES keys are log-domain and negative; priority keys are positive.
-inline double DrawKey(SamplingScheme scheme, double weight, Rng* rng) {
+[[nodiscard]] inline double DrawKey(SamplingScheme scheme, double weight, Rng* rng) {
   const double u = rng->NextOpenDouble();
   if (scheme == SamplingScheme::kPriority) return weight / u;
   return std::log(u) / weight;  // log of u^{1/w}
 }
 
 /// Sentinel threshold that admits every key (protocol start / fallback).
-inline double LowestThreshold(SamplingScheme scheme) {
+[[nodiscard]] inline double LowestThreshold(SamplingScheme scheme) {
   if (scheme == SamplingScheme::kPriority) return 0.0;
   return -std::numeric_limits<double>::infinity();
 }
 
 /// Halves the raw threshold (Algorithm 2's tau = tau/2). For log-domain ES
 /// keys this subtracts log 2. Idempotent at the lowest threshold.
-inline double RelaxThreshold(SamplingScheme scheme, double tau) {
+[[nodiscard]] inline double RelaxThreshold(SamplingScheme scheme, double tau) {
   if (scheme == SamplingScheme::kPriority) return tau * 0.5;
   return tau - 0.6931471805599453;  // ln 2
 }
 
 /// Monotone map from a key to a positive value, used to quantize keys into
 /// log-scale buckets for dominance counting. Larger key -> larger value.
-inline double KeyBucketValue(SamplingScheme scheme, double key) {
+[[nodiscard]] inline double KeyBucketValue(SamplingScheme scheme, double key) {
   if (scheme == SamplingScheme::kPriority) return key;
   // ES log-domain keys are negative; -1/key is positive and increasing.
   return -1.0 / key;

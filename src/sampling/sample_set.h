@@ -26,15 +26,15 @@ class KeyedSampleSet {
   /// Removes entries with timestamp <= cutoff; returns how many.
   int ExpireBefore(Timestamp cutoff);
 
-  int size() const { return static_cast<int>(by_key_.size()); }
-  bool empty() const { return by_key_.empty(); }
+  [[nodiscard]] int size() const { return static_cast<int>(by_key_.size()); }
+  [[nodiscard]] bool empty() const { return by_key_.empty(); }
 
   /// Smallest key; requires !empty().
-  double MinKey() const;
+  [[nodiscard]] double MinKey() const;
   /// Largest key, or `fallback` when empty.
-  double MaxKey(double fallback) const;
+  [[nodiscard]] double MaxKey(double fallback) const;
   /// k-th largest key (k >= 1); requires size() >= k. O(k).
-  double KthLargestKey(int k) const;
+  [[nodiscard]] double KthLargestKey(int k) const;
 
   /// Removes and returns the minimum-key entry; requires !empty().
   CoordEntry PopMin();
@@ -47,9 +47,9 @@ class KeyedSampleSet {
   std::vector<CoordEntry> TakeBelow(double tau);
 
   /// Copies the `k` largest-key entries (k <= size()).
-  std::vector<const CoordEntry*> TopK(int k) const;
+  [[nodiscard]] std::vector<const CoordEntry*> TopK(int k) const;
   /// Copies pointers to all entries.
-  std::vector<const CoordEntry*> All() const;
+  [[nodiscard]] std::vector<const CoordEntry*> All() const;
 
  private:
   using KeyMap = std::multimap<double, CoordEntry>;

@@ -48,11 +48,11 @@ class SiteSampleQueue {
   std::vector<SiteEntry> TakeAtLeast(double tau);
 
   /// True if any entry is queued.
-  bool empty() const { return entries_.empty(); }
-  int size() const { return static_cast<int>(entries_.size()); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] int size() const { return static_cast<int>(entries_.size()); }
 
   /// Largest queued key, or `fallback` when empty.
-  double MaxKey(double fallback) const;
+  [[nodiscard]] double MaxKey(double fallback) const;
 
   /// Removes and returns the entry with the largest key; requires
   /// !empty().
@@ -60,7 +60,7 @@ class SiteSampleQueue {
 
   /// Current space in words: queued rows * (d + 3) + the dominance
   /// counter.
-  long SpaceWords(int dim) const {
+  [[nodiscard]] long SpaceWords(int dim) const {
     return static_cast<long>(entries_.size()) * (dim + 3) +
            counter_.SpaceWords();
   }

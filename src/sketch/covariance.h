@@ -17,16 +17,16 @@ namespace dswm {
 /// ||C - S||_2 / fnorm2 where S is given implicitly by `estimate_apply`
 /// (y = S x). `cov_exact` is the d x d exact covariance; `fnorm2` is
 /// ||A_w||_F^2. Returns 0 when the window is empty (fnorm2 == 0).
-double CovarianceError(const Matrix& cov_exact,
+[[nodiscard]] double CovarianceError(const Matrix& cov_exact,
                        const SymmetricApplyFn& estimate_apply, double fnorm2);
 
 /// Covariance error of a sketch given as rows B (l x d): S = B^T B applied
 /// in O(l*d) per power-iteration step.
-double CovarianceErrorOfSketch(const Matrix& cov_exact,
+[[nodiscard]] double CovarianceErrorOfSketch(const Matrix& cov_exact,
                                const Matrix& sketch_rows, double fnorm2);
 
 /// Covariance error of an explicit d x d covariance estimate.
-double CovarianceErrorOfCovariance(const Matrix& cov_exact,
+[[nodiscard]] double CovarianceErrorOfCovariance(const Matrix& cov_exact,
                                    const Matrix& cov_estimate, double fnorm2);
 
 }  // namespace dswm

@@ -22,27 +22,27 @@ class FrequentDirections {
   /// 2l rows and guarantees covariance error <= ||A||_F^2 / (l+1).
   FrequentDirections(int d, int ell);
 
-  int dim() const { return d_; }
-  int ell() const { return ell_; }
+  [[nodiscard]] int dim() const { return d_; }
+  [[nodiscard]] int ell() const { return ell_; }
 
   /// Number of rows currently held (sketch + unshrunk buffer), <= 2l.
-  int row_count() const { return count_; }
+  [[nodiscard]] int row_count() const { return count_; }
 
   /// Appends one row of A; triggers a shrink when the buffer fills.
   void Append(const double* row);
 
   /// Total squared Frobenius mass of all input appended so far.
-  double input_mass() const { return input_mass_; }
+  [[nodiscard]] double input_mass() const { return input_mass_; }
 
   /// Total shrinkage Delta: an upper bound on ||A^T A - B^T B||_2, and an
   /// exact accounting of the deleted directional mass.
-  double shrinkage() const { return shrinkage_; }
+  [[nodiscard]] double shrinkage() const { return shrinkage_; }
 
   /// Current sketch rows as a row_count() x d matrix (copies).
-  Matrix RowsMatrix() const;
+  [[nodiscard]] Matrix RowsMatrix() const;
 
   /// B^T B, the d x d covariance estimate.
-  Matrix Covariance() const;
+  [[nodiscard]] Matrix Covariance() const;
 
   /// Appends every row of `other`'s sketch into this sketch (mergeability:
   /// the combined guarantee is the sum of both shrinkages plus any new
@@ -57,7 +57,7 @@ class FrequentDirections {
   void Reset();
 
   /// Space in words currently used (rows * d), for space accounting.
-  long SpaceWords() const { return static_cast<long>(count_) * d_; }
+  [[nodiscard]] long SpaceWords() const { return static_cast<long>(count_) * d_; }
 
  private:
   void Shrink();

@@ -27,19 +27,19 @@ class ExactWindow {
   void Advance(Timestamp t_now);
 
   /// Exact d x d covariance A_w^T A_w of active rows.
-  const Matrix& Covariance() const { return cov_; }
+  [[nodiscard]] const Matrix& Covariance() const { return cov_; }
 
   /// Exact ||A_w||_F^2.
-  double FrobeniusSquared() const { return fnorm2_; }
+  [[nodiscard]] double FrobeniusSquared() const { return fnorm2_; }
 
   /// Number of active rows.
-  int size() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int size() const { return static_cast<int>(rows_.size()); }
 
   /// Materializes the active rows as a matrix (tests only; O(n*d)).
-  Matrix RowsMatrix() const;
+  [[nodiscard]] Matrix RowsMatrix() const;
 
   /// Active rows, oldest first.
-  const std::deque<TimedRow>& rows() const { return rows_; }
+  [[nodiscard]] const std::deque<TimedRow>& rows() const { return rows_; }
 
  private:
   void Apply(const TimedRow& row, double sign);

@@ -29,6 +29,13 @@ void ExponentialHistogram::ExpireUpTo(Timestamp t_now) {
     total_ -= buckets_.front().sum;
     buckets_.pop_front();
   }
+  // Expiry invariants: the surviving prefix is strictly within the window,
+  // bucket timestamps are non-decreasing oldest -> newest, and the running
+  // total never goes (more than rounding) negative.
+  DSWM_DCHECK(buckets_.empty() || buckets_.front().t_newest > cutoff);
+  DSWM_DCHECK(buckets_.size() < 2 ||
+              buckets_.front().t_newest <= buckets_.back().t_newest);
+  DSWM_DCHECK_GE(total_, -1e-9);
 }
 
 void ExponentialHistogram::Compress() {

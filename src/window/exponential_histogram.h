@@ -33,16 +33,16 @@ class ExponentialHistogram {
   void Insert(double w, Timestamp t);
 
   /// Expires buckets and returns the window-sum estimate at time t_now.
-  double Query(Timestamp t_now);
+  [[nodiscard]] double Query(Timestamp t_now);
 
   /// Estimate without advancing time (uses the last seen t_now).
-  double Estimate() const;
+  [[nodiscard]] double Estimate() const;
 
   /// Number of live buckets (space usage is 2 words per bucket).
-  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+  [[nodiscard]] int bucket_count() const { return static_cast<int>(buckets_.size()); }
 
   /// Space in words: 2 per bucket (sum + timestamp).
-  long SpaceWords() const { return 2L * bucket_count(); }
+  [[nodiscard]] long SpaceWords() const { return 2L * bucket_count(); }
 
  private:
   struct Bucket {

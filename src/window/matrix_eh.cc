@@ -42,6 +42,15 @@ void MatrixExpHistogram::Advance(Timestamp t_now,
     if (dropped != nullptr) dropped->push_back(std::move(buckets_.front()));
     buckets_.pop_front();
   }
+  // Expiry invariants: surviving buckets end inside the window, hold
+  // internally-ordered time ranges in oldest -> newest order, and the
+  // running mass never goes (more than rounding) negative.
+  DSWM_DCHECK(buckets_.empty() || buckets_.front().t_newest > cutoff);
+  DSWM_DCHECK(buckets_.empty() ||
+              buckets_.front().t_oldest <= buckets_.front().t_newest);
+  DSWM_DCHECK(buckets_.size() < 2 ||
+              buckets_.front().t_newest <= buckets_.back().t_newest);
+  DSWM_DCHECK_GE(total_mass_, -1e-9);
 }
 
 void MatrixExpHistogram::Compress() {

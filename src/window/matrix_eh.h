@@ -50,24 +50,24 @@ class MatrixExpHistogram {
   void Advance(Timestamp t_now, std::vector<Bucket>* dropped = nullptr);
 
   /// Sketch rows of all live buckets concatenated (l' x d).
-  Matrix QueryRows() const;
+  [[nodiscard]] Matrix QueryRows() const;
 
   /// d x d covariance estimate C' ~= A_w^T A_w.
-  Matrix QueryCovariance() const;
+  [[nodiscard]] Matrix QueryCovariance() const;
 
   /// Estimate of ||A_w||_F^2 (relative error <= eps/2).
-  double FrobeniusSquaredEstimate() const;
+  [[nodiscard]] double FrobeniusSquaredEstimate() const;
 
   /// Live buckets, oldest first; DA2's reverse replay walks these.
-  const std::deque<Bucket>& buckets() const { return buckets_; }
+  [[nodiscard]] const std::deque<Bucket>& buckets() const { return buckets_; }
 
-  int dim() const { return d_; }
+  [[nodiscard]] int dim() const { return d_; }
 
   /// Total rows held across buckets.
-  int TotalRows() const;
+  [[nodiscard]] int TotalRows() const;
 
   /// Space usage in words (sketch rows * d + per-bucket bookkeeping).
-  long SpaceWords() const;
+  [[nodiscard]] long SpaceWords() const;
 
  private:
   void Compress();

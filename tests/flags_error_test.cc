@@ -1,0 +1,89 @@
+// Error-path coverage for the FlagSet command-line parser: malformed
+// flags, duplicates, unknown names, and the CHECK contract on numeric
+// getters.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace dswm {
+namespace {
+
+const std::vector<std::string> kKnown = {"eps", "window", "name"};
+
+StatusOr<FlagSet> ParseArgs(const std::vector<const char*>& argv) {
+  return FlagSet::Parse(static_cast<int>(argv.size()), argv.data(), kKnown);
+}
+
+TEST(FlagsError, UnknownFlagFailsLoudly) {
+  const auto result = ParseArgs({"prog", "--epsilon=0.1"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("unknown flag --epsilon"),
+            std::string::npos);
+}
+
+TEST(FlagsError, TrailingValuelessFlagFails) {
+  const auto result = ParseArgs({"prog", "--eps"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("needs a value"),
+            std::string::npos);
+}
+
+TEST(FlagsError, EmptyFlagNameFails) {
+  const auto result = ParseArgs({"prog", "--=0.1"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("empty flag name"),
+            std::string::npos);
+}
+
+TEST(FlagsError, DuplicateFlagFails) {
+  const auto result = ParseArgs({"prog", "--eps=0.1", "--eps=0.2"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate flag --eps"),
+            std::string::npos);
+}
+
+TEST(FlagsError, DuplicateAcrossBothFormsFails) {
+  const auto result = ParseArgs({"prog", "--eps", "0.1", "--eps=0.2"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate flag --eps"),
+            std::string::npos);
+}
+
+TEST(FlagsError, SeparateValueFormParses) {
+  const auto result = ParseArgs({"prog", "--eps", "0.25", "pos1"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().GetDouble("eps", 0.0), 0.25, 1e-15);
+  ASSERT_EQ(result.value().positional().size(), 1u);
+  EXPECT_EQ(result.value().positional()[0], "pos1");
+}
+
+TEST(FlagsError, EmptyValueIsAllowed) {
+  const auto result = ParseArgs({"prog", "--name="});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().Has("name"));
+  EXPECT_EQ(result.value().GetString("name", "default"), "");
+}
+
+TEST(FlagsError, GetIntChecksOnNonNumericValue) {
+  const auto result = ParseArgs({"prog", "--window=abc"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DEATH(
+      { (void)result.value().GetInt("window", 0); },
+      "CHECK failed");
+}
+
+TEST(FlagsError, GetDoubleChecksOnTrailingGarbage) {
+  const auto result = ParseArgs({"prog", "--eps=0.5x"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DEATH(
+      { (void)result.value().GetDouble("eps", 0.0); },
+      "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,51 @@
+// Death tests for Matrix bounds checking: at() CHECK-fails in every build
+// type; operator() DCHECK-fails in Debug/sanitizer builds (and is
+// unchecked in NDEBUG Release builds, where the DCHECK compiles out).
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+
+namespace dswm {
+namespace {
+
+TEST(MatrixDeath, AtOutOfBoundsChecksInAllBuilds) {
+  Matrix m(2, 3);
+  EXPECT_DEATH({ (void)m.at(2, 0); }, "CHECK failed");
+  EXPECT_DEATH({ (void)m.at(0, 3); }, "CHECK failed");
+  EXPECT_DEATH({ (void)m.at(-1, 0); }, "CHECK failed");
+}
+
+TEST(MatrixDeath, AtConstOutOfBoundsChecks) {
+  const Matrix m(2, 3);
+  EXPECT_DEATH({ (void)m.at(0, -1); }, "CHECK failed");
+}
+
+TEST(MatrixDeath, AtInBoundsReadsAndWrites) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 4.5;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 4.5);
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.5);
+}
+
+TEST(MatrixDeath, OperatorOutOfBoundsDChecksInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "DSWM_DCHECK compiles out under NDEBUG";
+#else
+  Matrix m(2, 3);
+  EXPECT_DEATH({ (void)m(2, 0); }, "CHECK failed");
+  EXPECT_DEATH({ (void)m(0, 3); }, "CHECK failed");
+#endif
+}
+
+TEST(MatrixDeath, RowOutOfBoundsDChecksInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "DSWM_DCHECK compiles out under NDEBUG";
+#else
+  Matrix m(2, 3);
+  EXPECT_DEATH({ (void)m.Row(5); }, "CHECK failed");
+#endif
+}
+
+}  // namespace
+}  // namespace dswm

@@ -114,7 +114,7 @@ TEST(FrequentDirections, ResetClearsState) {
   EXPECT_EQ(fd.row_count(), 0);
   EXPECT_DOUBLE_EQ(fd.input_mass(), 0.0);
   EXPECT_DOUBLE_EQ(fd.shrinkage(), 0.0);
-  EXPECT_EQ(fd.Covariance().FrobeniusNormSquared(), 0.0);
+  EXPECT_DOUBLE_EQ(fd.Covariance().FrobeniusNormSquared(), 0.0);
 }
 
 TEST(FrequentDirections, SpaceWordsMatchesRows) {

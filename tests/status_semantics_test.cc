@@ -1,0 +1,96 @@
+// Move and propagation semantics for Status / StatusOr: move-only payloads,
+// rvalue value() extraction, DSWM_RETURN_NOT_OK chaining, and the
+// [[nodiscard]] contract (compile-time; exercised here only for value flow).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace dswm {
+namespace {
+
+TEST(StatusMove, MovedFromStatusTransfersMessage) {
+  Status s = Status::IoError("disk on fire");
+  const Status moved = std::move(s);
+  EXPECT_EQ(moved.code(), StatusCode::kIoError);
+  EXPECT_EQ(moved.message(), "disk on fire");
+}
+
+TEST(StatusMove, CopyKeepsSourceIntact) {
+  const Status s = Status::OutOfRange("index 9");
+  const Status copy = s;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(s.ToString(), copy.ToString());
+  EXPECT_EQ(copy.code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrMove, HoldsMoveOnlyType) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  const std::unique_ptr<int> extracted = std::move(result).value();
+  ASSERT_NE(extracted, nullptr);
+  EXPECT_EQ(*extracted, 7);
+}
+
+TEST(StatusOrMove, RvalueValueMovesOutOfContainer) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(result.ok());
+  const std::vector<int> taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOrMove, MoveConstructedStatusOrKeepsError) {
+  StatusOr<std::string> err(Status::NotFound("missing key"));
+  const StatusOr<std::string> moved = std::move(err);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(moved.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(moved.status().message(), "missing key");
+}
+
+TEST(StatusOrMove, LvalueValueAllowsInPlaceMutation) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1});
+  ASSERT_TRUE(result.ok());
+  result.value().push_back(2);
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+Status Level2() { return Status::FailedPrecondition("bottom"); }
+Status Level1() {
+  DSWM_RETURN_NOT_OK(Level2());
+  return Status::Internal("unreachable");
+}
+Status Level0() {
+  DSWM_RETURN_NOT_OK(Level1());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusPropagation, ReturnNotOkChainsAcrossFrames) {
+  const Status s = Level0();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(s.message(), "bottom");
+}
+
+Status OkChain() {
+  DSWM_RETURN_NOT_OK(Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusPropagation, ReturnNotOkPassesThroughOk) {
+  EXPECT_TRUE(OkChain().ok());
+}
+
+TEST(StatusOrContract, ValueOnErrorChecks) {
+  const StatusOr<int> err(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)err.value(); }, "CHECK failed");
+}
+
+TEST(StatusOrContract, ConstructingFromOkStatusChecks) {
+  EXPECT_DEATH({ StatusOr<int> bad{Status::OK()}; }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dswm

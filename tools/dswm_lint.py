@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the dswm codebase.
+
+Enforces determinism and style rules the paper reproduction depends on,
+beyond what the compiler and clang-tidy check:
+
+  R1 rng-outside-common     No rand()/srand()/std::random_device/<random>
+                            engines outside common/rng.h. Every random draw
+                            must flow through the seeded dswm::Rng so
+                            experiments replay bit-identically.
+  R2 no-exceptions          No throw/try/catch anywhere. Fallible operations
+                            return Status/StatusOr (common/status.h);
+                            contract violations use DSWM_CHECK.
+  R3 header-guard           Every header's include guard is derived from its
+                            path: src/linalg/matrix.h -> DSWM_LINALG_MATRIX_H_
+                            (the src/ prefix is stripped; other roots keep
+                            their directory name).
+  R4 float-eq-in-tests      No EXPECT_EQ/ASSERT_EQ whose argument is a
+                            floating-point literal; windowed-sketch estimates
+                            carry rounding, so tests must state a tolerance
+                            (EXPECT_NEAR) or an exactness claim
+                            (EXPECT_DOUBLE_EQ).
+
+Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
+Suppress a single line with a trailing `// dswm-lint: allow(<rule>)`.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+CPP_SUFFIXES = (".h", ".cc", ".cpp")
+
+RNG_ALLOWED = {pathlib.PurePosixPath("src/common/rng.h")}
+RNG_PATTERN = re.compile(
+    r"std::random_device|std::mt19937|std::minstd_rand|std::ranlux"
+    r"|(?<![\w:])s?rand\s*\(")
+EXCEPTION_PATTERN = re.compile(r"(?<![\w:])(throw|try|catch)(?![\w])")
+FLOAT_LITERAL = re.compile(
+    r"^[-+]?(\d+\.\d*|\.\d+)(e[-+]?\d+)?[fl]?$|^[-+]?\d+e[-+]?\d+[fl]?$",
+    re.IGNORECASE)
+EQ_MACRO = re.compile(r"\b(EXPECT_EQ|ASSERT_EQ)\s*\(")
+ALLOW = re.compile(r"//\s*dswm-lint:\s*allow\(([\w-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines and
+    `dswm-lint: allow` markers so suppression still works."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            m = ALLOW.search(comment)
+            out.append(m.group(0) if m else "")
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c == "'" and i > 0 and text[i - 1].isdigit() and \
+                i + 1 < n and text[i + 1].isdigit():
+            out.append(c)  # C++14 digit separator (1'000'000), not a literal
+            i += 1
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def split_top_level_args(argtext):
+    """Splits macro arguments at top-level commas (depth-0 w.r.t. parens,
+    brackets, braces, and angle-free heuristics)."""
+    args, depth, start = [], 0, 0
+    for i, c in enumerate(argtext):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(argtext[start:i])
+            start = i + 1
+    args.append(argtext[start:])
+    return args
+
+
+def extract_call_args(text, open_paren):
+    """Returns (argtext, end_index) for the call whose '(' is at open_paren,
+    or None if unbalanced (e.g. spans a macro line continuation we blanked)."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i], i
+    return None
+
+
+class Reporter:
+    def __init__(self):
+        self.count = 0
+
+    def report(self, path, line_no, rule, msg):
+        self.count += 1
+        print(f"{path}:{line_no}: [{rule}] {msg}")
+
+
+def line_of(text, index):
+    return text.count("\n", 0, index) + 1
+
+
+def allowed(lines, line_no, rule):
+    line = lines[line_no - 1] if line_no <= len(lines) else ""
+    m = ALLOW.search(line)
+    return bool(m and m.group(1) == rule)
+
+
+def check_rng(path, stripped, lines, rep):
+    if path in RNG_ALLOWED:
+        return
+    for m in RNG_PATTERN.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if allowed(lines, ln, "rng-outside-common"):
+            continue
+        rep.report(path, ln, "rng-outside-common",
+                   f"'{m.group(0).strip()}' breaks replayability; draw from "
+                   "a seeded dswm::Rng (common/rng.h) instead")
+
+
+def check_exceptions(path, stripped, lines, rep):
+    for m in EXCEPTION_PATTERN.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if allowed(lines, ln, "no-exceptions"):
+            continue
+        rep.report(path, ln, "no-exceptions",
+                   f"'{m.group(1)}' found; this codebase is exception-free "
+                   "-- return Status/StatusOr or DSWM_CHECK")
+
+
+def expected_guard(path):
+    parts = list(path.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    for suffix in CPP_SUFFIXES:
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+    token = re.sub(r"[^0-9a-zA-Z]", "_", stem).upper()
+    return f"DSWM_{token}_H_"
+
+
+def check_header_guard(path, text, lines, rep):
+    want = expected_guard(path)
+    m = re.search(r"^#ifndef\s+(\S+)\s*\n#define\s+(\S+)", text, re.MULTILINE)
+    if not m:
+        if not allowed(lines, 1, "header-guard"):
+            rep.report(path, 1, "header-guard",
+                       f"missing #ifndef/#define include guard (want {want})")
+        return
+    ln = line_of(text, m.start())
+    if allowed(lines, ln, "header-guard"):
+        return
+    if m.group(1) != want or m.group(2) != want:
+        rep.report(path, ln, "header-guard",
+                   f"guard is '{m.group(1)}', want '{want}'")
+    elif f"#endif  // {want}" not in text:
+        rep.report(path, len(lines), "header-guard",
+                   f"closing '#endif  // {want}' comment missing")
+
+
+def check_float_eq(path, stripped, lines, rep):
+    for m in EQ_MACRO.finditer(stripped):
+        call = extract_call_args(stripped, m.end() - 1)
+        if call is None:
+            continue
+        argtext, _ = call
+        ln = line_of(stripped, m.start())
+        if allowed(lines, ln, "float-eq-in-tests"):
+            continue
+        for arg in split_top_level_args(argtext):
+            if FLOAT_LITERAL.match(arg.strip()):
+                rep.report(path, ln, "float-eq-in-tests",
+                           f"{m.group(1)} against float literal "
+                           f"'{arg.strip()}'; use EXPECT_NEAR(..., tol) or "
+                           "EXPECT_DOUBLE_EQ")
+                break
+
+
+def lint_file(root, rel, rep):
+    text = (root / rel).read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    stripped = strip_comments_and_strings(text)
+    check_rng(rel, stripped, lines, rep)
+    check_exceptions(rel, stripped, lines, rep)
+    if rel.suffix == ".h":
+        check_header_guard(rel, text, lines, rep)
+    if rel.parts[0] == "tests":
+        check_float_eq(rel, stripped, lines, rep)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"dswm_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    rep = Reporter()
+    files = []
+    for top in LINT_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in CPP_SUFFIXES and p.is_file():
+                files.append(p.relative_to(root))
+    for rel in files:
+        lint_file(root, pathlib.PurePosixPath(rel.as_posix()), rep)
+
+    if rep.count:
+        print(f"dswm_lint: {rep.count} violation(s) in {len(files)} files")
+        return 1
+    print(f"dswm_lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# One-command correctness gate for the dswm repo.
+#
+# Builds and tests two trees:
+#   build-release/  Release, -Werror             (the shipping configuration)
+#   build-asan/     ASan+UBSan, -Werror, DCHECKs (the tripwired configuration)
+# then runs the repo-invariant linter (tools/dswm_lint.py) and, when the
+# binaries exist on PATH, a clang-format --dry-run check and clang-tidy.
+#
+# Usage: tools/run_checks.sh [--skip-release] [--skip-asan] [--jobs N]
+# Exits nonzero on the first failing stage.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_RELEASE=0
+SKIP_ASAN=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-release) SKIP_RELEASE=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    --jobs) JOBS="$2"; shift ;;
+    *) echo "run_checks.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+log() { printf '\n=== %s ===\n' "$*"; }
+
+build_and_test() {
+  local dir="$1"; shift
+  log "configure ${dir}"
+  cmake -B "${ROOT}/${dir}" -S "${ROOT}" -DDSWM_WERROR=ON "$@"
+  log "build ${dir} (-j${JOBS})"
+  cmake --build "${ROOT}/${dir}" -j "${JOBS}"
+  log "ctest ${dir}"
+  ctest --test-dir "${ROOT}/${dir}" --output-on-failure -j "${JOBS}"
+}
+
+if [[ "${SKIP_RELEASE}" -eq 0 ]]; then
+  build_and_test build-release -DCMAKE_BUILD_TYPE=Release
+fi
+
+if [[ "${SKIP_ASAN}" -eq 0 ]]; then
+  build_and_test build-asan -DCMAKE_BUILD_TYPE=Debug \
+    -DDSWM_SANITIZE="address;undefined"
+fi
+
+log "dswm_lint"
+python3 "${ROOT}/tools/dswm_lint.py" --root "${ROOT}"
+
+if command -v clang-format >/dev/null 2>&1; then
+  log "clang-format --dry-run"
+  # shellcheck disable=SC2046
+  clang-format --dry-run --Werror $(cd "${ROOT}" && \
+    git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' 'bench/*.cc' \
+                 'bench/*.h' 'examples/*.cpp' 'tools/*.cc' | \
+    sed "s|^|${ROOT}/|")
+else
+  log "clang-format not found; skipping format check"
+fi
+
+if command -v run-clang-tidy >/dev/null 2>&1 && \
+   command -v clang-tidy >/dev/null 2>&1; then
+  log "clang-tidy (src/)"
+  cmake -B "${ROOT}/build-release" -S "${ROOT}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  run-clang-tidy -quiet -p "${ROOT}/build-release" "${ROOT}/src/.*"
+else
+  log "clang-tidy not found; skipping tidy check"
+fi
+
+log "all checks passed"
