@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "harness.h"
 #include "linalg/matrix.h"
 #include "linalg/psd_sqrt.h"
 #include "linalg/spectral_norm.h"
@@ -21,6 +23,14 @@ Matrix RandomMatrix(int n, int d, uint64_t seed) {
   }
   return m;
 }
+
+// Scoped thread-count override for the *Threads benchmark variants; every
+// other benchmark runs on the default single-threaded pool.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { ThreadPool::SetGlobalThreads(n); }
+  ~ThreadGuard() { ThreadPool::SetGlobalThreads(1); }
+};
 
 Matrix RandomSymmetric(int d, uint64_t seed) {
   const Matrix a = RandomMatrix(2 * d, d, seed);
@@ -40,6 +50,97 @@ void BM_OuterProductUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OuterProductUpdate)->Arg(43)->Arg(128)->Arg(300)->Arg(512);
+
+void BM_MatMul(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix a = RandomMatrix(d, d, 7);
+  const Matrix b = RandomMatrix(d, d, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatMul)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulReference(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix a = RandomMatrix(d, d, 7);
+  const Matrix b = RandomMatrix(d, d, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulReference(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatMulReference)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulThreads(benchmark::State& state) {
+  const int d = 512;
+  const ThreadGuard guard(static_cast<int>(state.range(0)));
+  const Matrix a = RandomMatrix(d, d, 7);
+  const Matrix b = RandomMatrix(d, d, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatMulThreads)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_GramTranspose(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix a = RandomMatrix(d, d, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramTranspose(a).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GramTranspose)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GramTransposeReference(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix a = RandomMatrix(d, d, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramTransposeReference(a).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GramTransposeReference)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GramTransposeThreads(benchmark::State& state) {
+  const int d = 512;
+  const ThreadGuard guard(static_cast<int>(state.range(0)));
+  const Matrix a = RandomMatrix(d, d, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramTranspose(a).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GramTransposeThreads)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Gram(benchmark::State& state) {
+  // The FD shrink shape: short side of a wide sketch.
+  const int n = static_cast<int>(state.range(0));
+  const Matrix a = RandomMatrix(n, 512, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gram(a).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gram)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_GramReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix a = RandomMatrix(n, 512, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramReference(a).data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GramReference)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_MatVec(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
@@ -96,4 +197,4 @@ BENCHMARK(BM_PsdSqrt)->Arg(43)->Arg(128)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace dswm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dswm::bench::BenchmarkMain(argc, argv); }

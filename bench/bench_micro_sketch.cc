@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "harness.h"
 #include "core/iwmt.h"
 #include "sampling/priority.h"
 #include "sampling/site_queue.h"
@@ -76,4 +77,4 @@ BENCHMARK(BM_PrioritySitePath)->Arg(43)->Arg(512);
 }  // namespace
 }  // namespace dswm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return dswm::bench::BenchmarkMain(argc, argv); }

@@ -1,7 +1,12 @@
 #include "harness.h"
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "stream/pamap_like.h"
 #include "stream/synthetic.h"
@@ -15,6 +20,86 @@ double BenchScale() {
   const double s = std::atof(env);
   return s > 0.0 ? s : 1.0;
 }
+
+const char* BenchJsonPath() {
+  const char* env = std::getenv("DSWM_BENCH_JSON");
+  return (env != nullptr && env[0] != '\0') ? env : nullptr;
+}
+
+int BenchmarkMain(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  // Injected flags must outlive Initialize; keep them in static storage.
+  static std::string out_flag;
+  static std::string fmt_flag;
+  if (BenchJsonPath() != nullptr && !has_out) {
+    out_flag = std::string("--benchmark_out=") + BenchJsonPath();
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+namespace {
+
+// Figure/table binaries do not run under google-benchmark, so PrintSeriesRow
+// accumulates every series cell here and an atexit hook writes them to
+// DSWM_BENCH_JSON in one document.
+struct SeriesCell {
+  std::string dataset;
+  std::string algorithm;
+  double eps;
+  int num_sites;
+  RunResult result;
+};
+
+std::vector<SeriesCell>& SeriesLog() {
+  static std::vector<SeriesCell> log;
+  return log;
+}
+
+void FlushSeriesJson() {
+  const char* path = BenchJsonPath();
+  if (path == nullptr || SeriesLog().empty()) return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"context\": {\"bench_scale\": %.6g},\n  \"series\": [\n",
+               BenchScale());
+  const std::vector<SeriesCell>& log = SeriesLog();
+  for (size_t i = 0; i < log.size(); ++i) {
+    const SeriesCell& c = log[i];
+    std::fprintf(
+        f,
+        "    {\"dataset\": \"%s\", \"algorithm\": \"%s\", \"eps\": %.6g, "
+        "\"sites\": %d, \"avg_err\": %.9g, \"max_err\": %.9g, "
+        "\"words_per_window\": %.9g, \"max_site_space_words\": %ld, "
+        "\"update_rows_per_sec\": %.9g}%s\n",
+        c.dataset.c_str(), c.algorithm.c_str(), c.eps, c.num_sites,
+        c.result.avg_err, c.result.max_err, c.result.words_per_window,
+        c.result.max_site_space_words, c.result.update_rows_per_sec,
+        i + 1 < log.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void RecordSeries(const std::string& dataset, const std::string& algorithm,
+                  double eps, int num_sites, const RunResult& result) {
+  if (BenchJsonPath() == nullptr) return;
+  if (SeriesLog().empty()) std::atexit(FlushSeriesJson);
+  SeriesLog().push_back(SeriesCell{dataset, algorithm, eps, num_sites, result});
+}
+
+}  // namespace
 
 Workload MakePamapWorkload() {
   const double scale = BenchScale();
@@ -97,6 +182,7 @@ void PrintSeriesHeader() {
 
 void PrintSeriesRow(const std::string& dataset, const std::string& algorithm,
                     double eps, int num_sites, const RunResult& r) {
+  RecordSeries(dataset, algorithm, eps, num_sites, r);
   std::printf("%-10s %-10s %6.3f %4d %12.5f %12.5f %14.0f %12ld %12.0f\n",
               dataset.c_str(), algorithm.c_str(), eps, num_sites, r.avg_err,
               r.max_err, r.words_per_window, r.max_site_space_words,

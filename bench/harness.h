@@ -28,6 +28,18 @@ struct Workload {
 /// Scale multiplier from DSWM_BENCH_SCALE (default 1.0 = bench scale).
 double BenchScale();
 
+/// Path from DSWM_BENCH_JSON, or nullptr when unset/empty. When set, every
+/// bench binary leaves a machine-readable JSON trace there in addition to
+/// its stdout tables, so successive PRs can diff perf trajectories.
+const char* BenchJsonPath();
+
+/// Drop-in replacement for BENCHMARK_MAIN() used by the google-benchmark
+/// micro benches: when DSWM_BENCH_JSON is set (and the caller did not pass
+/// its own --benchmark_out), injects
+///   --benchmark_out=<path> --benchmark_out_format=json
+/// before benchmark::Initialize so the run is captured as JSON.
+int BenchmarkMain(int argc, char** argv);
+
 /// PAMAP-like: d=43, bench scale ~200k rows, window ~50k rows.
 Workload MakePamapWorkload();
 /// SYNTHETIC: bench scale d=128, ~80k rows, window ~16k rows

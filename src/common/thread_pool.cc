@@ -1,0 +1,132 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace dswm {
+
+namespace {
+// True on pool worker threads. Nested ParallelFor calls from inside a task
+// run inline instead of re-entering the queue (which could deadlock when
+// every worker blocks in WaitIdle).
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  DSWM_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Contract: destruction with queued work waits for it (WaitIdle
+    // semantics), so no task is silently dropped.
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();  // dswm-lint: allow(raw-thread-outside-common)
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (num_threads_ == 1) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DSWM_CHECK(!stopping_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  if (num_threads_ == 1) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int count,
+                             const std::function<void(int, int)>& body) {
+  if (count <= 0) return;
+  const int chunks = num_threads_ < count ? num_threads_ : count;
+  if (chunks <= 1 || tls_in_worker) {
+    body(0, count);
+    return;
+  }
+  // Deterministic partition: chunk c covers [c*count/T, (c+1)*count/T).
+  const auto boundary = [count, chunks](int c) {
+    return static_cast<int>((static_cast<long>(c) * count) / chunks);
+  };
+  for (int c = 1; c < chunks; ++c) {
+    const int begin = boundary(c);
+    const int end = boundary(c + 1);
+    Submit([&body, begin, end] { body(begin, end); });
+  }
+  body(0, boundary(1));  // the caller is thread 0
+  WaitIdle();
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+int ThreadsFromEnv() {
+  const char* env = std::getenv("DSWM_THREADS");
+  if (env == nullptr) return 1;
+  const int n = std::atoi(env);
+  return n >= 1 ? n : 1;
+}
+
+}  // namespace
+
+ThreadPool* ThreadPool::Global() {
+  std::unique_lock<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(ThreadsFromEnv());
+  return slot.get();
+}
+
+void ThreadPool::SetGlobalThreads(int n) {
+  if (n < 1) n = 1;
+  std::unique_lock<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (slot != nullptr && slot->num_threads() == n) return;
+  slot = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace dswm

@@ -1,0 +1,82 @@
+// Fixed-size worker pool with deterministic work partitioning.
+//
+// This is the only place in the codebase allowed to touch std::thread
+// (enforced by tools/dswm_lint.py rule raw-thread-outside-common). All
+// parallelism flows through ParallelFor / Submit so that:
+//   * the default configuration (1 thread) spawns no workers and runs
+//     every task inline on the caller -- results are bit-identical to a
+//     build with no threading code at all;
+//   * ParallelFor splits [0, count) into at most num_threads() contiguous
+//     chunks whose boundaries depend only on (count, num_threads), never
+//     on scheduling, so repeated runs partition identically;
+//   * no reduction is ever split across threads by the linalg kernels
+//     (each output element is owned by exactly one chunk), so threaded
+//     kernel results are bit-identical to single-threaded ones.
+//
+// The global pool is sized by DSWM_THREADS (env) or SetGlobalThreads()
+// (the --threads CLI knob) and defaults to single-threaded.
+
+#ifndef DSWM_COMMON_THREAD_POOL_H_
+#define DSWM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>  // dswm-lint: allow(raw-thread-outside-common)
+#include <vector>
+
+#include "common/check.h"
+
+namespace dswm {
+
+/// A work-queue thread pool. `num_threads` counts the caller: a pool of N
+/// spawns N-1 workers, and ParallelFor runs one chunk on the calling
+/// thread. N == 1 means fully inline execution (no workers, no queue).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  /// Runs body(begin, end) over a deterministic partition of [0, count)
+  /// into min(num_threads, count) contiguous chunks and blocks until all
+  /// chunks finish. Chunk c covers [c*count/T, (c+1)*count/T). The caller
+  /// executes chunk 0; workers execute the rest. `body` must be safe to
+  /// call concurrently on disjoint ranges.
+  void ParallelFor(int count, const std::function<void(int, int)>& body);
+
+  /// Enqueues a task for asynchronous execution (runs inline when the
+  /// pool is single-threaded). Pair with WaitIdle().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void WaitIdle();
+
+  /// Process-wide pool, sized by SetGlobalThreads() or, failing that, the
+  /// DSWM_THREADS environment variable; defaults to 1 (inline execution).
+  [[nodiscard]] static ThreadPool* Global();
+
+  /// Resizes the global pool (the --threads knob). Must not be called
+  /// while work is in flight. n < 1 is clamped to 1.
+  static void SetGlobalThreads(int n);
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  // queued + currently executing tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // dswm-lint: allow(raw-thread-outside-common)
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_COMMON_THREAD_POOL_H_

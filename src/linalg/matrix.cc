@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__AVX__)
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/thread_pool.h"
+
 namespace dswm {
 
 Matrix Matrix::Identity(int d) {
@@ -11,10 +19,13 @@ Matrix Matrix::Identity(int d) {
   return m;
 }
 
+void Matrix::Reserve(int rows) {
+  DSWM_CHECK_GE(rows, 0);
+  data_.reserve(static_cast<size_t>(rows) * cols_);
+}
+
 void Matrix::AppendRow(const double* src, int len) {
-  if (empty() && rows_ == 0) {
-    if (cols_ == 0) cols_ = len;
-  }
+  if (rows_ == 0 && cols_ == 0) cols_ = len;
   DSWM_CHECK_EQ(len, cols_);
   data_.insert(data_.end(), src, src + len);
   ++rows_;
@@ -94,28 +105,709 @@ void MatTVec(const Matrix& a, const double* x, double* y) {
   for (int i = 0; i < a.rows(); ++i) Axpy(x[i], a.Row(i), y, a.cols());
 }
 
+// ---- Blocked kernels -------------------------------------------------------
+//
+// Geometry: each output tile holds kMr x kNr accumulators in registers and
+// sums its reduction in ascending index order as one chain per element
+// (never split across partial accumulators). Partial flushes store and
+// reload exact doubles, so blocked, threaded, and naive results agree
+// bitwise for finite inputs. Parallelism distributes whole row-tiles of
+// the output; reductions are never split across threads.
+
+namespace {
+
+// Micro-tile rows / cols, sized so the accumulator tile occupies 8 of the
+// 16 vector registers with room left for the A broadcasts and B loads; a
+// wider tile spills the accumulators to the stack and halves throughput.
+// AVX (4 doubles per ymm) carries a 4 x 8 tile, SSE2 (2 doubles per xmm)
+// a 4 x 4 one. DSWM_AVX=ON (the default) builds this file with -mavx but
+// never -mfma: every vector op is per-lane IEEE mul/add, so results stay
+// bit-identical across the AVX, SSE2, and scalar bodies.
+constexpr int kMr = 4;
+#if defined(__AVX__)
+constexpr int kNr = 8;
+#else
+constexpr int kNr = 4;
+#endif
+// Reduction slice processed between flushes of an output tile. Bounds the
+// working set of the k-blocked kernels: a kKc x kNr B panel (8 KiB) stays
+// L1-resident across all row tiles of a panel, and a kKc-column slice of A
+// stays in L2 across panels.
+constexpr int kKc = 256;
+// Below this many multiply-adds the thread pool is not consulted.
+constexpr long kParallelMulAddThreshold = 1L << 16;
+
+[[nodiscard]] bool UsePool(const ThreadPool* pool, long mul_adds) {
+  return pool->num_threads() > 1 && mul_adds >= kParallelMulAddThreshold;
+}
+
+// C[i0:i0+kMr) x [j0:j0+kNr) += A[i0:i0+kMr, k0:k1) * B[k0:k1, j0:j0+kNr)
+// with the partial sums held in registers (interior tiles only). `first`
+// starts the accumulator chains at zero; later k blocks reload the exact
+// stored partials, so the per-element chain is one ascending-k sum.
+//
+// The SSE2 body is element-wise identical to the scalar one: mulpd/addpd
+// are per-lane IEEE operations and intrinsics are never contracted to FMA,
+// so each output element still accumulates as the same ascending-k chain.
+#if defined(__AVX__)
+// `bp` is the panel-major packed copy of B[k0:k1, j0:j0+kNr): kNr
+// consecutive doubles per k, k ascending — sequential loads in the hot
+// loop instead of a strided walk of B.
+inline void MatMulTileFull(const Matrix& a, const double* bp, Matrix* c,
+                           int i0, int j0, int k0, int k1, bool first) {
+  const double* bk = bp;
+  const double* a0 = a.Row(i0) + k0;
+  const double* a1 = a.Row(i0 + 1) + k0;
+  const double* a2 = a.Row(i0 + 2) + k0;
+  const double* a3 = a.Row(i0 + 3) + k0;
+  __m256d c00, c01, c10, c11, c20, c21, c30, c31;
+  if (first) {
+    c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 = _mm256_setzero_pd();
+  } else {
+    const double* r0 = c->Row(i0) + j0;
+    const double* r1 = c->Row(i0 + 1) + j0;
+    const double* r2 = c->Row(i0 + 2) + j0;
+    const double* r3 = c->Row(i0 + 3) + j0;
+    c00 = _mm256_loadu_pd(r0);
+    c01 = _mm256_loadu_pd(r0 + 4);
+    c10 = _mm256_loadu_pd(r1);
+    c11 = _mm256_loadu_pd(r1 + 4);
+    c20 = _mm256_loadu_pd(r2);
+    c21 = _mm256_loadu_pd(r2 + 4);
+    c30 = _mm256_loadu_pd(r3);
+    c31 = _mm256_loadu_pd(r3 + 4);
+  }
+  const int len = k1 - k0;
+  for (int k = 0; k < len; ++k) {
+    const __m256d b0 = _mm256_loadu_pd(bk);
+    const __m256d b1 = _mm256_loadu_pd(bk + 4);
+    __m256d av = _mm256_broadcast_sd(a0 + k);
+    c00 = _mm256_add_pd(c00, _mm256_mul_pd(av, b0));
+    c01 = _mm256_add_pd(c01, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(a1 + k);
+    c10 = _mm256_add_pd(c10, _mm256_mul_pd(av, b0));
+    c11 = _mm256_add_pd(c11, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(a2 + k);
+    c20 = _mm256_add_pd(c20, _mm256_mul_pd(av, b0));
+    c21 = _mm256_add_pd(c21, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(a3 + k);
+    c30 = _mm256_add_pd(c30, _mm256_mul_pd(av, b0));
+    c31 = _mm256_add_pd(c31, _mm256_mul_pd(av, b1));
+    bk += kNr;
+  }
+  double* o0 = c->Row(i0) + j0;
+  double* o1 = c->Row(i0 + 1) + j0;
+  double* o2 = c->Row(i0 + 2) + j0;
+  double* o3 = c->Row(i0 + 3) + j0;
+  _mm256_storeu_pd(o0, c00);
+  _mm256_storeu_pd(o0 + 4, c01);
+  _mm256_storeu_pd(o1, c10);
+  _mm256_storeu_pd(o1 + 4, c11);
+  _mm256_storeu_pd(o2, c20);
+  _mm256_storeu_pd(o2 + 4, c21);
+  _mm256_storeu_pd(o3, c30);
+  _mm256_storeu_pd(o3 + 4, c31);
+}
+#elif defined(__SSE2__)
+// `bp` is the panel-major packed copy of B[k0:k1, j0:j0+kNr): kNr
+// consecutive doubles per k, k ascending — sequential loads in the hot
+// loop instead of a 4 KiB-strided walk of B.
+inline void MatMulTileFull(const Matrix& a, const double* bp, Matrix* c,
+                           int i0, int j0, int k0, int k1, bool first) {
+  const double* bk = bp;
+  const double* a0 = a.Row(i0) + k0;
+  const double* a1 = a.Row(i0 + 1) + k0;
+  const double* a2 = a.Row(i0 + 2) + k0;
+  const double* a3 = a.Row(i0 + 3) + k0;
+  __m128d c00, c01, c10, c11, c20, c21, c30, c31;
+  if (first) {
+    c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 = _mm_setzero_pd();
+  } else {
+    const double* r0 = c->Row(i0) + j0;
+    const double* r1 = c->Row(i0 + 1) + j0;
+    const double* r2 = c->Row(i0 + 2) + j0;
+    const double* r3 = c->Row(i0 + 3) + j0;
+    c00 = _mm_loadu_pd(r0);
+    c01 = _mm_loadu_pd(r0 + 2);
+    c10 = _mm_loadu_pd(r1);
+    c11 = _mm_loadu_pd(r1 + 2);
+    c20 = _mm_loadu_pd(r2);
+    c21 = _mm_loadu_pd(r2 + 2);
+    c30 = _mm_loadu_pd(r3);
+    c31 = _mm_loadu_pd(r3 + 2);
+  }
+  // k is unrolled by two; each accumulator still receives its terms in
+  // ascending k order within one chain, so no reassociation occurs.
+  const int len = k1 - k0;
+  int k = 0;
+  for (; k + 2 <= len; k += 2) {
+    __m128d b0 = _mm_loadu_pd(bk);
+    __m128d b1 = _mm_loadu_pd(bk + 2);
+    __m128d av = _mm_set1_pd(a0[k]);
+    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
+    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a1[k]);
+    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
+    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a2[k]);
+    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
+    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a3[k]);
+    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
+    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    bk += kNr;
+    b0 = _mm_loadu_pd(bk);
+    b1 = _mm_loadu_pd(bk + 2);
+    av = _mm_set1_pd(a0[k + 1]);
+    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
+    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a1[k + 1]);
+    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
+    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a2[k + 1]);
+    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
+    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a3[k + 1]);
+    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
+    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    bk += kNr;
+  }
+  for (; k < len; ++k) {
+    const __m128d b0 = _mm_loadu_pd(bk);
+    const __m128d b1 = _mm_loadu_pd(bk + 2);
+    __m128d av = _mm_set1_pd(a0[k]);
+    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
+    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a1[k]);
+    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
+    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a2[k]);
+    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
+    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(a3[k]);
+    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
+    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    bk += kNr;
+  }
+  double* o0 = c->Row(i0) + j0;
+  double* o1 = c->Row(i0 + 1) + j0;
+  double* o2 = c->Row(i0 + 2) + j0;
+  double* o3 = c->Row(i0 + 3) + j0;
+  _mm_storeu_pd(o0, c00);
+  _mm_storeu_pd(o0 + 2, c01);
+  _mm_storeu_pd(o1, c10);
+  _mm_storeu_pd(o1 + 2, c11);
+  _mm_storeu_pd(o2, c20);
+  _mm_storeu_pd(o2 + 2, c21);
+  _mm_storeu_pd(o3, c30);
+  _mm_storeu_pd(o3 + 2, c31);
+}
+#else
+inline void MatMulTileFull(const Matrix& a, const Matrix& b, Matrix* c,
+                           int i0, int j0, int k0, int k1, bool first) {
+  const size_t bstride = b.cols();
+  const double* bk = b.data() + static_cast<size_t>(k0) * bstride + j0;
+  const double* a0 = a.Row(i0) + k0;
+  const double* a1 = a.Row(i0 + 1) + k0;
+  const double* a2 = a.Row(i0 + 2) + k0;
+  const double* a3 = a.Row(i0 + 3) + k0;
+  double acc[kMr][kNr] = {};
+  if (!first) {
+    for (int r = 0; r < kMr; ++r) {
+      const double* crow = c->Row(i0 + r) + j0;
+      for (int n = 0; n < kNr; ++n) acc[r][n] = crow[n];
+    }
+  }
+  const int len = k1 - k0;
+  for (int k = 0; k < len; ++k) {
+    const double av0 = a0[k];
+    const double av1 = a1[k];
+    const double av2 = a2[k];
+    const double av3 = a3[k];
+    for (int n = 0; n < kNr; ++n) {
+      const double bv = bk[n];
+      acc[0][n] += av0 * bv;
+      acc[1][n] += av1 * bv;
+      acc[2][n] += av2 * bv;
+      acc[3][n] += av3 * bv;
+    }
+    bk += bstride;
+  }
+  for (int r = 0; r < kMr; ++r) {
+    double* crow = c->Row(i0 + r) + j0;
+    for (int n = 0; n < kNr; ++n) crow[n] = acc[r][n];
+  }
+}
+#endif  // defined(__SSE2__)
+
+// Edge tile with runtime mr x nr bounds (same per-element chains).
+inline void MatMulTileEdge(const Matrix& a, const Matrix& b, Matrix* c,
+                           int i0, int mr, int j0, int nr, int k0, int k1,
+                           bool first) {
+  const size_t bstride = b.cols();
+  const double* bk = b.data() + static_cast<size_t>(k0) * bstride + j0;
+  const double* arow[kMr];
+  for (int r = 0; r < mr; ++r) arow[r] = a.Row(i0 + r) + k0;
+  double acc[kMr][kNr] = {};
+  if (!first) {
+    for (int r = 0; r < mr; ++r) {
+      const double* crow = c->Row(i0 + r) + j0;
+      for (int n = 0; n < nr; ++n) acc[r][n] = crow[n];
+    }
+  }
+  const int len = k1 - k0;
+  for (int k = 0; k < len; ++k) {
+    for (int r = 0; r < mr; ++r) {
+      const double av = arow[r][k];
+      for (int n = 0; n < nr; ++n) acc[r][n] += av * bk[n];
+    }
+    bk += bstride;
+  }
+  for (int r = 0; r < mr; ++r) {
+    double* crow = c->Row(i0 + r) + j0;
+    for (int n = 0; n < nr; ++n) crow[n] = acc[r][n];
+  }
+}
+
+// Accumulates rows [r0, r1) of `a` into the kMr x kNr tile of `g` at
+// (i0, j0): g_tile += sum_r a(r, i0:)^T a(r, j0:). Adds onto the existing
+// tile so the SYRK kernel can flush between row blocks (interior tiles).
+#if defined(__AVX__)
+inline void SyrkTileFull(const Matrix& a, int r0, int r1, Matrix* g, int i0,
+                         int j0) {
+  double* o0 = g->Row(i0) + j0;
+  double* o1 = g->Row(i0 + 1) + j0;
+  double* o2 = g->Row(i0 + 2) + j0;
+  double* o3 = g->Row(i0 + 3) + j0;
+  __m256d c00 = _mm256_loadu_pd(o0);
+  __m256d c01 = _mm256_loadu_pd(o0 + 4);
+  __m256d c10 = _mm256_loadu_pd(o1);
+  __m256d c11 = _mm256_loadu_pd(o1 + 4);
+  __m256d c20 = _mm256_loadu_pd(o2);
+  __m256d c21 = _mm256_loadu_pd(o2 + 4);
+  __m256d c30 = _mm256_loadu_pd(o3);
+  __m256d c31 = _mm256_loadu_pd(o3 + 4);
+  for (int r = r0; r < r1; ++r) {
+    const double* ar = a.Row(r);
+    const __m256d b0 = _mm256_loadu_pd(ar + j0);
+    const __m256d b1 = _mm256_loadu_pd(ar + j0 + 4);
+    const double* ai = ar + i0;
+    __m256d av = _mm256_broadcast_sd(ai);
+    c00 = _mm256_add_pd(c00, _mm256_mul_pd(av, b0));
+    c01 = _mm256_add_pd(c01, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(ai + 1);
+    c10 = _mm256_add_pd(c10, _mm256_mul_pd(av, b0));
+    c11 = _mm256_add_pd(c11, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(ai + 2);
+    c20 = _mm256_add_pd(c20, _mm256_mul_pd(av, b0));
+    c21 = _mm256_add_pd(c21, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(ai + 3);
+    c30 = _mm256_add_pd(c30, _mm256_mul_pd(av, b0));
+    c31 = _mm256_add_pd(c31, _mm256_mul_pd(av, b1));
+  }
+  _mm256_storeu_pd(o0, c00);
+  _mm256_storeu_pd(o0 + 4, c01);
+  _mm256_storeu_pd(o1, c10);
+  _mm256_storeu_pd(o1 + 4, c11);
+  _mm256_storeu_pd(o2, c20);
+  _mm256_storeu_pd(o2 + 4, c21);
+  _mm256_storeu_pd(o3, c30);
+  _mm256_storeu_pd(o3 + 4, c31);
+}
+#elif defined(__SSE2__)
+inline void SyrkTileFull(const Matrix& a, int r0, int r1, Matrix* g, int i0,
+                         int j0) {
+  double* o0 = g->Row(i0) + j0;
+  double* o1 = g->Row(i0 + 1) + j0;
+  double* o2 = g->Row(i0 + 2) + j0;
+  double* o3 = g->Row(i0 + 3) + j0;
+  __m128d c00 = _mm_loadu_pd(o0);
+  __m128d c01 = _mm_loadu_pd(o0 + 2);
+  __m128d c10 = _mm_loadu_pd(o1);
+  __m128d c11 = _mm_loadu_pd(o1 + 2);
+  __m128d c20 = _mm_loadu_pd(o2);
+  __m128d c21 = _mm_loadu_pd(o2 + 2);
+  __m128d c30 = _mm_loadu_pd(o3);
+  __m128d c31 = _mm_loadu_pd(o3 + 2);
+  for (int r = r0; r < r1; ++r) {
+    const double* ar = a.Row(r);
+    const __m128d b0 = _mm_loadu_pd(ar + j0);
+    const __m128d b1 = _mm_loadu_pd(ar + j0 + 2);
+    const double* ai = ar + i0;
+    __m128d av = _mm_set1_pd(ai[0]);
+    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
+    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(ai[1]);
+    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
+    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(ai[2]);
+    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
+    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(ai[3]);
+    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
+    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+  }
+  _mm_storeu_pd(o0, c00);
+  _mm_storeu_pd(o0 + 2, c01);
+  _mm_storeu_pd(o1, c10);
+  _mm_storeu_pd(o1 + 2, c11);
+  _mm_storeu_pd(o2, c20);
+  _mm_storeu_pd(o2 + 2, c21);
+  _mm_storeu_pd(o3, c30);
+  _mm_storeu_pd(o3 + 2, c31);
+}
+#endif  // defined(__SSE2__)
+
+// Runtime-bounded SYRK tile; also the interior fallback without SSE2.
+inline void SyrkTile(const Matrix& a, int r0, int r1, Matrix* g, int i0,
+                     int mr, int j0, int nr) {
+  double acc[kMr][kNr];
+  for (int p = 0; p < mr; ++p) {
+    const double* grow = g->Row(i0 + p) + j0;
+    for (int q = 0; q < nr; ++q) acc[p][q] = grow[q];
+  }
+  for (int r = r0; r < r1; ++r) {
+    const double* ar = a.Row(r);
+    const double* ai = ar + i0;
+    const double* aj = ar + j0;
+    for (int p = 0; p < mr; ++p) {
+      const double av = ai[p];
+      for (int q = 0; q < nr; ++q) acc[p][q] += av * aj[q];
+    }
+  }
+  for (int p = 0; p < mr; ++p) {
+    double* grow = g->Row(i0 + p) + j0;
+    for (int q = 0; q < nr; ++q) grow[q] = acc[p][q];
+  }
+}
+
+// Full-reduction kMr x kNr tile of A A^T: acc[p][q] = <row i0+p, row j0+q>
+// (interior tiles). Vectorization is across the 16 independent elements
+// (the j rows are gathered pairwise); each element's reduction is still
+// one scalar ascending-k chain.
+#if defined(__AVX__)
+inline void GramTileFull(const Matrix& a, Matrix* g, int i0, int j0) {
+  const int d = a.cols();
+  const double* ai0 = a.Row(i0);
+  const double* ai1 = a.Row(i0 + 1);
+  const double* ai2 = a.Row(i0 + 2);
+  const double* ai3 = a.Row(i0 + 3);
+  const double* aj0 = a.Row(j0);
+  const double* aj1 = a.Row(j0 + 1);
+  const double* aj2 = a.Row(j0 + 2);
+  const double* aj3 = a.Row(j0 + 3);
+  const double* aj4 = a.Row(j0 + 4);
+  const double* aj5 = a.Row(j0 + 5);
+  const double* aj6 = a.Row(j0 + 6);
+  const double* aj7 = a.Row(j0 + 7);
+  __m256d c00 = _mm256_setzero_pd();
+  __m256d c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd();
+  __m256d c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd();
+  __m256d c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd();
+  __m256d c31 = _mm256_setzero_pd();
+  for (int k = 0; k < d; ++k) {
+    const __m256d b0 = _mm256_set_pd(aj3[k], aj2[k], aj1[k], aj0[k]);
+    const __m256d b1 = _mm256_set_pd(aj7[k], aj6[k], aj5[k], aj4[k]);
+    __m256d av = _mm256_broadcast_sd(ai0 + k);
+    c00 = _mm256_add_pd(c00, _mm256_mul_pd(av, b0));
+    c01 = _mm256_add_pd(c01, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(ai1 + k);
+    c10 = _mm256_add_pd(c10, _mm256_mul_pd(av, b0));
+    c11 = _mm256_add_pd(c11, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(ai2 + k);
+    c20 = _mm256_add_pd(c20, _mm256_mul_pd(av, b0));
+    c21 = _mm256_add_pd(c21, _mm256_mul_pd(av, b1));
+    av = _mm256_broadcast_sd(ai3 + k);
+    c30 = _mm256_add_pd(c30, _mm256_mul_pd(av, b0));
+    c31 = _mm256_add_pd(c31, _mm256_mul_pd(av, b1));
+  }
+  double* o0 = g->Row(i0) + j0;
+  double* o1 = g->Row(i0 + 1) + j0;
+  double* o2 = g->Row(i0 + 2) + j0;
+  double* o3 = g->Row(i0 + 3) + j0;
+  _mm256_storeu_pd(o0, c00);
+  _mm256_storeu_pd(o0 + 4, c01);
+  _mm256_storeu_pd(o1, c10);
+  _mm256_storeu_pd(o1 + 4, c11);
+  _mm256_storeu_pd(o2, c20);
+  _mm256_storeu_pd(o2 + 4, c21);
+  _mm256_storeu_pd(o3, c30);
+  _mm256_storeu_pd(o3 + 4, c31);
+}
+#elif defined(__SSE2__)
+inline void GramTileFull(const Matrix& a, Matrix* g, int i0, int j0) {
+  const int d = a.cols();
+  const double* ai0 = a.Row(i0);
+  const double* ai1 = a.Row(i0 + 1);
+  const double* ai2 = a.Row(i0 + 2);
+  const double* ai3 = a.Row(i0 + 3);
+  const double* aj0 = a.Row(j0);
+  const double* aj1 = a.Row(j0 + 1);
+  const double* aj2 = a.Row(j0 + 2);
+  const double* aj3 = a.Row(j0 + 3);
+  __m128d c00 = _mm_setzero_pd();
+  __m128d c01 = _mm_setzero_pd();
+  __m128d c10 = _mm_setzero_pd();
+  __m128d c11 = _mm_setzero_pd();
+  __m128d c20 = _mm_setzero_pd();
+  __m128d c21 = _mm_setzero_pd();
+  __m128d c30 = _mm_setzero_pd();
+  __m128d c31 = _mm_setzero_pd();
+  for (int k = 0; k < d; ++k) {
+    const __m128d b0 = _mm_set_pd(aj1[k], aj0[k]);
+    const __m128d b1 = _mm_set_pd(aj3[k], aj2[k]);
+    __m128d av = _mm_set1_pd(ai0[k]);
+    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
+    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(ai1[k]);
+    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
+    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(ai2[k]);
+    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
+    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    av = _mm_set1_pd(ai3[k]);
+    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
+    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+  }
+  double* o0 = g->Row(i0) + j0;
+  double* o1 = g->Row(i0 + 1) + j0;
+  double* o2 = g->Row(i0 + 2) + j0;
+  double* o3 = g->Row(i0 + 3) + j0;
+  _mm_storeu_pd(o0, c00);
+  _mm_storeu_pd(o0 + 2, c01);
+  _mm_storeu_pd(o1, c10);
+  _mm_storeu_pd(o1 + 2, c11);
+  _mm_storeu_pd(o2, c20);
+  _mm_storeu_pd(o2 + 2, c21);
+  _mm_storeu_pd(o3, c30);
+  _mm_storeu_pd(o3 + 2, c31);
+}
+#endif  // defined(__SSE2__)
+
+// Runtime-bounded Gram tile; also the interior fallback without SSE2.
+inline void GramTile(const Matrix& a, Matrix* g, int i0, int mr, int j0,
+                     int nr) {
+  const int d = a.cols();
+  const double* ai[kMr];
+  const double* aj[kNr];
+  for (int p = 0; p < mr; ++p) ai[p] = a.Row(i0 + p);
+  for (int q = 0; q < nr; ++q) aj[q] = a.Row(j0 + q);
+  double acc[kMr][kNr] = {};
+  for (int k = 0; k < d; ++k) {
+    for (int p = 0; p < mr; ++p) {
+      const double av = ai[p][k];
+      for (int q = 0; q < nr; ++q) acc[p][q] += av * aj[q][k];
+    }
+  }
+  for (int p = 0; p < mr; ++p) {
+    double* grow = g->Row(i0 + p) + j0;
+    for (int q = 0; q < nr; ++q) grow[q] = acc[p][q];
+  }
+}
+
+// Copies the (computed) upper triangle onto the lower one. Tiles
+// straddling the diagonal compute a few lower entries directly; products
+// commute exactly, so the overwrite is value-identical.
+void MirrorLowerFromUpper(Matrix* g) {
+  const int d = g->rows();
+  for (int i = 0; i < d; ++i) {
+    const double* upper = g->Row(i);
+    for (int j = i + 1; j < d; ++j) (*g)(j, i) = upper[j];
+  }
+}
+
+}  // namespace
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
+  DSWM_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int m = a.rows();
+  const int p = b.cols();
+  const int kk = a.cols();
+  if (m == 0 || p == 0 || kk == 0) return c;
+
+  const int row_tiles = (m + kMr - 1) / kMr;
+  ThreadPool* pool = ThreadPool::Global();
+  const long mul_adds = static_cast<long>(m) * p * kk;
+  const bool parallel = UsePool(pool, mul_adds);
+
+#if defined(__SSE2__)
+  // Pack the full-width panels of B into panel-major layout (kNr doubles
+  // per k, k ascending, panels consecutive): an exact element copy that
+  // turns the hot loop's strided B walk into sequential loads. The ragged
+  // last panel (p % kNr columns) goes through the edge kernel against the
+  // original B.
+  const int full_panels = p / kNr;
+  std::vector<double> packed(static_cast<size_t>(full_panels) * kk * kNr);
+  const size_t bstride = b.cols();
+  for (int jp = 0; jp < full_panels; ++jp) {
+    double* dst = packed.data() + static_cast<size_t>(jp) * kk * kNr;
+    const double* src = b.data() + static_cast<size_t>(jp) * kNr;
+    for (int k = 0; k < kk; ++k) {
+      for (int n = 0; n < kNr; ++n) dst[n] = src[n];
+      dst += kNr;
+      src += bstride;
+    }
+  }
+#endif
+
+  // k blocks run sequentially (each element's chain stays ascending in k);
+  // within a block, whole row-tiles are distributed over threads. Panels of
+  // B iterate outermost inside a chunk so each kKc x kNr panel stays hot
+  // across every row tile of the chunk.
+  for (int k0 = 0; k0 < kk; k0 += kKc) {
+    const int k1 = std::min(kk, k0 + kKc);
+    const bool first = k0 == 0;
+#if defined(__SSE2__)
+    const double* pk = packed.data();
+    const auto run = [&a, &b, &c, pk, kk, m, p, k0, k1, first](int t0,
+                                                              int t1) {
+      for (int j0 = 0; j0 < p; j0 += kNr) {
+        const int nr = std::min(kNr, p - j0);
+        const double* bp = pk +
+                           static_cast<size_t>(j0 / kNr) * kk * kNr +
+                           static_cast<size_t>(k0) * kNr;
+        for (int t = t0; t < t1; ++t) {
+          const int i0 = t * kMr;
+          const int mr = std::min(kMr, m - i0);
+          if (mr == kMr && nr == kNr) {
+            MatMulTileFull(a, bp, &c, i0, j0, k0, k1, first);
+          } else {
+            MatMulTileEdge(a, b, &c, i0, mr, j0, nr, k0, k1, first);
+          }
+        }
+      }
+    };
+#else
+    const auto run = [&a, &b, &c, m, p, k0, k1, first](int t0, int t1) {
+      for (int j0 = 0; j0 < p; j0 += kNr) {
+        const int nr = std::min(kNr, p - j0);
+        for (int t = t0; t < t1; ++t) {
+          const int i0 = t * kMr;
+          const int mr = std::min(kMr, m - i0);
+          if (mr == kMr && nr == kNr) {
+            MatMulTileFull(a, b, &c, i0, j0, k0, k1, first);
+          } else {
+            MatMulTileEdge(a, b, &c, i0, mr, j0, nr, k0, k1, first);
+          }
+        }
+      }
+    };
+#endif
+    if (parallel) {
+      pool->ParallelFor(row_tiles, run);
+    } else {
+      run(0, row_tiles);
+    }
+  }
+  return c;
+}
+
+Matrix MatMulReference(const Matrix& a, const Matrix& b) {
   DSWM_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
   for (int i = 0; i < a.rows(); ++i) {
     const double* ar = a.Row(i);
     double* cr = c.Row(i);
     for (int k = 0; k < a.cols(); ++k) {
-      const double aik = ar[k];
-      if (aik == 0.0) continue;
-      Axpy(aik, b.Row(k), cr, b.cols());
+      Axpy(ar[k], b.Row(k), cr, b.cols());
     }
   }
   return c;
 }
 
+Matrix GramTransposePrefix(const Matrix& a, int rows) {
+  DSWM_CHECK_GE(rows, 0);
+  DSWM_CHECK_LE(rows, a.rows());
+  const int d = a.cols();
+  Matrix g(d, d);
+  if (d == 0 || rows == 0) return g;
+
+  ThreadPool* pool = ThreadPool::Global();
+  const long mul_adds = static_cast<long>(rows) * d * (d + 1) / 2;
+  const bool parallel = UsePool(pool, mul_adds);
+  const int row_tiles = (d + kMr - 1) / kMr;
+
+  // Upper-triangle tiles only; row blocks of the reduction are processed
+  // in order so each element's chain stays ascending across flushes.
+  for (int r0 = 0; r0 < rows; r0 += kKc) {
+    const int r1 = std::min(rows, r0 + kKc);
+    const auto run = [&a, &g, d, r0, r1](int t0, int t1) {
+      for (int t = t0; t < t1; ++t) {
+        const int i0 = t * kMr;
+        const int mr = std::min(kMr, d - i0);
+        for (int j0 = (i0 / kNr) * kNr; j0 < d; j0 += kNr) {
+          const int nr = std::min(kNr, d - j0);
+#if defined(__SSE2__)
+          if (mr == kMr && nr == kNr) {
+            SyrkTileFull(a, r0, r1, &g, i0, j0);
+            continue;
+          }
+#endif
+          SyrkTile(a, r0, r1, &g, i0, mr, j0, nr);
+        }
+      }
+    };
+    if (parallel) {
+      pool->ParallelFor(row_tiles, run);
+    } else {
+      run(0, row_tiles);
+    }
+  }
+  MirrorLowerFromUpper(&g);
+  return g;
+}
+
 Matrix GramTranspose(const Matrix& a) {
+  return GramTransposePrefix(a, a.rows());
+}
+
+Matrix GramTransposeReference(const Matrix& a) {
   Matrix g(a.cols(), a.cols());
   for (int i = 0; i < a.rows(); ++i) g.AddOuterProduct(a.Row(i), 1.0);
   return g;
 }
 
-Matrix Gram(const Matrix& a) {
+Matrix GramPrefix(const Matrix& a, int rows) {
+  DSWM_CHECK_GE(rows, 0);
+  DSWM_CHECK_LE(rows, a.rows());
+  Matrix g(rows, rows);
+  if (rows == 0 || a.cols() == 0) return g;
+
+  ThreadPool* pool = ThreadPool::Global();
+  const long mul_adds = static_cast<long>(rows) * (rows + 1) / 2 * a.cols();
+  const int row_tiles = (rows + kMr - 1) / kMr;
+  const auto run = [&a, &g, rows](int t0, int t1) {
+    for (int t = t0; t < t1; ++t) {
+      const int i0 = t * kMr;
+      const int mr = std::min(kMr, rows - i0);
+      for (int j0 = (i0 / kNr) * kNr; j0 < rows; j0 += kNr) {
+        const int nr = std::min(kNr, rows - j0);
+#if defined(__SSE2__)
+        if (mr == kMr && nr == kNr) {
+          GramTileFull(a, &g, i0, j0);
+          continue;
+        }
+#endif
+        GramTile(a, &g, i0, mr, j0, nr);
+      }
+    }
+  };
+  if (UsePool(pool, mul_adds)) {
+    pool->ParallelFor(row_tiles, run);
+  } else {
+    run(0, row_tiles);
+  }
+  MirrorLowerFromUpper(&g);
+  return g;
+}
+
+Matrix Gram(const Matrix& a) { return GramPrefix(a, a.rows()); }
+
+Matrix GramReference(const Matrix& a) {
   Matrix g(a.rows(), a.rows());
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = i; j < a.rows(); ++j) {
@@ -140,8 +832,10 @@ double MaxAbsDiff(const Matrix& a, const Matrix& b) {
   DSWM_CHECK_EQ(a.cols(), b.cols());
   double m = 0.0;
   for (int i = 0; i < a.rows(); ++i) {
+    const double* ra = a.Row(i);
+    const double* rb = b.Row(i);
     for (int j = 0; j < a.cols(); ++j) {
-      m = std::max(m, std::fabs(a(i, j) - b(i, j)));
+      m = std::max(m, std::fabs(ra[j] - rb[j]));
     }
   }
   return m;

@@ -80,6 +80,11 @@ class Matrix {
     std::memcpy(Row(i), src, sizeof(double) * cols_);
   }
 
+  /// Pre-allocates storage for at least `rows` rows so subsequent
+  /// AppendRow calls never reallocate; shape is unchanged. No-op when the
+  /// current capacity already suffices.
+  void Reserve(int rows);
+
   /// Appends a row (O(cols) amortized); keeps cols() fixed (or sets it if
   /// the matrix is empty).
   void AppendRow(const double* src, int len);
@@ -127,6 +132,14 @@ void Axpy(double alpha, const double* x, double* y, int n);
 void Scale(double* x, int n, double alpha);
 
 // ---- Matrix kernels --------------------------------------------------------
+//
+// The production kernels (MatMul / Gram / GramTranspose and their *Prefix
+// variants) are cache-blocked and register-tiled, and parallelize over row
+// blocks of the output through ThreadPool::Global() when it has more than
+// one thread. Every output element is owned by exactly one register
+// accumulator that sums its reduction in ascending index order, so results
+// are bit-identical to the naive `*Reference` oracles for finite inputs at
+// any thread count (see DESIGN.md "Performance architecture").
 
 /// y = A x (y length rows, x length cols).
 void MatVec(const Matrix& a, const double* x, double* y);
@@ -137,12 +150,30 @@ void MatTVec(const Matrix& a, const double* x, double* y);
 /// Returns A * B.
 [[nodiscard]] Matrix MatMul(const Matrix& a, const Matrix& b);
 
+/// Naive triple-loop oracle for MatMul; kept as the test/benchmark
+/// reference for the blocked kernel.
+[[nodiscard]] Matrix MatMulReference(const Matrix& a, const Matrix& b);
+
 /// Returns A^T * A (cols x cols). This is the covariance Gram product used
 /// throughout: for a sketch B it yields B^T B.
 [[nodiscard]] Matrix GramTranspose(const Matrix& a);
 
+/// A^T A over only the first `rows` rows of `a` (rows <= a.rows()). Lets
+/// callers that keep live rows in a prefix of a larger buffer (the
+/// zero-copy FrequentDirections shrink path) avoid materializing a copy.
+[[nodiscard]] Matrix GramTransposePrefix(const Matrix& a, int rows);
+
+/// Rank-1-update oracle for GramTranspose (the pre-blocking kernel).
+[[nodiscard]] Matrix GramTransposeReference(const Matrix& a);
+
 /// Returns A * A^T (rows x rows); used by the thin SVD on the short side.
 [[nodiscard]] Matrix Gram(const Matrix& a);
+
+/// A A^T over only the first `rows` rows of `a` (rows <= a.rows()).
+[[nodiscard]] Matrix GramPrefix(const Matrix& a, int rows);
+
+/// Dot-product oracle for Gram (the pre-blocking kernel).
+[[nodiscard]] Matrix GramReference(const Matrix& a);
 
 /// Returns A - B (same shape).
 [[nodiscard]] Matrix Subtract(const Matrix& a, const Matrix& b);

@@ -7,11 +7,6 @@
 
 namespace dswm {
 
-namespace {
-
-// Gram-Schmidt re-orthonormalization of the first `r` rows of `m` against
-// each other; stabilizes vectors recovered through near-degenerate Gram
-// eigenpairs.
 void OrthonormalizeRows(Matrix* m, int r) {
   for (int i = 0; i < r; ++i) {
     double* vi = m->Row(i);
@@ -25,8 +20,6 @@ void OrthonormalizeRows(Matrix* m, int r) {
     if (norm > 0.0) Scale(vi, m->cols(), 1.0 / norm);
   }
 }
-
-}  // namespace
 
 RightSvdResult RightSvd(const Matrix& a) {
   RightSvdResult result;

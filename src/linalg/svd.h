@@ -30,8 +30,11 @@ struct SvdResult {
 
 /// Computes the thin SVD of `a`. Singular values below
 /// `rel_tol * sigma_max` are dropped (rank truncation); pass 0 to keep all
-/// numerically-nonzero values.
-[[nodiscard]] SvdResult ThinSvd(const Matrix& a, double rel_tol = 1e-10);
+/// numerically-nonzero values. The default sits above the Gram-route noise
+/// floor: eigenvalues of A A^T carry ~eps * lambda_max absolute error, so
+/// sigmas below ~sqrt(eps) * sigma_max (~1.5e-8) are indistinguishable
+/// from zero here. Use BidiagonalSvd to resolve smaller singular values.
+[[nodiscard]] SvdResult ThinSvd(const Matrix& a, double rel_tol = 1e-7);
 
 /// Right singular vectors and *squared* singular values of `a`, skipping the
 /// computation of U. This is the exact shape Frequent Directions needs for
@@ -46,6 +49,13 @@ struct RightSvdResult {
 
 /// Computes right singular vectors + squared singular values of `a`.
 [[nodiscard]] RightSvdResult RightSvd(const Matrix& a);
+
+/// Two-pass modified Gram-Schmidt re-orthonormalization of the first `r`
+/// rows of `m` against each other; stabilizes vectors recovered through
+/// near-degenerate Gram eigenpairs. Row i depends only on rows j < i, so
+/// orthonormalizing a prefix matches orthonormalizing the full set on
+/// that prefix. Zero rows stay zero.
+void OrthonormalizeRows(Matrix* m, int r);
 
 }  // namespace dswm
 

@@ -1,13 +1,28 @@
 #include "monitor/driver.h"
 
 #include <algorithm>
+#include <deque>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "sketch/covariance.h"
 #include "window/exact_window.h"
 
 namespace dswm {
+
+namespace {
+
+double EvalError(const Matrix& cov_exact, const Approximation& approx,
+                 double fnorm2) {
+  return approx.is_rows
+             ? CovarianceErrorOfSketch(cov_exact, approx.sketch_rows, fnorm2)
+             : CovarianceErrorOfCovariance(cov_exact, approx.covariance,
+                                           fnorm2);
+}
+
+}  // namespace
 
 RunResult RunTracker(DistributedTracker* tracker,
                      const std::vector<TimedRow>& rows, int num_sites,
@@ -30,8 +45,16 @@ RunResult RunTracker(DistributedTracker* tracker,
   ExactWindow exact(tracker->dim(), window);
   Stopwatch tracker_clock;
   double tracker_seconds = 0.0;
-  double err_sum = 0.0;
-  int err_count = 0;
+
+  // Query-point error evaluations are independent of the stream replay
+  // (they act on a snapshot of exact + approximate state), so with a
+  // multi-threaded pool they run concurrently with subsequent tracker
+  // updates. Results are written into deque slots (stable addresses) and
+  // folded in query order below, so avg/max/trace are identical to the
+  // single-threaded run.
+  ThreadPool* pool = ThreadPool::Global();
+  const bool async_eval = pool->num_threads() > 1;
+  std::deque<double> errs;
 
   for (int i = 0; i < n; ++i) {
     const TimedRow& row = rows[i];
@@ -45,28 +68,36 @@ RunResult RunTracker(DistributedTracker* tracker,
     exact.Advance(row.timestamp);
 
     if (is_query[i]) {
-      const Approximation approx = tracker->GetApproximation();
-      const double err =
-          approx.is_rows
-              ? CovarianceErrorOfSketch(exact.Covariance(),
-                                        approx.sketch_rows,
-                                        exact.FrobeniusSquared())
-              : CovarianceErrorOfCovariance(exact.Covariance(),
-                                            approx.covariance,
-                                            exact.FrobeniusSquared());
-      err_sum += err;
-      result.max_err = std::max(result.max_err, err);
-      ++err_count;
+      Approximation approx = tracker->GetApproximation();
       const long site_space = tracker->MaxSiteSpaceWords();
       result.max_site_space_words =
           std::max(result.max_site_space_words, site_space);
-      result.trace.push_back(TraceEntry{row.timestamp, err,
+      result.trace.push_back(TraceEntry{row.timestamp, 0.0,
                                         tracker->comm().TotalWords(),
                                         site_space});
+      errs.push_back(0.0);
+      double* out = &errs.back();
+      if (async_eval) {
+        pool->Submit([cov = exact.Covariance(),
+                      fnorm2 = exact.FrobeniusSquared(),
+                      snapshot = std::move(approx), out] {
+          *out = EvalError(cov, snapshot, fnorm2);
+        });
+      } else {
+        *out = EvalError(exact.Covariance(), approx,
+                         exact.FrobeniusSquared());
+      }
     }
   }
+  pool->WaitIdle();
 
-  result.avg_err = err_count > 0 ? err_sum / err_count : 0.0;
+  double err_sum = 0.0;
+  for (size_t q = 0; q < errs.size(); ++q) {
+    result.trace[q].err = errs[q];
+    err_sum += errs[q];
+    result.max_err = std::max(result.max_err, errs[q]);
+  }
+  result.avg_err = errs.empty() ? 0.0 : err_sum / static_cast<double>(errs.size());
 
   const CommStats& comm = tracker->comm();
   result.total_words = comm.TotalWords();

@@ -55,6 +55,13 @@ struct RunResult {
 /// Runs `tracker` over `rows` (time-ordered), assigning each row to a
 /// uniformly random site in [0, num_sites). `window` must equal the
 /// tracker's configured window.
+///
+/// When the global ThreadPool has more than one thread (--threads /
+/// DSWM_THREADS), query-point error evaluations run concurrently with the
+/// stream replay on snapshots of the exact and approximate state. Results
+/// are folded in query order, so every reported metric is identical to the
+/// single-threaded run; only wall-clock changes. Tracker updates themselves
+/// are causally ordered by the protocol and are never reordered.
 RunResult RunTracker(DistributedTracker* tracker,
                      const std::vector<TimedRow>& rows, int num_sites,
                      Timestamp window, const DriverOptions& options);

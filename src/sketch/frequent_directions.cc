@@ -4,11 +4,12 @@
 #include <cmath>
 
 #include "linalg/svd.h"
+#include "linalg/symmetric_eigen.h"
 
 namespace dswm {
 
 FrequentDirections::FrequentDirections(int d, int ell)
-    : d_(d), ell_(ell), capacity_(2 * ell), buffer_(0, d) {
+    : d_(d), ell_(ell), capacity_(2 * ell), buffer_(0, d), scratch_(0, d) {
   DSWM_CHECK_GT(d, 0);
   DSWM_CHECK_GE(ell, 1);
 }
@@ -16,6 +17,9 @@ FrequentDirections::FrequentDirections(int d, int ell)
 void FrequentDirections::Append(const double* row) {
   if (count_ == capacity_) Shrink();
   if (count_ == buffer_.rows()) {
+    // Streaming mode (past ell rows the buffer is certain to fill):
+    // reserve the full capacity once so no later append reallocates.
+    if (count_ >= ell_) buffer_.Reserve(capacity_);
     buffer_.AppendRow(row, d_);
   } else {
     buffer_.SetRow(count_, row);
@@ -26,30 +30,64 @@ void FrequentDirections::Append(const double* row) {
 
 void FrequentDirections::Shrink() {
   if (count_ <= ell_) return;
+  const int n = count_;
+  const int r = std::min(n, d_);
 
-  Matrix live(count_, d_);
-  for (int i = 0; i < count_; ++i) live.SetRow(i, buffer_.Row(i));
-  const RightSvdResult svd = RightSvd(live);
+  // Eigendecompose through the Gram matrix of the short side (<= 2l or d),
+  // reading the live prefix of the buffer directly -- no `live` copy.
+  const bool rows_are_short = n <= d_;
+  const EigenResult eig =
+      rows_are_short ? SymmetricEigen(GramPrefix(buffer_, n))
+                     : SymmetricEigen(GramTransposePrefix(buffer_, n));
+  const auto sigma_squared = [&eig](int i) {
+    return std::max(eig.values[i], 0.0);
+  };
 
   // delta = sigma^2 of the (ell+1)-th direction (0 if fewer exist).
-  const int k = static_cast<int>(svd.sigma_squared.size());
-  const double delta = (ell_ < k) ? svd.sigma_squared[ell_] : 0.0;
+  const double delta = (ell_ < r) ? sigma_squared(ell_) : 0.0;
   shrinkage_ += delta;
 
-  // Rebuild the buffer with the shrunk directions; this keeps memory
-  // proportional to live rows (mEH holds many small buckets).
-  Matrix shrunk(0, d_);
-  std::vector<double> scaled(d_);
-  for (int i = 0; i < std::min(ell_, k); ++i) {
-    const double s2 = svd.sigma_squared[i] - delta;
-    if (s2 <= 0.0) break;
-    const double s = std::sqrt(s2);
-    const double* v = svd.vt.Row(i);
-    for (int j = 0; j < d_; ++j) scaled[j] = s * v[j];
-    shrunk.AppendRow(scaled.data(), d_);
+  // Directions that survive the shrink: eigenvalues are descending, so
+  // they form a prefix.
+  int keep = 0;
+  const int limit = std::min(ell_, r);
+  while (keep < limit && sigma_squared(keep) - delta > 0.0) ++keep;
+
+  if (rows_are_short) {
+    // v_i = B^T u_i / sigma_i, assembled in the scratch block (the
+    // computation reads every live buffer row, so it cannot write the
+    // buffer in place), then re-orthonormalized exactly as RightSvd does.
+    if (scratch_.rows() < limit) scratch_ = Matrix(ell_, d_);
+    const double lead = sigma_squared(0);
+    for (int i = 0; i < keep; ++i) {
+      double* v = scratch_.Row(i);
+      std::fill(v, v + d_, 0.0);
+      const double lambda = sigma_squared(i);
+      if (lambda > lead * 1e-26 && lambda > 0.0) {
+        const double* u = eig.vectors.Row(i);
+        for (int row = 0; row < n; ++row) Axpy(u[row], buffer_.Row(row), v, d_);
+        Scale(v, d_, 1.0 / std::sqrt(lambda));
+      }
+      // else: zero row, its sigma is (numerically) zero.
+    }
+    OrthonormalizeRows(&scratch_, keep);
+    for (int i = 0; i < keep; ++i) {
+      const double s = std::sqrt(sigma_squared(i) - delta);
+      const double* v = scratch_.Row(i);
+      double* dst = buffer_.Row(i);
+      for (int j = 0; j < d_; ++j) dst[j] = s * v[j];
+    }
+  } else {
+    // d x d Gram: eigenvectors are the right singular vectors directly,
+    // and they live outside the buffer, so write rows in place.
+    for (int i = 0; i < keep; ++i) {
+      const double s = std::sqrt(sigma_squared(i) - delta);
+      const double* v = eig.vectors.Row(i);
+      double* dst = buffer_.Row(i);
+      for (int j = 0; j < d_; ++j) dst[j] = s * v[j];
+    }
   }
-  count_ = shrunk.rows();
-  buffer_ = std::move(shrunk);
+  count_ = keep;
 }
 
 Matrix FrequentDirections::RowsMatrix() const {
@@ -59,13 +97,12 @@ Matrix FrequentDirections::RowsMatrix() const {
 }
 
 Matrix FrequentDirections::Covariance() const {
-  Matrix c(d_, d_);
-  for (int i = 0; i < count_; ++i) c.AddOuterProduct(buffer_.Row(i), 1.0);
-  return c;
+  return GramTransposePrefix(buffer_, count_);
 }
 
 void FrequentDirections::Merge(const FrequentDirections& other) {
   DSWM_CHECK_EQ(d_, other.d_);
+  buffer_.Reserve(std::min(capacity_, count_ + other.count_));
   for (int i = 0; i < other.count_; ++i) {
     if (count_ == capacity_) Shrink();
     if (count_ == buffer_.rows()) {
@@ -81,13 +118,21 @@ void FrequentDirections::Merge(const FrequentDirections& other) {
 
 void FrequentDirections::Compact() {
   if (count_ > ell_) Shrink();
+  if (buffer_.rows() > count_) {
+    // Trim allocation slack so sealed buckets (mEH holds many) cost only
+    // their live rows, matching the paper's space accounting.
+    Matrix trimmed(count_, d_);
+    for (int i = 0; i < count_; ++i) trimmed.SetRow(i, buffer_.Row(i));
+    buffer_ = std::move(trimmed);
+    scratch_ = Matrix(0, d_);
+  }
 }
 
 void FrequentDirections::Reset() {
   count_ = 0;
   input_mass_ = 0.0;
   shrinkage_ = 0.0;
-  buffer_ = Matrix(0, d_);
+  // The buffer allocation is kept for reuse; only the live count resets.
 }
 
 }  // namespace dswm

@@ -68,7 +68,14 @@ class FrequentDirections {
   int count_ = 0;
   double input_mass_ = 0.0;
   double shrinkage_ = 0.0;
-  Matrix buffer_;  // capacity_ x d; first count_ rows are live.
+  // Row buffer; the first count_ rows are live. Grows lazily (single-row
+  // mEH buckets stay tiny) up to capacity_ rows, after which Append/Merge
+  // reuse rows in place and never reallocate. Shrink() rewrites the live
+  // prefix in place instead of materializing live/shrunk copies.
+  Matrix buffer_;
+  // ell_ x d scratch for the shrunk directions, allocated on first
+  // Shrink() and reused; never visible outside Shrink().
+  Matrix scratch_;
 };
 
 }  // namespace dswm

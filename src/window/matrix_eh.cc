@@ -76,7 +76,10 @@ void MatrixExpHistogram::Compress() {
 }
 
 Matrix MatrixExpHistogram::QueryRows() const {
+  int total = 0;
+  for (const Bucket& b : buckets_) total += b.fd.row_count();
   Matrix rows(0, d_);
+  rows.Reserve(total);
   for (const Bucket& b : buckets_) {
     const Matrix m = b.fd.RowsMatrix();
     for (int i = 0; i < m.rows(); ++i) rows.AppendRow(m.Row(i), d_);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "core/tracker_factory.h"
 #include "monitor/driver.h"
 #include "stream/synthetic.h"
@@ -87,6 +88,41 @@ TEST(Driver, ReportsSaneMetrics) {
   EXPECT_GT(r.max_site_space_words, 0);
   EXPECT_GE(r.max_err, r.avg_err);
   EXPECT_LE(r.avg_err, 1.0);
+}
+
+TEST(Driver, ThreadedRunMatchesSingleThreaded) {
+  // The driver offloads query-point evaluation to the global pool but folds
+  // results in query order, so a threaded run must report exactly the same
+  // accuracy and communication as the single-threaded default.
+  SyntheticConfig data;
+  data.rows = 900;
+  data.dim = 5;
+  SyntheticGenerator gen(data);
+  const std::vector<TimedRow> rows = Materialize(&gen, data.rows);
+
+  TrackerConfig config;
+  config.dim = 5;
+  config.num_sites = 2;
+  config.window = 250;
+  config.epsilon = 0.25;
+  config.ell_override = 20;
+  DriverOptions options;
+  options.query_points = 8;
+
+  const auto run = [&] {
+    auto tracker = MakeTracker(Algorithm::kPwor, config);
+    EXPECT_TRUE(tracker.ok());
+    return RunTracker(tracker.value().get(), rows, 2, 250, options);
+  };
+  const RunResult single = run();
+  ThreadPool::SetGlobalThreads(4);
+  const RunResult threaded = run();
+  ThreadPool::SetGlobalThreads(1);
+
+  EXPECT_DOUBLE_EQ(threaded.avg_err, single.avg_err);
+  EXPECT_DOUBLE_EQ(threaded.max_err, single.max_err);
+  EXPECT_EQ(threaded.total_words, single.total_words);
+  EXPECT_EQ(threaded.rows, single.rows);
 }
 
 TEST(Driver, EmptyDataset) {

@@ -1,0 +1,163 @@
+// Bitwise equivalence of the blocked/vectorized linalg kernels against
+// their naive *Reference oracles, across a shape grid that exercises every
+// dispatch path: empty, 1x1, tall, wide, exact register-tile multiples,
+// ragged edges (not multiples of the 4-row / 4-or-8-column tile), and
+// reductions longer than the kKc=256 k-block. The *Threaded tests assert
+// the same bitwise identity at 4 threads (row-tile distribution must not
+// change any accumulation order).
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "linalg/matrix.h"
+
+namespace dswm {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+// Bitwise comparison (memcmp of the row payloads, not double ==, so even a
+// -0.0 vs +0.0 discrepancy would be caught).
+::testing::AssertionResult BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  for (int i = 0; i < a.rows(); ++i) {
+    if (std::memcmp(a.Row(i), b.Row(i),
+                    sizeof(double) * static_cast<size_t>(a.cols())) != 0) {
+      return ::testing::AssertionFailure()
+             << "row " << i << " differs; MaxAbsDiff=" << MaxAbsDiff(a, b);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Restores the global pool size on scope exit so a failing test cannot
+// leak a multi-threaded pool into unrelated tests.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { ThreadPool::SetGlobalThreads(n); }
+  ~ScopedThreads() { ThreadPool::SetGlobalThreads(1); }
+};
+
+struct MatMulShape {
+  int m;
+  int k;
+  int p;
+};
+
+class MatMulEquivalence : public ::testing::TestWithParam<MatMulShape> {};
+
+TEST_P(MatMulEquivalence, BitIdenticalToReference) {
+  const auto [m, k, p] = GetParam();
+  const Matrix a = RandomMatrix(m, k, 1000 + static_cast<uint64_t>(m));
+  const Matrix b = RandomMatrix(k, p, 2000 + static_cast<uint64_t>(p));
+  EXPECT_TRUE(BitIdentical(MatMul(a, b), MatMulReference(a, b)));
+}
+
+TEST_P(MatMulEquivalence, ThreadedBitIdenticalToSingle) {
+  const auto [m, k, p] = GetParam();
+  const Matrix a = RandomMatrix(m, k, 3000 + static_cast<uint64_t>(m));
+  const Matrix b = RandomMatrix(k, p, 4000 + static_cast<uint64_t>(p));
+  const Matrix single = MatMul(a, b);
+  ScopedThreads threads(4);
+  EXPECT_TRUE(BitIdentical(MatMul(a, b), single));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulEquivalence,
+    ::testing::Values(MatMulShape{0, 0, 0}, MatMulShape{0, 3, 2},
+                      MatMulShape{2, 0, 3}, MatMulShape{1, 1, 1},
+                      MatMulShape{4, 4, 4}, MatMulShape{4, 4, 8},
+                      MatMulShape{5, 7, 9}, MatMulShape{8, 8, 8},
+                      MatMulShape{3, 100, 2}, MatMulShape{100, 3, 100},
+                      MatMulShape{13, 17, 11}, MatMulShape{16, 32, 24},
+                      MatMulShape{33, 29, 37}, MatMulShape{64, 64, 64},
+                      // k > kKc: the reduction crosses a k-block boundary,
+                      // exercising the store/reload of partial tiles.
+                      MatMulShape{20, 300, 20}, MatMulShape{7, 513, 12}));
+
+struct GramShape {
+  int rows;
+  int cols;
+};
+
+class GramEquivalence : public ::testing::TestWithParam<GramShape> {};
+
+TEST_P(GramEquivalence, GramBitIdenticalToReference) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = RandomMatrix(rows, cols, 5000 + static_cast<uint64_t>(rows));
+  EXPECT_TRUE(BitIdentical(Gram(a), GramReference(a)));
+}
+
+TEST_P(GramEquivalence, GramTransposeBitIdenticalToReference) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = RandomMatrix(rows, cols, 6000 + static_cast<uint64_t>(cols));
+  EXPECT_TRUE(BitIdentical(GramTranspose(a), GramTransposeReference(a)));
+}
+
+TEST_P(GramEquivalence, PrefixMatchesFullKernelOnPrefixCopy) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = RandomMatrix(rows, cols, 7000 + static_cast<uint64_t>(rows));
+  for (const int r : {0, 1, rows / 2, rows}) {
+    if (r > rows) continue;
+    Matrix prefix(r, cols);
+    for (int i = 0; i < r; ++i) prefix.SetRow(i, a.Row(i));
+    EXPECT_TRUE(BitIdentical(GramPrefix(a, r), Gram(prefix))) << "r=" << r;
+    EXPECT_TRUE(BitIdentical(GramTransposePrefix(a, r), GramTranspose(prefix)))
+        << "r=" << r;
+  }
+}
+
+TEST_P(GramEquivalence, ThreadedBitIdenticalToSingle) {
+  const auto [rows, cols] = GetParam();
+  const Matrix a = RandomMatrix(rows, cols, 8000 + static_cast<uint64_t>(cols));
+  const Matrix gram_single = Gram(a);
+  const Matrix gramt_single = GramTranspose(a);
+  ScopedThreads threads(4);
+  EXPECT_TRUE(BitIdentical(Gram(a), gram_single));
+  EXPECT_TRUE(BitIdentical(GramTranspose(a), gramt_single));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GramEquivalence,
+    ::testing::Values(GramShape{0, 0}, GramShape{0, 5}, GramShape{1, 1},
+                      GramShape{1, 9}, GramShape{4, 4}, GramShape{5, 3},
+                      GramShape{3, 5}, GramShape{8, 8}, GramShape{12, 8},
+                      GramShape{13, 17}, GramShape{40, 43},
+                      GramShape{64, 33}, GramShape{33, 64},
+                      GramShape{2, 300}, GramShape{300, 2},
+                      // rows > kKc for GramTranspose's k-blocked reduction.
+                      GramShape{280, 24}));
+
+TEST(KernelEquivalence, MatMulSpecialValuesSurviveBlocking) {
+  // The blocked kernel must not "optimize" away zeros (the old naive loop
+  // skipped aik == 0.0, which breaks NaN/inf propagation semantics).
+  Matrix a(4, 4);
+  Matrix b(4, 4);
+  a(0, 0) = 0.0;
+  a(1, 1) = 1.0;
+  b(0, 2) = std::numeric_limits<double>::infinity();
+  b(1, 3) = std::numeric_limits<double>::quiet_NaN();
+  const Matrix c = MatMul(a, b);
+  const Matrix r = MatMulReference(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 2)) == std::isnan(r(0, 2)));
+  EXPECT_TRUE(std::isnan(c(1, 3)));
+}
+
+}  // namespace
+}  // namespace dswm

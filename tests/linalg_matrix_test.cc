@@ -27,6 +27,37 @@ TEST(Matrix, AppendRowGrowsAndKeepsData) {
   EXPECT_DOUBLE_EQ(m(1, 1), 5.0);
 }
 
+TEST(Matrix, ReservePreallocatesWithoutChangingShape) {
+  Matrix m(0, 3);
+  m.Reserve(100);
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 3);
+  const double r0[] = {1, 2, 3};
+  m.AppendRow(r0, 3);
+  EXPECT_EQ(m.rows(), 1);
+  // Reserving must not invalidate existing data, and appending up to the
+  // reserved capacity keeps row pointers stable (no reallocation).
+  const double* row0 = m.Row(0);
+  const double r1[] = {4, 5, 6};
+  for (int i = 1; i < 100; ++i) m.AppendRow(r1, 3);
+  EXPECT_EQ(m.Row(0), row0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(99, 2), 6.0);
+  // Shrinking reserve is a no-op.
+  m.Reserve(1);
+  EXPECT_EQ(m.rows(), 100);
+  EXPECT_DOUBLE_EQ(m(42, 0), 4.0);
+}
+
+TEST(Matrix, AppendRowSetsColsOnEmptyMatrix) {
+  Matrix m(0, 0);
+  const double r0[] = {7, 8};
+  m.AppendRow(r0, 2);
+  EXPECT_EQ(m.rows(), 1);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+}
+
 TEST(Matrix, TransposedRoundTrip) {
   Rng rng(3);
   Matrix m(4, 7);

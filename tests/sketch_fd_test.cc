@@ -1,11 +1,14 @@
 #include "sketch/frequent_directions.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "linalg/spectral_norm.h"
+#include "linalg/svd.h"
 #include "linalg/symmetric_eigen.h"
 
 namespace dswm {
@@ -122,6 +125,61 @@ TEST(FrequentDirections, SpaceWordsMatchesRows) {
   const Matrix rows = RandomRows(3, 4, 32);
   for (int i = 0; i < 3; ++i) fd.Append(rows.Row(i));
   EXPECT_EQ(fd.SpaceWords(), 12);
+}
+
+// The pre-zero-copy shrink, reimplemented verbatim: materialize the live
+// rows, take a full RightSvd, rebuild shrunk rows in a fresh buffer. The
+// production in-place shrink must stay numerically equivalent to it.
+class LegacyFrequentDirections {
+ public:
+  LegacyFrequentDirections(int d, int ell) : d_(d), ell_(ell), rows_(0, d) {}
+
+  void Append(const double* row) {
+    if (rows_.rows() == 2 * ell_) Shrink();
+    rows_.AppendRow(row, d_);
+  }
+
+  [[nodiscard]] Matrix Covariance() const { return GramTranspose(rows_); }
+
+ private:
+  void Shrink() {
+    const RightSvdResult svd = RightSvd(rows_);
+    const int r = static_cast<int>(svd.sigma_squared.size());
+    const double delta =
+        (ell_ < r) ? std::max(svd.sigma_squared[ell_], 0.0) : 0.0;
+    Matrix shrunk(0, d_);
+    for (int i = 0; i < std::min(ell_, r); ++i) {
+      const double s2 = std::max(svd.sigma_squared[i], 0.0) - delta;
+      if (s2 <= 0.0) break;
+      std::vector<double> row(svd.vt.Row(i), svd.vt.Row(i) + d_);
+      Scale(row.data(), d_, std::sqrt(s2));
+      shrunk.AppendRow(row.data(), d_);
+    }
+    rows_ = std::move(shrunk);
+  }
+
+  int d_;
+  int ell_;
+  Matrix rows_;
+};
+
+TEST(FrequentDirections, ZeroCopyShrinkMatchesLegacyShrink) {
+  // Both the short-side (n <= d) and Gram-side (n > d) shrink paths.
+  for (const auto& [d, ell] : {std::pair<int, int>{24, 8},
+                               std::pair<int, int>{6, 5}}) {
+    FrequentDirections fd(d, ell);
+    LegacyFrequentDirections legacy(d, ell);
+    const Matrix input = RandomRows(300, d, 91 + static_cast<uint64_t>(d));
+    for (int i = 0; i < input.rows(); ++i) {
+      fd.Append(input.Row(i));
+      legacy.Append(input.Row(i));
+    }
+    const Matrix cov = fd.Covariance();
+    const Matrix legacy_cov = legacy.Covariance();
+    const double scale = std::max(1.0, legacy_cov.FrobeniusNormSquared());
+    EXPECT_LT(MaxAbsDiff(cov, legacy_cov) / scale, 1e-9)
+        << "d=" << d << " ell=" << ell;
+  }
 }
 
 TEST(FrequentDirections, AdversarialSingleHeavyDirection) {

@@ -2,7 +2,7 @@
 //
 //   dswm_cli run --dataset synthetic --algorithm DA2 --epsilon 0.05
 //            --sites 20 [--rows N] [--window W] [--seed S]
-//            [--queries Q] [--save-sketch out.mat]
+//            [--queries Q] [--save-sketch out.mat] [--threads T]
 //   dswm_cli run --csv data.csv [--timestamp-col 0] --algorithm PWOR ...
 //   dswm_cli run ... --trace 1           # per-query-point error series
 //   dswm_cli sweep --dataset pamap --algorithms PWOR,DA2
@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "core/tracker_factory.h"
 #include "linalg/matrix_io.h"
 #include "monitor/driver.h"
@@ -234,9 +235,17 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known = {
       "dataset", "csv",     "timestamp-col", "algorithm", "epsilon",
       "sites",   "window",  "rows",          "seed",      "queries",
-      "ell",     "save-sketch", "trace",     "algorithms", "epsilons"};
+      "ell",     "save-sketch", "trace",     "algorithms", "epsilons",
+      "threads"};
   auto flags = FlagSet::Parse(argc, argv, known);
   if (!flags.ok()) return Fail(flags.status());
+
+  // --threads overrides DSWM_THREADS (both default to 1: deterministic,
+  // bit-identical single-threaded kernels).
+  if (flags.value().Has("threads")) {
+    ThreadPool::SetGlobalThreads(
+        static_cast<int>(flags.value().GetInt("threads", 1)));
+  }
 
   const auto& positional = flags.value().positional();
   const std::string command = positional.empty() ? "run" : positional[0];

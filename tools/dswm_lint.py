@@ -20,6 +20,13 @@ beyond what the compiler and clang-tidy check:
                             carry rounding, so tests must state a tolerance
                             (EXPECT_NEAR) or an exactness claim
                             (EXPECT_DOUBLE_EQ).
+  R5 raw-thread-outside-common
+                            No std::thread/std::jthread/std::async outside
+                            src/common/. All parallelism flows through
+                            common/thread_pool.h so the deterministic
+                            partitioning and the single-threaded default
+                            (bit-identical kernels) hold everywhere.
+                            (std::this_thread is fine -- it spawns nothing.)
 
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
 Suppress a single line with a trailing `// dswm-lint: allow(<rule>)`.
@@ -38,6 +45,10 @@ RNG_PATTERN = re.compile(
     r"std::random_device|std::mt19937|std::minstd_rand|std::ranlux"
     r"|(?<![\w:])s?rand\s*\(")
 EXCEPTION_PATTERN = re.compile(r"(?<![\w:])(throw|try|catch)(?![\w])")
+# std::this_thread deliberately does not match: `thread` must directly
+# follow `std::`.
+THREAD_PATTERN = re.compile(r"std::(thread|jthread|async)\b")
+THREAD_ALLOWED_PREFIX = ("src", "common")
 FLOAT_LITERAL = re.compile(
     r"^[-+]?(\d+\.\d*|\.\d+)(e[-+]?\d+)?[fl]?$|^[-+]?\d+e[-+]?\d+[fl]?$",
     re.IGNORECASE)
@@ -152,6 +163,19 @@ def check_exceptions(path, stripped, lines, rep):
                    "-- return Status/StatusOr or DSWM_CHECK")
 
 
+def check_raw_thread(path, stripped, lines, rep):
+    if path.parts[:2] == THREAD_ALLOWED_PREFIX:
+        return
+    for m in THREAD_PATTERN.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if allowed(lines, ln, "raw-thread-outside-common"):
+            continue
+        rep.report(path, ln, "raw-thread-outside-common",
+                   f"'{m.group(0)}' outside src/common/; route parallelism "
+                   "through dswm::ThreadPool (common/thread_pool.h) so the "
+                   "deterministic single-threaded default holds")
+
+
 def expected_guard(path):
     parts = list(path.parts)
     if parts[0] == "src":
@@ -207,6 +231,7 @@ def lint_file(root, rel, rep):
     stripped = strip_comments_and_strings(text)
     check_rng(rel, stripped, lines, rep)
     check_exceptions(rel, stripped, lines, rep)
+    check_raw_thread(rel, stripped, lines, rep)
     if rel.suffix == ".h":
         check_header_guard(rel, text, lines, rep)
     if rel.parts[0] == "tests":

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # One-command correctness gate for the dswm repo.
 #
-# Builds and tests two trees:
+# Builds and tests three trees:
 #   build-release/  Release, -Werror             (the shipping configuration)
 #   build-asan/     ASan+UBSan, -Werror, DCHECKs (the tripwired configuration)
-# then runs the repo-invariant linter (tools/dswm_lint.py) and, when the
-# binaries exist on PATH, a clang-format --dry-run check and clang-tidy.
+#   build-tsan/     TSan, -Werror, DCHECKs       (thread-pool + threaded
+#                                                 kernel tests only)
+# then smoke-tests the benchmark JSON emitter, runs the repo-invariant
+# linter (tools/dswm_lint.py) and, when the binaries exist on PATH, a
+# clang-format --dry-run check and clang-tidy.
 #
-# Usage: tools/run_checks.sh [--skip-release] [--skip-asan] [--jobs N]
+# Usage: tools/run_checks.sh [--skip-release] [--skip-asan] [--skip-tsan]
+#                            [--skip-bench] [--jobs N]
 # Exits nonzero on the first failing stage.
 
 set -euo pipefail
@@ -16,11 +20,15 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_RELEASE=0
 SKIP_ASAN=0
+SKIP_TSAN=0
+SKIP_BENCH=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --skip-release) SKIP_RELEASE=1 ;;
     --skip-asan) SKIP_ASAN=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-bench) SKIP_BENCH=1 ;;
     --jobs) JOBS="$2"; shift ;;
     *) echo "run_checks.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
@@ -31,21 +39,58 @@ log() { printf '\n=== %s ===\n' "$*"; }
 
 build_and_test() {
   local dir="$1"; shift
+  local filter="$1"; shift
   log "configure ${dir}"
   cmake -B "${ROOT}/${dir}" -S "${ROOT}" -DDSWM_WERROR=ON "$@"
   log "build ${dir} (-j${JOBS})"
   cmake --build "${ROOT}/${dir}" -j "${JOBS}"
   log "ctest ${dir}"
-  ctest --test-dir "${ROOT}/${dir}" --output-on-failure -j "${JOBS}"
+  if [[ -n "${filter}" ]]; then
+    ctest --test-dir "${ROOT}/${dir}" --output-on-failure -j "${JOBS}" \
+      -R "${filter}"
+  else
+    ctest --test-dir "${ROOT}/${dir}" --output-on-failure -j "${JOBS}"
+  fi
 }
 
 if [[ "${SKIP_RELEASE}" -eq 0 ]]; then
-  build_and_test build-release -DCMAKE_BUILD_TYPE=Release
+  build_and_test build-release "" -DCMAKE_BUILD_TYPE=Release
 fi
 
 if [[ "${SKIP_ASAN}" -eq 0 ]]; then
-  build_and_test build-asan -DCMAKE_BUILD_TYPE=Debug \
+  build_and_test build-asan "" -DCMAKE_BUILD_TYPE=Debug \
     -DDSWM_SANITIZE="address;undefined"
+fi
+
+if [[ "${SKIP_TSAN}" -eq 0 ]]; then
+  # TSan is exclusive with ASan, so it gets its own tree. Only the tests
+  # that actually spawn workers matter here (ThreadPool semantics plus the
+  # Threaded* kernel/driver equivalence tests); the full suite already ran
+  # under ASan above.
+  build_and_test build-tsan 'ThreadPool|Threaded' -DCMAKE_BUILD_TYPE=Debug \
+    -DDSWM_SANITIZE=thread
+fi
+
+if [[ "${SKIP_BENCH}" -eq 0 ]]; then
+  log "bench smoke (JSON emitter)"
+  if [[ ! -f "${ROOT}/build-release/CMakeCache.txt" ]]; then
+    cmake -B "${ROOT}/build-release" -S "${ROOT}" -DDSWM_WERROR=ON \
+      -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "${ROOT}/build-release" -j "${JOBS}" --target bench_micro_linalg
+  BENCH_JSON_TMP="$(mktemp /tmp/dswm_bench_smoke.XXXXXX.json)"
+  DSWM_BENCH_JSON="${BENCH_JSON_TMP}" \
+    "${ROOT}/build-release/bench/bench_micro_linalg" \
+    --benchmark_filter='BM_MatMul/128$' --benchmark_min_time=0.01 \
+    >/dev/null
+  python3 - "${BENCH_JSON_TMP}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("benchmarks"), "DSWM_BENCH_JSON produced no benchmark entries"
+print(f"bench JSON OK ({len(doc['benchmarks'])} entries)")
+PY
+  rm -f "${BENCH_JSON_TMP}"
 fi
 
 log "dswm_lint"
