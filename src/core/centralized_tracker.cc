@@ -1,22 +1,36 @@
 #include "core/centralized_tracker.h"
 
+#include <utility>
+
 namespace dswm {
 
 CentralizedTracker::CentralizedTracker(const TrackerConfig& config)
     : config_(config),
-      meh_(config.dim, config.epsilon, config.window) {
+      meh_(config.dim, config.epsilon, config.window),
+      channel_(net::MakeChannel(config.net, config.num_sites, 0)) {
   DSWM_CHECK(config.Validate().ok());
+  channel_->SetHandler([this](net::Delivery d) {
+    if (const auto* m = std::get_if<net::RowUploadMsg>(&d.msg)) {
+      meh_.Insert(m->values.data(), m->timestamp);
+    }
+  });
 }
 
 void CentralizedTracker::Observe(int site, const TimedRow& row) {
   DSWM_CHECK_GE(site, 0);
   DSWM_CHECK_LT(site, config_.num_sites);
-  comm_.SendUp(config_.dim + 1);  // row + timestamp
-  ++comm_.rows_sent;
-  meh_.Insert(row.values.data(), row.timestamp);
+  channel_->AdvanceTime(row.timestamp);
+  net::RowUploadMsg msg;  // row + timestamp: d + 1 words
+  msg.values = row.values;
+  msg.timestamp = row.timestamp;
+  msg.support = row.support;
+  channel_->Send(net::Direction::kUp, site, msg);
 }
 
-void CentralizedTracker::AdvanceTime(Timestamp t) { meh_.Advance(t); }
+void CentralizedTracker::AdvanceTime(Timestamp t) {
+  channel_->AdvanceTime(t);
+  meh_.Advance(t);
+}
 
 Approximation CentralizedTracker::GetApproximation() const {
   Approximation approx;

@@ -6,14 +6,20 @@
 // compared against: it is exact up to the mEH guarantee but its
 // communication is the entire stream, Theta(n*d) words per window. Used
 // as the reference row in the ablation bench and in tests.
+//
+// Rows travel as kRowUpload frames (d + 1 words: row + timestamp) and
+// enter the coordinator's mEH only on delivery.
 
 #ifndef DSWM_CORE_CENTRALIZED_TRACKER_H_
 #define DSWM_CORE_CENTRALIZED_TRACKER_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/tracker.h"
 #include "core/tracker_config.h"
+#include "net/channel.h"
 #include "window/matrix_eh.h"
 
 namespace dswm {
@@ -26,7 +32,10 @@ class CentralizedTracker : public DistributedTracker {
   void Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
   Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return comm_; }
+  const CommStats& comm() const override { return channel_->comm(); }
+  std::vector<net::Channel*> Channels() const override {
+    return {channel_.get()};
+  }
   long MaxSiteSpaceWords() const override { return 0; }  // sites stateless
   std::string name() const override { return "CENTRAL"; }
   int dim() const override { return config_.dim; }
@@ -34,7 +43,7 @@ class CentralizedTracker : public DistributedTracker {
  private:
   TrackerConfig config_;
   MatrixExpHistogram meh_;
-  CommStats comm_;
+  std::unique_ptr<net::Channel> channel_;
 };
 
 }  // namespace dswm

@@ -13,8 +13,17 @@ Da1Tracker::Da1Tracker(const TrackerConfig& config)
     : config_(config),
       eps_threshold_(config.epsilon / 2.0),
       coordinator_c_hat_(config.dim, config.dim),
-      now_(std::numeric_limits<Timestamp>::min() / 2) {
+      now_(std::numeric_limits<Timestamp>::min() / 2),
+      channel_(net::MakeChannel(config.net, config.num_sites, 0)) {
   DSWM_CHECK(config.Validate().ok());
+  // Coordinator side: delivered eigenpairs rank-1-update C_hat. The site
+  // side commits its own copy at send time; under loss the two diverge by
+  // exactly the undelivered pairs.
+  channel_->SetHandler([this](net::Delivery d) {
+    if (const auto* m = std::get_if<net::EigenpairMsg>(&d.msg)) {
+      coordinator_c_hat_.AddOuterProduct(m->vector.data(), m->lambda);
+    }
+  });
   sites_.reserve(config.num_sites);
   for (int j = 0; j < config.num_sites; ++j) {
     SiteState st{
@@ -47,7 +56,7 @@ void Da1Tracker::NoteExpirations(SiteState* st, Timestamp t) {
   }
 }
 
-void Da1Tracker::MaybeReport(SiteState* st, Timestamp /*t*/) {
+void Da1Tracker::MaybeReport(int site, SiteState* st, Timestamp /*t*/) {
   if (st->mass_since_check <= 0.0) return;  // D unchanged since last check
 
   const double fnorm2 = st->meh.FrobeniusSquaredEstimate();
@@ -80,10 +89,14 @@ void Da1Tracker::MaybeReport(SiteState* st, Timestamp /*t*/) {
     for (int i = 0; i < d; ++i) {
       const double lambda = eig.values[i];
       if (std::fabs(lambda) >= send_cut) {
-        comm_.SendUp(d + 1);  // (lambda_i, v_i)
-        ++comm_.rows_sent;
+        // Ship (lambda_i, v_i): d + 1 words. The site's view of the
+        // coordinator updates here; the coordinator's C_hat updates on
+        // delivery.
         st->c_hat.AddOuterProduct(eig.vectors.Row(i), lambda);
-        coordinator_c_hat_.AddOuterProduct(eig.vectors.Row(i), lambda);
+        net::EigenpairMsg msg;
+        msg.lambda = lambda;
+        msg.vector.assign(eig.vectors.Row(i), eig.vectors.Row(i) + d);
+        channel_->Send(net::Direction::kUp, site, msg);
       } else {
         residual = std::max(residual, std::fabs(lambda));
       }
@@ -104,7 +117,7 @@ void Da1Tracker::Observe(int site, const TimedRow& row) {
   st.meh.Insert(row.values.data(), row.timestamp);
   st.c.AddOuterProduct(row.values.data(), 1.0);
   st.mass_since_check += row.NormSquared();
-  MaybeReport(&st, row.timestamp);
+  MaybeReport(site, &st, row.timestamp);
 }
 
 void Da1Tracker::AdvanceTime(Timestamp t) {
@@ -113,9 +126,10 @@ void Da1Tracker::AdvanceTime(Timestamp t) {
     return;
   }
   now_ = t;
-  for (SiteState& st : sites_) {
-    NoteExpirations(&st, t);
-    MaybeReport(&st, t);
+  channel_->AdvanceTime(t);
+  for (int j = 0; j < static_cast<int>(sites_.size()); ++j) {
+    NoteExpirations(&sites_[j], t);
+    MaybeReport(j, &sites_[j], t);
   }
 }
 

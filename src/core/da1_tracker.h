@@ -21,11 +21,13 @@
 #ifndef DSWM_CORE_DA1_TRACKER_H_
 #define DSWM_CORE_DA1_TRACKER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tracker.h"
 #include "core/tracker_config.h"
+#include "net/channel.h"
 #include "window/matrix_eh.h"
 
 namespace dswm {
@@ -38,7 +40,10 @@ class Da1Tracker : public DistributedTracker {
   void Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
   Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return comm_; }
+  const CommStats& comm() const override { return channel_->comm(); }
+  std::vector<net::Channel*> Channels() const override {
+    return {channel_.get()};
+  }
   long MaxSiteSpaceWords() const override;
   std::string name() const override { return "DA1"; }
   int dim() const override { return config_.dim; }
@@ -60,14 +65,14 @@ class Da1Tracker : public DistributedTracker {
   };
 
   void NoteExpirations(SiteState* st, Timestamp t);
-  void MaybeReport(SiteState* st, Timestamp t);
+  void MaybeReport(int site, SiteState* st, Timestamp t);
 
   TrackerConfig config_;
   double eps_threshold_;
   std::vector<SiteState> sites_;
   Matrix coordinator_c_hat_;
   Timestamp now_;
-  CommStats comm_;
+  std::unique_ptr<net::Channel> channel_;
   long decompositions_ = 0;
   long norm_checks_ = 0;
 };

@@ -10,8 +10,21 @@ Da2Tracker::Da2Tracker(const TrackerConfig& config)
     : config_(config),
       eps_threshold_(config.epsilon / 2.0),
       ell_fd_(static_cast<int>(std::ceil(2.0 / config.epsilon))),
-      now_(std::numeric_limits<Timestamp>::min() / 2) {
+      now_(std::numeric_limits<Timestamp>::min() / 2),
+      channel_(net::MakeChannel(config.net, config.num_sites, 0)) {
   DSWM_CHECK(config.Validate().ok());
+  // Coordinator side: a delivered direction updates this site's forward
+  // (flag +1) or expiring (flag -1) accumulation.
+  channel_->SetHandler([this](net::Delivery d) {
+    if (const auto* m = std::get_if<net::Da2DeltaMsg>(&d.msg)) {
+      SiteState& st = sites_[d.site];
+      if (m->flag > 0) {
+        st.c_active.AddOuterProduct(m->direction.data(), 1.0);
+      } else {
+        st.c_expiring.AddOuterProduct(m->direction.data(), -1.0);
+      }
+    }
+  });
   sites_.reserve(config.num_sites);
   for (int j = 0; j < config.num_sites; ++j) {
     SiteState st{
@@ -32,25 +45,27 @@ double Da2Tracker::SiteTheta(const SiteState& st, double fallback_mass) const {
   return std::max(eps_threshold_ * mass, 1e-300);
 }
 
-void Da2Tracker::ShipForward(SiteState* st,
-                             const std::vector<IwmtOutput>& outs) {
+void Da2Tracker::ShipForward(int site, const std::vector<IwmtOutput>& outs) {
   for (const IwmtOutput& o : outs) {
-    comm_.SendUp(config_.dim + 2);  // (m_i, t_i, flag = +1)
-    ++comm_.rows_sent;
-    st->c_active.AddOuterProduct(o.direction.data(), 1.0);
+    net::Da2DeltaMsg msg;  // (m_i, t_i, flag = +1): d + 2 words
+    msg.direction = o.direction;
+    msg.timestamp = now_;
+    msg.flag = 1;
+    channel_->Send(net::Direction::kUp, site, msg);
   }
 }
 
-void Da2Tracker::ShipBackward(SiteState* st,
-                              const std::vector<IwmtOutput>& outs) {
+void Da2Tracker::ShipBackward(int site, const std::vector<IwmtOutput>& outs) {
   for (const IwmtOutput& o : outs) {
-    comm_.SendUp(config_.dim + 2);  // (m'_i, t_i, flag = -1)
-    ++comm_.rows_sent;
-    st->c_expiring.AddOuterProduct(o.direction.data(), -1.0);
+    net::Da2DeltaMsg msg;  // (m'_i, t_i, flag = -1): d + 2 words
+    msg.direction = o.direction;
+    msg.timestamp = now_;
+    msg.flag = -1;
+    channel_->Send(net::Direction::kUp, site, msg);
   }
 }
 
-void Da2Tracker::FeedExpired(SiteState* st, Timestamp t) {
+void Da2Tracker::FeedExpired(int site, SiteState* st, Timestamp t) {
   const Timestamp cutoff = t - config_.window;
   std::vector<IwmtOutput> outs;
   while (!st->q.empty() && st->q.back().timestamp <= cutoff) {
@@ -61,21 +76,21 @@ void Da2Tracker::FeedExpired(SiteState* st, Timestamp t) {
     }
     st->q.pop_back();
   }
-  if (!outs.empty()) ShipBackward(st, outs);
+  if (!outs.empty()) ShipBackward(site, outs);
 }
 
-void Da2Tracker::ProcessBoundary(SiteState* st, Timestamp boundary) {
+void Da2Tracker::ProcessBoundary(int site, SiteState* st, Timestamp boundary) {
   ++boundaries_;
   st->meh.Advance(boundary);
 
   // Finish the backward side of the ending window: everything left in Q
   // has expired by now; the IWMT_e residual flushes as negative updates.
-  FeedExpired(st, boundary);
+  FeedExpired(site, st, boundary);
   DSWM_CHECK(st->q.empty());
   {
     std::vector<IwmtOutput> outs;
     st->iwmt_e->Flush(&outs);
-    ShipBackward(st, outs);
+    ShipBackward(site, outs);
   }
 
   // Finish the forward side: flush IWMT_a so unreported mass and FD
@@ -83,7 +98,7 @@ void Da2Tracker::ProcessBoundary(SiteState* st, Timestamp boundary) {
   if (config_.da2_flush_at_boundary) {
     std::vector<IwmtOutput> outs;
     st->iwmt_a.Flush(&outs);
-    ShipForward(st, outs);
+    ShipForward(site, outs);
   }
 
   // Coordinator rebase (both parties know the boundary; no messages):
@@ -136,7 +151,7 @@ void Da2Tracker::Observe(int site, const TimedRow& row) {
   if (w <= 0.0) return;
   std::vector<IwmtOutput> outs;
   st.iwmt_a.Input(row.values.data(), SiteTheta(st, w), &outs);
-  ShipForward(&st, outs);
+  ShipForward(site, outs);
 }
 
 void Da2Tracker::AdvanceTime(Timestamp t) {
@@ -152,12 +167,14 @@ void Da2Tracker::AdvanceTime(Timestamp t) {
     initialized_ = true;
   }
   now_ = t;
-  for (SiteState& st : sites_) {
+  channel_->AdvanceTime(t);
+  for (int j = 0; j < static_cast<int>(sites_.size()); ++j) {
+    SiteState& st = sites_[j];
     while (st.next_boundary < t) {
-      ProcessBoundary(&st, st.next_boundary);
+      ProcessBoundary(j, &st, st.next_boundary);
       st.next_boundary += config_.window;
     }
-    FeedExpired(&st, t);
+    FeedExpired(j, &st, t);
     st.meh.Advance(t);
   }
 }

@@ -33,6 +33,7 @@
 #include "core/iwmt.h"
 #include "core/tracker.h"
 #include "core/tracker_config.h"
+#include "net/channel.h"
 #include "window/matrix_eh.h"
 
 namespace dswm {
@@ -45,7 +46,10 @@ class Da2Tracker : public DistributedTracker {
   void Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
   Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return comm_; }
+  const CommStats& comm() const override { return channel_->comm(); }
+  std::vector<net::Channel*> Channels() const override {
+    return {channel_.get()};
+  }
   long MaxSiteSpaceWords() const override;
   std::string name() const override { return "DA2"; }
   int dim() const override { return config_.dim; }
@@ -69,10 +73,10 @@ class Da2Tracker : public DistributedTracker {
     Timestamp next_boundary;
   };
 
-  void ProcessBoundary(SiteState* st, Timestamp boundary);
-  void FeedExpired(SiteState* st, Timestamp t);
-  void ShipForward(SiteState* st, const std::vector<IwmtOutput>& outs);
-  void ShipBackward(SiteState* st, const std::vector<IwmtOutput>& outs);
+  void ProcessBoundary(int site, SiteState* st, Timestamp boundary);
+  void FeedExpired(int site, SiteState* st, Timestamp t);
+  void ShipForward(int site, const std::vector<IwmtOutput>& outs);
+  void ShipBackward(int site, const std::vector<IwmtOutput>& outs);
   double SiteTheta(const SiteState& st, double fallback_mass) const;
 
   TrackerConfig config_;
@@ -81,7 +85,7 @@ class Da2Tracker : public DistributedTracker {
   std::vector<SiteState> sites_;
   Timestamp now_;
   bool initialized_ = false;
-  CommStats comm_;
+  std::unique_ptr<net::Channel> channel_;
   long boundaries_ = 0;
 };
 

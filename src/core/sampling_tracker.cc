@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 namespace dswm {
 
@@ -19,15 +20,18 @@ std::string MakeName(SamplingScheme scheme, bool use_all) {
 
 SamplingTracker::SamplingTracker(const TrackerConfig& config,
                                  SamplingScheme scheme, bool use_all_samples,
-                                 bool track_fnorm)
+                                 bool track_fnorm, uint64_t channel_salt)
     : config_(config),
       scheme_(scheme),
       use_all_(use_all_samples),
       ell_(config.SampleSize()),
       name_(MakeName(scheme, use_all_samples)),
       tau_(LowestThreshold(scheme)),
-      now_(std::numeric_limits<Timestamp>::min() / 2) {
+      now_(std::numeric_limits<Timestamp>::min() / 2),
+      channel_(net::MakeChannel(config.net, config.num_sites,
+                                2 * channel_salt)) {
   DSWM_CHECK(config.Validate().ok());
+  channel_->SetHandler([this](net::Delivery d) { OnDelivery(std::move(d)); });
   sites_.reserve(config.num_sites);
   for (int j = 0; j < config.num_sites; ++j) {
     sites_.push_back(SiteState{SiteSampleQueue(ell_, config.window),
@@ -35,16 +39,42 @@ SamplingTracker::SamplingTracker(const TrackerConfig& config,
   }
   if (scheme == SamplingScheme::kEfraimidisSpirakis && track_fnorm) {
     // Track ||A_w||_F^2 within a tight relative error; its (small)
-    // communication is charged to this protocol's CommStats.
+    // communication is charged to this protocol through comm().
     fnorm_tracker_ = std::make_unique<SumTracker>(
-        config.num_sites, config.window, config.epsilon / 2.0, &comm_);
+        config.num_sites, config.window, config.epsilon / 2.0,
+        net::MakeChannel(config.net, config.num_sites, 2 * channel_salt + 1));
   }
 }
 
-void SamplingTracker::ShipToCoordinator(TimedRow row, double key) {
-  comm_.SendUp(config_.dim + 2);  // row + priority + timestamp
-  ++comm_.rows_sent;
-  s_.Insert(CoordEntry{std::move(row), key});
+// Coordinator side: a delivered row enters the sample set. The control
+// plane (retrieve negotiation, tau broadcasts) carries no coordinator
+// state -- the simulated negotiation reads shared state synchronously --
+// so those kinds are accounting-only here.
+void SamplingTracker::OnDelivery(net::Delivery d) {
+  if (auto* m = std::get_if<net::RowUploadMsg>(&d.msg)) {
+    TimedRow row;
+    row.values = std::move(m->values);
+    row.timestamp = m->timestamp;
+    row.support = std::move(m->support);
+    s_.Insert(CoordEntry{std::move(row), m->key});
+  }
+}
+
+void SamplingTracker::ShipToCoordinator(int site, TimedRow row, double key) {
+  // Row + priority + timestamp: d + 2 words.
+  net::RowUploadMsg msg;
+  msg.values = std::move(row.values);
+  msg.timestamp = row.timestamp;
+  msg.support = std::move(row.support);
+  msg.has_key = true;
+  msg.key = key;
+  channel_->Send(net::Direction::kUp, site, msg);
+}
+
+void SamplingTracker::BroadcastThreshold() {
+  net::ThresholdBroadcastMsg msg;
+  msg.threshold = tau_;
+  channel_->Send(net::Direction::kBroadcast, -1, msg);
 }
 
 void SamplingTracker::Observe(int site, const TimedRow& row) {
@@ -61,7 +91,7 @@ void SamplingTracker::Observe(int site, const TimedRow& row) {
   st.queue.NoteArrival(bv);
 
   if (key >= tau_) {
-    ShipToCoordinator(row, key);
+    ShipToCoordinator(site, row, key);
   } else {
     st.queue.Enqueue(row, key, bv);
   }
@@ -77,6 +107,9 @@ void SamplingTracker::AdvanceTime(Timestamp t) {
     return;
   }
   now_ = t;
+  // Flush in-flight deliveries first so late rows land before expiry runs
+  // and stale ones are evicted below like any other aged sample.
+  channel_->AdvanceTime(t);
   const Timestamp cutoff = t - config_.window;
   for (SiteState& st : sites_) st.queue.Expire(t);
   s_.ExpireBefore(cutoff);
@@ -108,13 +141,17 @@ void SamplingTracker::MaintainSimple() {
   if (s_.size() < ell_ && AnyRowOutstanding()) {
     // Negotiation: the coordinator requests each site's local highest
     // priority (one request + one reply word per site).
+    const double none = -std::numeric_limits<double>::infinity();
     for (int j = 0; j < config_.num_sites; ++j) {
-      comm_.SendDown(1);
-      comm_.SendUp(1);
+      net::RetrieveRequestMsg req;
+      req.bound = tau_;
+      channel_->Send(net::Direction::kDown, j, req);
+      net::RetrieveResponseMsg resp;
+      resp.key = sites_[j].queue.MaxKey(none);
+      channel_->Send(net::Direction::kUp, j, resp);
     }
     while (s_.size() < ell_) {
       // Locate the highest outstanding priority across S' and all sites.
-      const double none = -std::numeric_limits<double>::infinity();
       double best = s_prime_.MaxKey(none);
       int best_site = -1;
       for (int j = 0; j < config_.num_sites; ++j) {
@@ -129,11 +166,15 @@ void SamplingTracker::MaintainSimple() {
         s_.Insert(s_prime_.PopMax());
       } else {
         SiteEntry e = sites_[best_site].queue.PopMax();
-        comm_.SendUp(config_.dim + 2);  // retrieve the row
-        ++comm_.rows_sent;
-        comm_.SendDown(1);              // request next-highest priority
-        comm_.SendUp(1);                // its reply
-        s_.Insert(CoordEntry{std::move(e.row), e.key});
+        // Retrieve the row, then ask that site for its next-highest
+        // priority (one request + one reply word).
+        ShipToCoordinator(best_site, std::move(e.row), e.key);
+        net::RetrieveRequestMsg req;
+        req.bound = tau_;
+        channel_->Send(net::Direction::kDown, best_site, req);
+        net::RetrieveResponseMsg resp;
+        resp.key = sites_[best_site].queue.MaxKey(none);
+        channel_->Send(net::Direction::kUp, best_site, resp);
       }
     }
   }
@@ -142,7 +183,7 @@ void SamplingTracker::MaintainSimple() {
       s_.size() >= ell_ ? s_.MinKey() : LowestThreshold(scheme_);
   if (new_tau != tau_) {
     tau_ = new_tau;
-    comm_.Broadcast(config_.num_sites);
+    BroadcastThreshold();
   }
 }
 
@@ -150,24 +191,36 @@ void SamplingTracker::MaintainSimple() {
 void SamplingTracker::MaintainLazy() {
   if (s_.size() >= 4 * ell_) {
     tau_ = s_.KthLargestKey(2 * ell_);
-    comm_.Broadcast(config_.num_sites);
+    BroadcastThreshold();
     for (CoordEntry& e : s_.TakeBelow(tau_)) s_prime_.Insert(std::move(e));
   }
 
   if (s_.size() <= ell_) {
     while (s_.size() <= 2 * ell_ && AnyRowOutstanding()) {
       tau_ = RelaxThreshold(scheme_, tau_);
-      comm_.Broadcast(config_.num_sites);
+      BroadcastThreshold();
       for (CoordEntry& e : s_prime_.TakeAtLeast(tau_)) {
         s_.Insert(std::move(e));
       }
-      for (SiteState& st : sites_) {
-        for (SiteEntry& e : st.queue.TakeAtLeast(tau_)) {
-          ShipToCoordinator(std::move(e.row), e.key);
+      for (int j = 0; j < static_cast<int>(sites_.size()); ++j) {
+        for (SiteEntry& e : sites_[j].queue.TakeAtLeast(tau_)) {
+          ShipToCoordinator(j, std::move(e.row), e.key);
         }
       }
     }
   }
+}
+
+const CommStats& SamplingTracker::comm() const {
+  comm_cache_ = channel_->comm();
+  if (fnorm_tracker_ != nullptr) comm_cache_.Add(fnorm_tracker_->comm());
+  return comm_cache_;
+}
+
+std::vector<net::Channel*> SamplingTracker::Channels() const {
+  std::vector<net::Channel*> out{channel_.get()};
+  if (fnorm_tracker_ != nullptr) out.push_back(fnorm_tracker_->channel());
+  return out;
 }
 
 double SamplingTracker::MaxOutstandingKey() const {

@@ -13,6 +13,13 @@
 //     ||A_w||_F^2 tracked by the deterministic SUM tracker whose
 //     communication is charged to this protocol (the paper's observed
 //     extra cost of ES sampling).
+//
+// All traffic travels through a net::Channel: rows ship as kRowUpload
+// frames and enter S only when delivered, so a faulty channel loses
+// exactly the samples the network loses. The threshold negotiation
+// (retrieve request/reply, tau broadcasts) is sent for accounting but the
+// simulated protocol reads the shared threshold state synchronously --
+// the control plane is reliable by construction (see channel.h).
 
 #ifndef DSWM_CORE_SAMPLING_TRACKER_H_
 #define DSWM_CORE_SAMPLING_TRACKER_H_
@@ -25,6 +32,7 @@
 #include "core/sum_tracker.h"
 #include "core/tracker.h"
 #include "core/tracker_config.h"
+#include "net/channel.h"
 #include "sampling/priority.h"
 #include "sampling/sample_set.h"
 #include "sampling/site_queue.h"
@@ -38,14 +46,18 @@ class SamplingTracker : public DistributedTracker {
   /// every row available at the coordinator (S plus the candidate set S')
   /// instead of exactly the top-l. `track_fnorm` (ES schemes only)
   /// disables the internal ||A_w||_F^2 SUM tracker when an enclosing
-  /// protocol provides its own (the WR wrapper does).
+  /// protocol provides its own (the WR wrapper does). `channel_salt`
+  /// decorrelates the fault RNG when an enclosing protocol owns several
+  /// samplers sharing one NetProfile seed.
   SamplingTracker(const TrackerConfig& config, SamplingScheme scheme,
-                  bool use_all_samples, bool track_fnorm = true);
+                  bool use_all_samples, bool track_fnorm = true,
+                  uint64_t channel_salt = 0);
 
   void Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
   Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return comm_; }
+  const CommStats& comm() const override;
+  std::vector<net::Channel*> Channels() const override;
   long MaxSiteSpaceWords() const override;
   std::string name() const override { return name_; }
   int dim() const override { return config_.dim; }
@@ -72,10 +84,12 @@ class SamplingTracker : public DistributedTracker {
     Rng rng;
   };
 
+  void OnDelivery(net::Delivery d);
   void Maintain();
   void MaintainSimple();
   void MaintainLazy();
-  void ShipToCoordinator(TimedRow row, double key);
+  void ShipToCoordinator(int site, TimedRow row, double key);
+  void BroadcastThreshold();
   bool AnyRowOutstanding() const;
 
   TrackerConfig config_;
@@ -89,7 +103,8 @@ class SamplingTracker : public DistributedTracker {
   KeyedSampleSet s_;        // top-l samples
   KeyedSampleSet s_prime_;  // candidate set
   Timestamp now_;
-  CommStats comm_;
+  std::unique_ptr<net::Channel> channel_;
+  mutable CommStats comm_cache_;               // this channel + fnorm's
   std::unique_ptr<SumTracker> fnorm_tracker_;  // ES schemes only
 };
 

@@ -14,9 +14,11 @@ SharedThresholdWrTracker::SharedThresholdWrTracker(
       ell_(config.SampleSize()),
       tau_(LowestThreshold(scheme)),
       now_(std::numeric_limits<Timestamp>::min() / 2),
+      channel_(net::MakeChannel(config.net, config.num_sites, 0)),
       fnorm_tracker_(config.num_sites, config.window, config.epsilon / 2.0,
-                     &comm_) {
+                     net::MakeChannel(config.net, config.num_sites, 1)) {
   DSWM_CHECK(config.Validate().ok());
+  channel_->SetHandler([this](net::Delivery d) { OnDelivery(std::move(d)); });
   sites_.reserve(config.num_sites);
   for (int j = 0; j < config.num_sites; ++j) {
     SiteState st{std::vector<std::list<Pending>>(ell_),
@@ -26,14 +28,40 @@ SharedThresholdWrTracker::SharedThresholdWrTracker(
   held_.resize(ell_);
 }
 
-void SharedThresholdWrTracker::Ship(int sampler,
-                                    std::shared_ptr<const TimedRow> row,
-                                    double key) {
-  comm_.SendUp(config_.dim + 3);  // row + sampler id + key + timestamp
-  ++comm_.rows_sent;
+// Coordinator side: a delivered (row, sampler, key) joins that sampler's
+// held set.
+void SharedThresholdWrTracker::OnDelivery(net::Delivery d) {
+  auto* m = std::get_if<net::RowUploadMsg>(&d.msg);
+  if (m == nullptr) return;
+  DSWM_CHECK_GE(m->sampler, 0);
+  DSWM_CHECK_LT(m->sampler, static_cast<int64_t>(held_.size()));
+  auto row = std::make_shared<TimedRow>();
+  row->values = std::move(m->values);
+  row->timestamp = m->timestamp;
+  row->support = std::move(m->support);
   const Timestamp t = row->timestamp;
-  held_[sampler].push_back(CoordEntryWr{std::move(row), key, t});
+  held_[static_cast<size_t>(m->sampler)].push_back(
+      CoordEntryWr{std::move(row), m->key, t});
   ++total_held_;
+}
+
+void SharedThresholdWrTracker::Ship(int site, int sampler, const TimedRow& row,
+                                    double key) {
+  net::RowUploadMsg msg;  // row + sampler id + key + timestamp: d + 3 words
+  msg.values = row.values;
+  msg.timestamp = row.timestamp;
+  msg.support = row.support;
+  msg.has_key = true;
+  msg.key = key;
+  msg.has_sampler = true;
+  msg.sampler = sampler;
+  channel_->Send(net::Direction::kUp, site, msg);
+}
+
+void SharedThresholdWrTracker::BroadcastThreshold() {
+  net::ThresholdBroadcastMsg msg;
+  msg.threshold = tau_;
+  channel_->Send(net::Direction::kBroadcast, -1, msg);
 }
 
 void SharedThresholdWrTracker::Observe(int site, const TimedRow& row) {
@@ -55,7 +83,7 @@ void SharedThresholdWrTracker::Observe(int site, const TimedRow& row) {
       it = (it->key <= key) ? q.erase(it) : ++it;
     }
     if (key >= tau_) {
-      Ship(i, shared_row, key);
+      Ship(site, i, *shared_row, key);
     } else {
       q.push_back(Pending{shared_row, key});
     }
@@ -70,6 +98,7 @@ void SharedThresholdWrTracker::AdvanceTime(Timestamp t) {
     return;
   }
   now_ = t;
+  channel_->AdvanceTime(t);
   const Timestamp cutoff = t - config_.window;
   for (SiteState& st : sites_) {
     for (std::list<Pending>& q : st.queues) {
@@ -111,7 +140,7 @@ void SharedThresholdWrTracker::Maintain() {
     }
     if (min_best > tau_ && std::isfinite(min_best)) {
       tau_ = min_best;
-      comm_.Broadcast(config_.num_sites);
+      BroadcastThreshold();
       // Trim held entries strictly below the new threshold except each
       // sampler's best (coordinator-local bookkeeping, no messages).
       for (std::vector<CoordEntryWr>& h : held_) {
@@ -147,13 +176,14 @@ void SharedThresholdWrTracker::Maintain() {
   };
   while (starved() && AnythingOutstanding()) {
     tau_ = RelaxThreshold(scheme_, tau_);
-    comm_.Broadcast(config_.num_sites);
-    for (SiteState& st : sites_) {
+    BroadcastThreshold();
+    for (int j = 0; j < static_cast<int>(sites_.size()); ++j) {
+      SiteState& st = sites_[j];
       for (int i = 0; i < ell_; ++i) {
         std::list<Pending>& q = st.queues[i];
         for (auto it = q.begin(); it != q.end();) {
           if (it->key >= tau_) {
-            Ship(i, it->row, it->key);
+            Ship(j, i, *it->row, it->key);
             it = q.erase(it);
           } else {
             ++it;
@@ -163,6 +193,16 @@ void SharedThresholdWrTracker::Maintain() {
     }
     if (tau_ == LowestThreshold(scheme_)) break;  // everything collected
   }
+}
+
+const CommStats& SharedThresholdWrTracker::comm() const {
+  comm_cache_ = channel_->comm();
+  comm_cache_.Add(fnorm_tracker_.comm());
+  return comm_cache_;
+}
+
+std::vector<net::Channel*> SharedThresholdWrTracker::Channels() const {
+  return {channel_.get(), fnorm_tracker_.channel()};
 }
 
 int SharedThresholdWrTracker::SamplersWithSample() const {

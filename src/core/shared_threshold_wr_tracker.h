@@ -25,6 +25,7 @@
 #include "core/sum_tracker.h"
 #include "core/tracker.h"
 #include "core/tracker_config.h"
+#include "net/channel.h"
 #include "sampling/priority.h"
 
 namespace dswm {
@@ -38,7 +39,8 @@ class SharedThresholdWrTracker : public DistributedTracker {
   void Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
   Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return comm_; }
+  const CommStats& comm() const override;
+  std::vector<net::Channel*> Channels() const override;
   long MaxSiteSpaceWords() const override;
   std::string name() const override { return name_; }
   int dim() const override { return config_.dim; }
@@ -69,7 +71,9 @@ class SharedThresholdWrTracker : public DistributedTracker {
     Timestamp timestamp;
   };
 
-  void Ship(int sampler, std::shared_ptr<const TimedRow> row, double key);
+  void OnDelivery(net::Delivery d);
+  void Ship(int site, int sampler, const TimedRow& row, double key);
+  void BroadcastThreshold();
   void Maintain();
   bool AnythingOutstanding() const;
 
@@ -82,7 +86,8 @@ class SharedThresholdWrTracker : public DistributedTracker {
   // Per sampler: active entries with key >= tau, newest-best first.
   std::vector<std::vector<CoordEntryWr>> held_;  // size ell
   Timestamp now_;
-  CommStats comm_;
+  std::unique_ptr<net::Channel> channel_;
+  mutable CommStats comm_cache_;  // this channel + the fnorm tracker's
   SumTracker fnorm_tracker_;
   long total_held_ = 0;
 };

@@ -2,16 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
 namespace dswm {
 
 SumTracker::SumTracker(int num_sites, Timestamp window, double eps,
-                       CommStats* comm)
-    : eps_report_(eps / 2.0), comm_(comm != nullptr ? comm : &own_) {
+                       std::unique_ptr<net::Channel> channel)
+    : eps_report_(eps / 2.0), channel_(std::move(channel)) {
   DSWM_CHECK_GT(num_sites, 0);
   DSWM_CHECK_GT(eps, 0.0);
+  if (channel_ == nullptr) {
+    channel_ = std::make_unique<net::LoopbackChannel>(num_sites);
+  }
+  channel_->SetHandler([this](net::Delivery d) {
+    if (const auto* msg = std::get_if<net::SumDeltaMsg>(&d.msg)) {
+      ApplyDelta(msg->delta);
+    }
+  });
   sites_.reserve(num_sites);
   for (int j = 0; j < num_sites; ++j) {
     sites_.push_back(SiteState{ExponentialHistogram(eps / 4.0, window), 0.0});
@@ -22,21 +31,25 @@ void SumTracker::CheckSite(int site, Timestamp t) {
   SiteState& s = sites_[site];
   const double c = s.histogram.Query(t);
   if (std::fabs(c - s.reported) > eps_report_ * c) {
-    // Send D = C - C_hat: one word.
-    comm_->SendUp(1);
-    coordinator_sum_ += c - s.reported;
+    // Ship D = C - C_hat: one word. The site commits its report at send
+    // time; the coordinator's sum moves when the frame is delivered.
+    net::SumDeltaMsg msg;
+    msg.delta = c - s.reported;
     s.reported = c;
+    channel_->Send(net::Direction::kUp, site, msg);
   }
 }
 
 void SumTracker::Observe(int site, double w, Timestamp t) {
   DSWM_CHECK_GE(site, 0);
   DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+  channel_->AdvanceTime(t);
   sites_[site].histogram.Insert(w, t);
   CheckSite(site, t);
 }
 
 void SumTracker::AdvanceTime(Timestamp t) {
+  channel_->AdvanceTime(t);
   for (int j = 0; j < static_cast<int>(sites_.size()); ++j) CheckSite(j, t);
 }
 

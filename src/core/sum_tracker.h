@@ -9,14 +9,20 @@
 // relative error stays below eps.
 //
 // This is both a standalone public tracker (SUM is matrix tracking with
-// d = 1) and the subroutine ES sampling uses to track ||A_w||_F^2.
+// d = 1) and the subroutine ES sampling uses to track ||A_w||_F^2. All
+// deltas travel through a net::Channel as kSumDelta frames; the
+// coordinator's sum is updated only when a frame is delivered, so under a
+// faulty channel the estimate lags or loses exactly the deltas the
+// network loses.
 
 #ifndef DSWM_CORE_SUM_TRACKER_H_
 #define DSWM_CORE_SUM_TRACKER_H_
 
+#include <memory>
 #include <vector>
 
 #include "monitor/comm_stats.h"
+#include "net/channel.h"
 #include "window/exponential_histogram.h"
 
 namespace dswm {
@@ -25,11 +31,10 @@ namespace dswm {
 /// relative error <= eps.
 class SumTracker {
  public:
-  /// If `comm` is non-null, communication is charged to it (shared
-  /// accounting with an enclosing protocol); otherwise to an internal
-  /// CommStats readable via comm().
+  /// If `channel` is null, a deterministic loopback channel is created.
+  /// The tracker owns the channel and installs its delivery handler.
   SumTracker(int num_sites, Timestamp window, double eps,
-             CommStats* comm = nullptr);
+             std::unique_ptr<net::Channel> channel = nullptr);
 
   /// Weight w (> 0) arrives at `site` at time t (non-decreasing).
   void Observe(int site, double w, Timestamp t);
@@ -41,7 +46,15 @@ class SumTracker {
   /// Coordinator's estimate of the window sum.
   [[nodiscard]] double Estimate() const { return coordinator_sum_; }
 
-  [[nodiscard]] const CommStats& comm() const { return *comm_; }
+  [[nodiscard]] const CommStats& comm() const { return channel_->comm(); }
+
+  /// The transport this tracker sends through.
+  [[nodiscard]] net::Channel* channel() const { return channel_.get(); }
+
+  /// Coordinator-side application of one delivered delta. Public so an
+  /// enclosing protocol routing a shared channel can forward kSumDelta
+  /// frames here.
+  void ApplyDelta(double delta) { coordinator_sum_ += delta; }
 
   /// Space (words) of the most loaded site: gEH buckets + C_hat.
   [[nodiscard]] long MaxSiteSpaceWords() const;
@@ -57,8 +70,7 @@ class SumTracker {
   double eps_report_;
   std::vector<SiteState> sites_;
   double coordinator_sum_ = 0.0;
-  CommStats own_;
-  CommStats* comm_;
+  std::unique_ptr<net::Channel> channel_;
 };
 
 }  // namespace dswm

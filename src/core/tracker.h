@@ -5,12 +5,17 @@
 #define DSWM_CORE_TRACKER_H_
 
 #include <string>
+#include <vector>
 
 #include "linalg/matrix.h"
 #include "monitor/comm_stats.h"
 #include "stream/timed_row.h"
 
 namespace dswm {
+
+namespace net {
+class Channel;
+}  // namespace net
 
 /// The coordinator's current approximation, in whichever form the protocol
 /// produces natively: sampling protocols hold sketch rows B (l x d with
@@ -54,6 +59,13 @@ class DistributedTracker {
 
   /// Cumulative communication.
   [[nodiscard]] virtual const CommStats& comm() const = 0;
+
+  /// The transport channels this tracker sends through (composite
+  /// protocols own several). Drivers aggregate their ledgers for trace
+  /// dumps and wire-byte accounting.
+  [[nodiscard]] virtual std::vector<net::Channel*> Channels() const {
+    return {};
+  }
 
   /// Current space usage, in words, of the most loaded site.
   [[nodiscard]] virtual long MaxSiteSpaceWords() const = 0;

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "net/channel.h"
 #include "stream/timed_row.h"
 
 namespace dswm {
@@ -51,6 +52,10 @@ struct TrackerConfig {
   /// (ablation only).
   bool da2_flush_at_boundary = true;
 
+  /// Transport profile. All-zero (the default) selects the deterministic
+  /// loopback channel; any fault knob selects the fault injector.
+  net::NetProfile net;
+
   /// Derived sample-set size.
   int SampleSize() const {
     if (ell_override > 0) return ell_override;
@@ -67,6 +72,7 @@ struct TrackerConfig {
     if (!(epsilon > 0.0) || epsilon >= 1.0) {
       return Status::InvalidArgument("epsilon must be in (0, 1)");
     }
+    DSWM_RETURN_NOT_OK(net.Validate());
     return Status::OK();
   }
 };

@@ -10,7 +10,8 @@ WithReplacementTracker::WithReplacementTracker(const TrackerConfig& config,
     : config_(config),
       scheme_(scheme),
       name_(scheme == SamplingScheme::kPriority ? "PWR" : "ESWR"),
-      fnorm_tracker_(config.num_sites, config.window, config.epsilon / 2.0) {
+      fnorm_tracker_(config.num_sites, config.window, config.epsilon / 2.0,
+                     net::MakeChannel(config.net, config.num_sites, 1)) {
   DSWM_CHECK(config.Validate().ok());
   const int ell = config.SampleSize();
   samplers_.reserve(ell);
@@ -21,8 +22,10 @@ WithReplacementTracker::WithReplacementTracker(const TrackerConfig& config,
     // Each sub-sampler tracks a single sample without replacement; the
     // union over independent samplers is a with-replacement sample. The
     // shared SumTracker below replaces the samplers' own F-norm tracking.
+    // Distinct channel salts keep per-sampler fault patterns independent.
     samplers_.push_back(std::make_unique<SamplingTracker>(
-        sub, scheme, /*use_all_samples=*/false, /*track_fnorm=*/false));
+        sub, scheme, /*use_all_samples=*/false, /*track_fnorm=*/false,
+        /*channel_salt=*/static_cast<uint64_t>(i) + 1));
   }
 }
 
@@ -65,19 +68,18 @@ Approximation WithReplacementTracker::GetApproximation() const {
 
 const CommStats& WithReplacementTracker::comm() const {
   aggregate_ = CommStats();
-  for (const auto& s : samplers_) {
-    const CommStats& c = s->comm();
-    aggregate_.words_up += c.words_up;
-    aggregate_.words_down += c.words_down;
-    aggregate_.messages += c.messages;
-    aggregate_.broadcasts += c.broadcasts;
-    aggregate_.rows_sent += c.rows_sent;
-  }
-  const CommStats& f = fnorm_tracker_.comm();
-  aggregate_.words_up += f.words_up;
-  aggregate_.words_down += f.words_down;
-  aggregate_.messages += f.messages;
+  for (const auto& s : samplers_) aggregate_.Add(s->comm());
+  aggregate_.Add(fnorm_tracker_.comm());
   return aggregate_;
+}
+
+std::vector<net::Channel*> WithReplacementTracker::Channels() const {
+  std::vector<net::Channel*> out;
+  for (const auto& s : samplers_) {
+    for (net::Channel* c : s->Channels()) out.push_back(c);
+  }
+  out.push_back(fnorm_tracker_.channel());
+  return out;
 }
 
 long WithReplacementTracker::MaxSiteSpaceWords() const {

@@ -29,6 +29,7 @@ class WithReplacementTracker : public DistributedTracker {
   void AdvanceTime(Timestamp t) override;
   Approximation GetApproximation() const override;
   const CommStats& comm() const override;
+  std::vector<net::Channel*> Channels() const override;
   long MaxSiteSpaceWords() const override;
   std::string name() const override { return name_; }
   int dim() const override { return config_.dim; }

@@ -4,9 +4,15 @@
 // (row coordinate, priority, timestamp, threshold, scalar update) costs one
 // word; a broadcast of a scalar to m sites costs m words. `msg` in the
 // figures is the average number of words sent per window.
+//
+// These counters are derived from the net::MessageLedger of each tracker's
+// channel -- protocol code never mutates them directly (lint rule R6
+// confines SendUp/SendDown/Broadcast calls to src/net/).
 
 #ifndef DSWM_MONITOR_COMM_STATS_H_
 #define DSWM_MONITOR_COMM_STATS_H_
+
+#include "common/check.h"
 
 namespace dswm {
 
@@ -27,22 +33,34 @@ struct CommStats {
   [[nodiscard]] long TotalWords() const { return words_up + words_down; }
 
   /// One site->coordinator message of `words` words.
-  void SendUp(int words) {
+  void SendUp(long words) {
+    DSWM_DCHECK_GE(words, 0);
     words_up += words;
     ++messages;
   }
 
   /// One coordinator->site message of `words` words.
-  void SendDown(int words) {
+  void SendDown(long words) {
+    DSWM_DCHECK_GE(words, 0);
     words_down += words;
     ++messages;
   }
 
-  /// Coordinator broadcast of one scalar to all m sites.
-  void Broadcast(int num_sites) {
-    words_down += num_sites;
-    ++messages;
+  /// Coordinator broadcast of one scalar to all m sites: m words down in
+  /// one message.
+  void Broadcast(long num_sites) {
+    SendDown(num_sites);
     ++broadcasts;
+  }
+
+  /// Folds another counter set into this one (composite protocols that
+  /// aggregate several channels).
+  void Add(const CommStats& other) {
+    words_up += other.words_up;
+    words_down += other.words_down;
+    messages += other.messages;
+    broadcasts += other.broadcasts;
+    rows_sent += other.rows_sent;
   }
 };
 

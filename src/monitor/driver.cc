@@ -1,12 +1,14 @@
 #include "monitor/driver.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <utility>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "net/channel.h"
 #include "sketch/covariance.h"
 #include "window/exact_window.h"
 
@@ -20,6 +22,17 @@ double EvalError(const Matrix& cov_exact, const Approximation& approx,
              ? CovarianceErrorOfSketch(cov_exact, approx.sketch_rows, fnorm2)
              : CovarianceErrorOfCovariance(cov_exact, approx.covariance,
                                            fnorm2);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open trace file: " + path);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -104,6 +117,19 @@ RunResult RunTracker(DistributedTracker* tracker,
   result.messages = comm.messages;
   result.broadcasts = comm.broadcasts;
   result.rows_sent = comm.rows_sent;
+
+  // Wire-level accounting and (optionally) the merged transmission trace,
+  // aggregated over every channel the tracker owns.
+  std::string trace_text;
+  for (net::Channel* c : tracker->Channels()) {
+    result.wire_payload_bytes += c->ledger().TotalPayloadBytes();
+    result.wire_frame_bytes += c->ledger().TotalFrameBytes();
+    result.wire_transmissions += static_cast<long>(c->ledger().entries().size());
+    if (!options.trace_jsonl.empty()) c->ledger().AppendJsonl(&trace_text);
+  }
+  if (!options.trace_jsonl.empty()) {
+    result.trace_status = WriteTextFile(options.trace_jsonl, trace_text);
+  }
 
   const Timestamp span =
       rows.back().timestamp - rows.front().timestamp + 1;

@@ -9,8 +9,10 @@
 #ifndef DSWM_MONITOR_DRIVER_H_
 #define DSWM_MONITOR_DRIVER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/tracker.h"
 #include "stream/timed_row.h"
 
@@ -25,6 +27,9 @@ struct DriverOptions {
   double warmup_fraction = 0.25;
   /// Seed for site assignment and query-point selection.
   uint64_t seed = 1234;
+  /// When non-empty, the merged message-ledger trace of every channel the
+  /// tracker owns is written here as JSONL (one transmission per line).
+  std::string trace_jsonl;
 };
 
 /// One query-point measurement (chronological).
@@ -50,6 +55,16 @@ struct RunResult {
   double update_rows_per_sec = 0.0;
   double windows_spanned = 0.0;
   int rows = 0;
+  /// Serialized bytes across the tracker's channels. Payload bytes are
+  /// exactly 8 * total_words (the ledger cross-validation invariant);
+  /// frame bytes add headers and sparse-support metadata.
+  long wire_payload_bytes = 0;
+  long wire_frame_bytes = 0;
+  /// Transmissions recorded across the tracker's channels (>= messages:
+  /// drops, duplicates, and retransmissions each record an entry).
+  long wire_transmissions = 0;
+  /// Outcome of the trace_jsonl dump (OK when disabled).
+  Status trace_status = Status::OK();
 };
 
 /// Runs `tracker` over `rows` (time-ordered), assigning each row to a

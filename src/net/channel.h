@@ -1,0 +1,207 @@
+// The site <-> coordinator transport abstraction.
+//
+// Every protocol constructs its traffic as typed wire messages (wire.h)
+// and pushes them through a Channel. The channel serializes each message,
+// records the transmission in its MessageLedger (the source of truth for
+// word accounting), and delivers the *parsed* frame to the registered
+// handler -- so what the coordinator applies is exactly what crossed the
+// wire, byte for byte.
+//
+// Two implementations:
+//
+//  * LoopbackChannel -- deterministic in-process delivery: the handler
+//    runs synchronously inside Send(), preserving the exact causal order
+//    of the pre-transport code. All tracker metrics (err/msg/space) are
+//    bit-identical to the direct-call design.
+//
+//  * FaultyChannel -- seeded drop / duplicate / delay injection on the
+//    data plane (row uploads, eigenpairs, DA2 deltas, sum deltas), plus
+//    an optional ack-and-resend reliability shim. Control messages
+//    (retrieve negotiation, threshold broadcasts) stay synchronous and
+//    reliable: the simulated protocols read shared threshold state
+//    directly, so faulting them would be unobservable; the data plane is
+//    where loss actually perturbs the coordinator's estimate. Delayed and
+//    retransmitted frames are delivered on AdvanceTime in deterministic
+//    (due-time, enqueue-order) order.
+//
+// Word accounting: one word per 8 payload bytes (the paper's cost model,
+// Section IV-A). Dropped, duplicated, and retransmitted frames all count
+// -- they crossed the wire -- which is exactly how the fault experiments
+// quantify the price of unreliability and of the reliability shim.
+
+#ifndef DSWM_NET_CHANNEL_H_
+#define DSWM_NET_CHANNEL_H_
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/ledger.h"
+#include "net/wire.h"
+
+namespace dswm::net {
+
+/// Fault-injection knobs for a channel; all-zero means a perfect network
+/// and selects the loopback implementation (see MakeChannel).
+struct NetProfile {
+  /// Per-transmission-attempt loss probability in [0, 1).
+  double drop = 0.0;
+  /// Probability a delivered frame is duplicated, in [0, 1).
+  double duplicate = 0.0;
+  /// Uniform delivery delay in ticks, inclusive range. 0/0 = instant.
+  Timestamp delay_min = 0;
+  Timestamp delay_max = 0;
+  /// Fault RNG seed (mixed with a per-channel salt for sub-protocols).
+  uint64_t seed = 0;
+  /// Ack-and-resend reliability shim: every delivered data frame is
+  /// acked (1 word, opposite direction); a lost frame is retransmitted
+  /// `retry` ticks after it was sent, until delivered.
+  bool reliable = false;
+  /// Retransmission timeout in ticks (>= 1).
+  Timestamp retry = 1;
+
+  /// True when any fault knob is active.
+  [[nodiscard]] bool faulty() const {
+    return drop > 0.0 || duplicate > 0.0 || delay_max > 0;
+  }
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// A parsed frame handed to the receiving side.
+struct Delivery {
+  Direction dir = Direction::kUp;
+  /// Sender (kUp) or recipient (kDown); -1 for broadcasts.
+  int site = -1;
+  /// Simulation clock when the frame was sent.
+  Timestamp sent_at = 0;
+  WireMessage msg;
+};
+
+class FaultyChannel;
+
+/// Transport base: serializes, ledgers, and routes messages.
+class Channel {
+ public:
+  explicit Channel(int num_sites);
+  virtual ~Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Registers the receive callback. At most one handler; the owning
+  /// tracker dispatches on message kind.
+  void SetHandler(std::function<void(Delivery)> handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Serializes `msg`, records the transmission, and (per implementation)
+  /// delivers it. `site` is the sender for kUp, the recipient for kDown,
+  /// and ignored (-1) for kBroadcast, which charges num_sites copies.
+  void Send(Direction dir, int site, const WireMessage& msg);
+
+  /// Advances the transport clock; fault-injecting implementations flush
+  /// due deliveries and retransmissions here, in deterministic order.
+  virtual void AdvanceTime(Timestamp t) { now_ = t > now_ ? t : now_; }
+
+  [[nodiscard]] const MessageLedger& ledger() const { return ledger_; }
+  /// Communication counters derived from the ledger.
+  [[nodiscard]] const CommStats& comm() const { return ledger_.stats(); }
+  [[nodiscard]] int num_sites() const { return num_sites_; }
+  [[nodiscard]] Timestamp now() const { return now_; }
+
+  /// Downcast hook so experiments can flip fault knobs mid-run.
+  virtual FaultyChannel* AsFaulty() { return nullptr; }
+
+ protected:
+  struct FrameInfo {
+    MessageKind kind = MessageKind::kRowUpload;
+    uint32_t payload_words = 0;
+    uint32_t frame_bytes = 0;
+  };
+
+  /// Implementation hook: decide the fate of one outgoing frame.
+  virtual void Dispatch(Delivery delivery, const FrameInfo& frame) = 0;
+
+  /// Records one transmission attempt in the ledger.
+  void Record(const Delivery& delivery, const FrameInfo& frame, bool dropped,
+              bool retransmit, bool duplicate);
+
+  /// Invokes the handler (if any) with a delivered frame.
+  void Handle(Delivery delivery) {
+    if (handler_) handler_(std::move(delivery));
+  }
+
+  Timestamp now_ = std::numeric_limits<Timestamp>::min() / 2;
+
+ private:
+  int num_sites_;
+  std::function<void(Delivery)> handler_;
+  MessageLedger ledger_;
+  std::vector<uint8_t> scratch_;
+  uint64_t next_sequence_ = 0;
+};
+
+/// Perfect in-process transport: synchronous FIFO delivery inside Send.
+class LoopbackChannel final : public Channel {
+ public:
+  explicit LoopbackChannel(int num_sites) : Channel(num_sites) {}
+
+ protected:
+  void Dispatch(Delivery delivery, const FrameInfo& frame) override;
+};
+
+/// Seeded fault injection with optional ack-and-resend reliability.
+class FaultyChannel final : public Channel {
+ public:
+  FaultyChannel(int num_sites, const NetProfile& profile);
+
+  void AdvanceTime(Timestamp t) override;
+  FaultyChannel* AsFaulty() override { return this; }
+
+  /// Live fault knobs; experiments mutate these mid-run (e.g. stop
+  /// dropping to measure recovery).
+  [[nodiscard]] NetProfile& profile() { return profile_; }
+  [[nodiscard]] const NetProfile& profile() const { return profile_; }
+
+  /// Frames currently queued (delayed or awaiting retransmission).
+  [[nodiscard]] long in_flight() const {
+    return static_cast<long>(queue_.size());
+  }
+
+ protected:
+  void Dispatch(Delivery delivery, const FrameInfo& frame) override;
+
+ private:
+  struct Queued {
+    Delivery delivery;
+    FrameInfo frame;
+    bool is_retransmit = false;  // retransmission attempt vs. delayed copy
+  };
+
+  /// One transmission attempt: rolls drop/duplicate/delay and either
+  /// delivers, queues, or (reliable) schedules a retransmission.
+  void Attempt(Delivery delivery, const FrameInfo& frame, bool retransmit);
+  void DeliverNow(Delivery delivery, const FrameInfo& frame);
+  void Enqueue(Timestamp due, Queued item);
+
+  NetProfile profile_;
+  Rng rng_;
+  // (due time, enqueue order) -> item; processed in key order.
+  std::map<std::pair<Timestamp, uint64_t>, Queued> queue_;
+  uint64_t enqueue_counter_ = 0;
+};
+
+/// Builds the channel a tracker's config asks for: loopback when no fault
+/// knob is set, otherwise a FaultyChannel whose RNG is seeded from
+/// profile.seed mixed with `salt` (sub-protocols pass distinct salts so
+/// they do not see correlated faults).
+std::unique_ptr<Channel> MakeChannel(const NetProfile& profile, int num_sites,
+                                     uint64_t salt);
+
+}  // namespace dswm::net
+
+#endif  // DSWM_NET_CHANNEL_H_

@@ -1,0 +1,347 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace dswm::net {
+
+namespace {
+
+// --- little-endian primitives -------------------------------------------
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  // Bit-cast through memcpy: exact for every double bit pattern (NaN
+  // payloads, +-inf, denormals, signed zero).
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+/// Bounds-checked little-endian reader over a frame.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] size_t remaining() const { return size_ - pos_; }
+
+  Status ReadU8(uint8_t* v) {
+    DSWM_RETURN_NOT_OK(Need(1));
+    *v = data_[pos_++];
+    return Status::OK();
+  }
+
+  Status ReadU16(uint16_t* v) {
+    DSWM_RETURN_NOT_OK(Need(2));
+    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    DSWM_RETURN_NOT_OK(Need(4));
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    *v = r;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    DSWM_RETURN_NOT_OK(Need(8));
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    *v = r;
+    return Status::OK();
+  }
+
+  Status ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    DSWM_RETURN_NOT_OK(ReadU64(&u));
+    *v = static_cast<int64_t>(u);
+    return Status::OK();
+  }
+
+  Status ReadF64(double* v) {
+    uint64_t bits = 0;
+    DSWM_RETURN_NOT_OK(ReadU64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+
+  Status ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    DSWM_RETURN_NOT_OK(ReadU32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::InvalidArgument("wire: truncated frame (need " +
+                                     std::to_string(n) + " bytes, have " +
+                                     std::to_string(remaining()) + ")");
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// RowUpload header flag bits.
+constexpr uint8_t kFlagHasKey = 1u << 0;
+constexpr uint8_t kFlagHasSampler = 1u << 1;
+
+Status BadFrame(const std::string& why) {
+  return Status::InvalidArgument("wire: " + why);
+}
+
+}  // namespace
+
+const char* KindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kRowUpload: return "row_upload";
+    case MessageKind::kRetrieveRequest: return "retrieve_request";
+    case MessageKind::kRetrieveResponse: return "retrieve_response";
+    case MessageKind::kThresholdBroadcast: return "threshold_broadcast";
+    case MessageKind::kEigenpair: return "eigenpair";
+    case MessageKind::kDa2Delta: return "da2_delta";
+    case MessageKind::kSumDelta: return "sum_delta";
+    case MessageKind::kExpiryNotice: return "expiry_notice";
+    case MessageKind::kAck: return "ack";
+  }
+  return "unknown";
+}
+
+MessageKind KindOf(const WireMessage& msg) {
+  struct Visitor {
+    MessageKind operator()(const RowUploadMsg&) { return MessageKind::kRowUpload; }
+    MessageKind operator()(const RetrieveRequestMsg&) { return MessageKind::kRetrieveRequest; }
+    MessageKind operator()(const RetrieveResponseMsg&) { return MessageKind::kRetrieveResponse; }
+    MessageKind operator()(const ThresholdBroadcastMsg&) { return MessageKind::kThresholdBroadcast; }
+    MessageKind operator()(const EigenpairMsg&) { return MessageKind::kEigenpair; }
+    MessageKind operator()(const Da2DeltaMsg&) { return MessageKind::kDa2Delta; }
+    MessageKind operator()(const SumDeltaMsg&) { return MessageKind::kSumDelta; }
+    MessageKind operator()(const ExpiryNoticeMsg&) { return MessageKind::kExpiryNotice; }
+    MessageKind operator()(const AckMsg&) { return MessageKind::kAck; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+long PayloadWords(const WireMessage& msg) {
+  struct Visitor {
+    long operator()(const RowUploadMsg& m) {
+      return static_cast<long>(m.values.size()) + 1 + (m.has_key ? 1 : 0) +
+             (m.has_sampler ? 1 : 0);
+    }
+    long operator()(const RetrieveRequestMsg&) { return 1; }
+    long operator()(const RetrieveResponseMsg&) { return 1; }
+    long operator()(const ThresholdBroadcastMsg&) { return 1; }
+    long operator()(const EigenpairMsg& m) {
+      return static_cast<long>(m.vector.size()) + 1;
+    }
+    long operator()(const Da2DeltaMsg& m) {
+      return static_cast<long>(m.direction.size()) + 2;
+    }
+    long operator()(const SumDeltaMsg&) { return 1; }
+    long operator()(const ExpiryNoticeMsg&) { return 1; }
+    long operator()(const AckMsg&) { return 1; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+void SerializeMessage(const WireMessage& msg, std::vector<uint8_t>* out) {
+  out->clear();
+  const MessageKind kind = KindOf(msg);
+  const long words = PayloadWords(msg);
+  uint8_t flags = 0;
+  uint32_t aux = 0;
+  if (const auto* row = std::get_if<RowUploadMsg>(&msg)) {
+    if (row->has_key) flags |= kFlagHasKey;
+    if (row->has_sampler) flags |= kFlagHasSampler;
+    aux = static_cast<uint32_t>(row->support.size());
+  }
+  out->reserve(kFrameHeaderBytes + 8 * static_cast<size_t>(words) + 4 * aux);
+  PutU8(out, static_cast<uint8_t>(kind));
+  PutU8(out, flags);
+  PutU16(out, 0);  // reserved
+  PutU32(out, static_cast<uint32_t>(words));
+  PutU32(out, aux);
+
+  struct Visitor {
+    std::vector<uint8_t>* out;
+    void operator()(const RowUploadMsg& m) {
+      for (double v : m.values) PutF64(out, v);
+      PutI64(out, m.timestamp);
+      if (m.has_key) PutF64(out, m.key);
+      if (m.has_sampler) PutI64(out, m.sampler);
+      for (int idx : m.support) PutI32(out, idx);
+    }
+    void operator()(const RetrieveRequestMsg& m) { PutF64(out, m.bound); }
+    void operator()(const RetrieveResponseMsg& m) { PutF64(out, m.key); }
+    void operator()(const ThresholdBroadcastMsg& m) { PutF64(out, m.threshold); }
+    void operator()(const EigenpairMsg& m) {
+      PutF64(out, m.lambda);
+      for (double v : m.vector) PutF64(out, v);
+    }
+    void operator()(const Da2DeltaMsg& m) {
+      for (double v : m.direction) PutF64(out, v);
+      PutI64(out, m.timestamp);
+      PutI64(out, m.flag);
+    }
+    void operator()(const SumDeltaMsg& m) { PutF64(out, m.delta); }
+    void operator()(const ExpiryNoticeMsg& m) { PutI64(out, m.cutoff); }
+    void operator()(const AckMsg& m) { PutU64(out, m.sequence); }
+  };
+  std::visit(Visitor{out}, msg);
+}
+
+StatusOr<WireMessage> ParseMessage(const uint8_t* data, size_t size) {
+  if (data == nullptr && size > 0) return BadFrame("null buffer");
+  Reader r(data, size);
+  uint8_t kind_raw = 0;
+  uint8_t flags = 0;
+  uint16_t reserved = 0;
+  uint32_t words = 0;
+  uint32_t aux = 0;
+  DSWM_RETURN_NOT_OK(r.ReadU8(&kind_raw));
+  DSWM_RETURN_NOT_OK(r.ReadU8(&flags));
+  DSWM_RETURN_NOT_OK(r.ReadU16(&reserved));
+  DSWM_RETURN_NOT_OK(r.ReadU32(&words));
+  DSWM_RETURN_NOT_OK(r.ReadU32(&aux));
+  if (kind_raw < kMinMessageKind || kind_raw > kMaxMessageKind) {
+    return BadFrame("unknown message kind " + std::to_string(kind_raw));
+  }
+  const MessageKind kind = static_cast<MessageKind>(kind_raw);
+  if (reserved != 0) return BadFrame("nonzero reserved header field");
+  if (kind != MessageKind::kRowUpload && (flags != 0 || aux != 0)) {
+    return BadFrame("flags/aux set on non-row message");
+  }
+  const uint64_t expect =
+      kFrameHeaderBytes + 8ull * words + 4ull * aux;
+  if (expect != size) {
+    return BadFrame("frame size mismatch (header says " +
+                    std::to_string(expect) + " bytes, buffer has " +
+                    std::to_string(size) + ")");
+  }
+
+  switch (kind) {
+    case MessageKind::kRowUpload: {
+      RowUploadMsg m;
+      m.has_key = (flags & kFlagHasKey) != 0;
+      m.has_sampler = (flags & kFlagHasSampler) != 0;
+      if ((flags & ~(kFlagHasKey | kFlagHasSampler)) != 0) {
+        return BadFrame("unknown row-upload flags");
+      }
+      const long fixed = 1 + (m.has_key ? 1 : 0) + (m.has_sampler ? 1 : 0);
+      if (static_cast<long>(words) < fixed) {
+        return BadFrame("row upload shorter than its fixed fields");
+      }
+      const long d = static_cast<long>(words) - fixed;
+      m.values.resize(static_cast<size_t>(d));
+      for (double& v : m.values) DSWM_RETURN_NOT_OK(r.ReadF64(&v));
+      DSWM_RETURN_NOT_OK(r.ReadI64(&m.timestamp));
+      if (m.has_key) DSWM_RETURN_NOT_OK(r.ReadF64(&m.key));
+      if (m.has_sampler) DSWM_RETURN_NOT_OK(r.ReadI64(&m.sampler));
+      m.support.resize(aux);
+      for (int& idx : m.support) {
+        int32_t raw = 0;
+        DSWM_RETURN_NOT_OK(r.ReadI32(&raw));
+        if (raw < 0 || raw >= d) {
+          return BadFrame("support index " + std::to_string(raw) +
+                          " out of range for d=" + std::to_string(d));
+        }
+        idx = raw;
+      }
+      return WireMessage(std::move(m));
+    }
+    case MessageKind::kRetrieveRequest: {
+      if (words != 1) return BadFrame("retrieve request must be 1 word");
+      RetrieveRequestMsg m;
+      DSWM_RETURN_NOT_OK(r.ReadF64(&m.bound));
+      return WireMessage(m);
+    }
+    case MessageKind::kRetrieveResponse: {
+      if (words != 1) return BadFrame("retrieve response must be 1 word");
+      RetrieveResponseMsg m;
+      DSWM_RETURN_NOT_OK(r.ReadF64(&m.key));
+      return WireMessage(m);
+    }
+    case MessageKind::kThresholdBroadcast: {
+      if (words != 1) return BadFrame("threshold broadcast must be 1 word");
+      ThresholdBroadcastMsg m;
+      DSWM_RETURN_NOT_OK(r.ReadF64(&m.threshold));
+      return WireMessage(m);
+    }
+    case MessageKind::kEigenpair: {
+      if (words < 1) return BadFrame("eigenpair missing lambda");
+      EigenpairMsg m;
+      DSWM_RETURN_NOT_OK(r.ReadF64(&m.lambda));
+      m.vector.resize(words - 1);
+      for (double& v : m.vector) DSWM_RETURN_NOT_OK(r.ReadF64(&v));
+      return WireMessage(std::move(m));
+    }
+    case MessageKind::kDa2Delta: {
+      if (words < 2) return BadFrame("da2 delta missing timestamp/flag");
+      Da2DeltaMsg m;
+      m.direction.resize(words - 2);
+      for (double& v : m.direction) DSWM_RETURN_NOT_OK(r.ReadF64(&v));
+      DSWM_RETURN_NOT_OK(r.ReadI64(&m.timestamp));
+      int64_t flag = 0;
+      DSWM_RETURN_NOT_OK(r.ReadI64(&flag));
+      if (flag != 1 && flag != -1) {
+        return BadFrame("da2 delta flag must be +1 or -1");
+      }
+      m.flag = static_cast<int>(flag);
+      return WireMessage(std::move(m));
+    }
+    case MessageKind::kSumDelta: {
+      if (words != 1) return BadFrame("sum delta must be 1 word");
+      SumDeltaMsg m;
+      DSWM_RETURN_NOT_OK(r.ReadF64(&m.delta));
+      return WireMessage(m);
+    }
+    case MessageKind::kExpiryNotice: {
+      if (words != 1) return BadFrame("expiry notice must be 1 word");
+      ExpiryNoticeMsg m;
+      DSWM_RETURN_NOT_OK(r.ReadI64(&m.cutoff));
+      return WireMessage(m);
+    }
+    case MessageKind::kAck: {
+      if (words != 1) return BadFrame("ack must be 1 word");
+      AckMsg m;
+      DSWM_RETURN_NOT_OK(r.ReadU64(&m.sequence));
+      return WireMessage(m);
+    }
+  }
+  return BadFrame("unhandled message kind");
+}
+
+}  // namespace dswm::net

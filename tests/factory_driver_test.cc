@@ -36,6 +36,80 @@ TEST(Factory, RejectsInvalidConfig) {
   EXPECT_FALSE(MakeTracker(Algorithm::kDa1, config).ok());
 }
 
+TEST(Factory, RejectsEveryInvalidField) {
+  // Each invalid field must fail on every algorithm, not just the ones the
+  // smoke test above happens to pick.
+  const std::vector<Algorithm> all = {
+      Algorithm::kPwor,      Algorithm::kPworAll, Algorithm::kEswor,
+      Algorithm::kEsworAll,  Algorithm::kDa1,     Algorithm::kDa2,
+      Algorithm::kPwr,       Algorithm::kEswr,    Algorithm::kPwrShared,
+      Algorithm::kEswrShared, Algorithm::kCentral};
+  const auto base = [] {
+    TrackerConfig c;
+    c.dim = 3;
+    c.num_sites = 2;
+    c.window = 50;
+    c.epsilon = 0.2;
+    c.ell_override = 4;
+    return c;
+  };
+  for (Algorithm a : all) {
+    TrackerConfig c = base();
+    c.epsilon = 1.0;  // must be strictly inside (0, 1)
+    EXPECT_FALSE(MakeTracker(a, c).ok()) << AlgorithmName(a);
+
+    c = base();
+    c.epsilon = -0.1;
+    EXPECT_FALSE(MakeTracker(a, c).ok()) << AlgorithmName(a);
+
+    c = base();
+    c.window = 0;
+    EXPECT_FALSE(MakeTracker(a, c).ok()) << AlgorithmName(a);
+
+    c = base();
+    c.window = -7;
+    EXPECT_FALSE(MakeTracker(a, c).ok()) << AlgorithmName(a);
+
+    c = base();
+    c.num_sites = -1;
+    EXPECT_FALSE(MakeTracker(a, c).ok()) << AlgorithmName(a);
+  }
+}
+
+TEST(Factory, RejectsInvalidNetProfile) {
+  TrackerConfig config;
+  config.dim = 3;
+  config.num_sites = 2;
+  config.window = 50;
+  config.epsilon = 0.2;
+  config.ell_override = 4;
+
+  config.net.drop = 1.0;  // certain loss never delivers anything
+  EXPECT_FALSE(MakeTracker(Algorithm::kPwor, config).ok());
+
+  config.net.drop = 0.0;
+  config.net.duplicate = -0.5;
+  EXPECT_FALSE(MakeTracker(Algorithm::kDa2, config).ok());
+
+  config.net.duplicate = 0.0;
+  config.net.delay_min = 5;
+  config.net.delay_max = 2;  // inverted range
+  EXPECT_FALSE(MakeTracker(Algorithm::kCentral, config).ok());
+
+  config.net.delay_min = 0;
+  config.net.delay_max = 0;
+  config.net.retry = 0;
+  EXPECT_FALSE(MakeTracker(Algorithm::kEswor, config).ok());
+}
+
+TEST(Factory, UnknownNamesFailWithInvalidArgument) {
+  for (const char* name : {"", "pwor", "DA3", "CENTRALIZED", "PWOR "}) {
+    const auto parsed = ParseAlgorithm(name);
+    EXPECT_FALSE(parsed.ok()) << "'" << name << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(Factory, BuildsEveryAlgorithmWithMatchingName) {
   TrackerConfig config;
   config.dim = 3;

@@ -1,0 +1,150 @@
+// End-to-end fault injection: PWOR under data-plane loss, with and
+// without the ack-and-resend reliability shim, and recovery once the
+// network heals and the lossy era slides out of the window.
+//
+// The tracker runs in exact mode (l larger than the window population),
+// so the clean-network error is ~0 and any residual error is exactly the
+// covariance mass the network lost.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/tracker_factory.h"
+#include "net/channel.h"
+#include "sketch/covariance.h"
+#include "window/exact_window.h"
+
+namespace dswm {
+namespace {
+
+constexpr int kDim = 4;
+constexpr int kSites = 2;
+constexpr Timestamp kWindow = 200;
+constexpr double kEpsilon = 0.3;
+
+std::unique_ptr<DistributedTracker> MakeLossyPwor(bool reliable) {
+  TrackerConfig config;
+  config.dim = kDim;
+  config.num_sites = kSites;
+  config.window = kWindow;
+  config.epsilon = kEpsilon;
+  // Exact mode: l comfortably exceeds the <= kWindow rows ever active.
+  config.ell_override = 2 * static_cast<int>(kWindow);
+  config.seed = 5;
+  config.net.drop = 0.5;  // selects the fault injector; phases flip it
+  config.net.seed = 7;
+  config.net.reliable = reliable;
+  config.net.retry = 1;
+  auto tracker = MakeTracker(Algorithm::kPwor, config);
+  EXPECT_TRUE(tracker.ok());
+  return std::move(tracker).value();
+}
+
+void SetDrop(DistributedTracker* tracker, double p) {
+  for (net::Channel* c : tracker->Channels()) {
+    net::FaultyChannel* faulty = c->AsFaulty();
+    ASSERT_NE(faulty, nullptr);
+    faulty->profile().drop = p;
+  }
+}
+
+double ErrorAgainst(const ExactWindow& exact,
+                    const DistributedTracker& tracker) {
+  const Approximation approx = tracker.GetApproximation();
+  const Matrix cov = exact.Covariance();
+  const double fnorm2 = exact.FrobeniusSquared();
+  return approx.is_rows
+             ? CovarianceErrorOfSketch(cov, approx.sketch_rows, fnorm2)
+             : CovarianceErrorOfCovariance(cov, approx.covariance, fnorm2);
+}
+
+std::vector<TimedRow> GaussianRows(int n) {
+  Rng rng(11);
+  std::vector<TimedRow> rows(n);
+  for (int i = 0; i < n; ++i) {
+    rows[i].timestamp = i + 1;
+    rows[i].values.resize(kDim);
+    for (double& v : rows[i].values) v = rng.NextGaussian();
+  }
+  return rows;
+}
+
+TEST(NetFaultRecovery, PworDegradesUnderLossAndRecoversAfterwards) {
+  const std::vector<TimedRow> rows = GaussianRows(900);
+
+  auto unreliable = MakeLossyPwor(/*reliable=*/false);
+  auto reliable = MakeLossyPwor(/*reliable=*/true);
+  SetDrop(unreliable.get(), 0.0);
+  SetDrop(reliable.get(), 0.0);
+
+  ExactWindow exact(kDim, kWindow);
+  const auto feed = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const int site = i % kSites;
+      unreliable->Observe(site, rows[i]);
+      reliable->Observe(site, rows[i]);
+      exact.Add(rows[i]);
+      exact.Advance(rows[i].timestamp);
+    }
+  };
+
+  // Phase A: clean network for two windows. Exact mode => error ~ 0.
+  feed(0, 400);
+  const double err_clean_unreliable = ErrorAgainst(exact, *unreliable);
+  const double err_clean_reliable = ErrorAgainst(exact, *reliable);
+  EXPECT_LT(err_clean_unreliable, 0.02);
+  EXPECT_LT(err_clean_reliable, 0.02);
+
+  // Phase B: 50% data-plane loss for one full window.
+  SetDrop(unreliable.get(), 0.5);
+  SetDrop(reliable.get(), 0.5);
+  feed(400, 600);
+  const double err_lossy_unreliable = ErrorAgainst(exact, *unreliable);
+  const double err_lossy_reliable = ErrorAgainst(exact, *reliable);
+
+  // Without the shim, half the window's covariance mass is gone: for
+  // N(0, I_d) rows the spectral error plateaus near drop/d ~ 0.125.
+  EXPECT_GT(err_lossy_unreliable, 0.06);
+  // With ack-and-resend, every lost row is retransmitted one tick later:
+  // at most the last tick's frames are still in flight.
+  EXPECT_LT(err_lossy_reliable, 0.05);
+  EXPECT_GT(err_lossy_unreliable, 2.0 * err_lossy_reliable);
+
+  // The shim's price is visible in the ledger: retransmissions and acks.
+  long drops_unreliable = 0;
+  for (const net::Channel* c : unreliable->Channels()) {
+    for (const net::LedgerEntry& e : c->ledger().entries()) {
+      drops_unreliable += e.dropped ? 1 : 0;
+      EXPECT_FALSE(e.retransmit);  // nobody resends without the shim
+    }
+  }
+  EXPECT_GT(drops_unreliable, 0);
+  long retransmits = 0;
+  long acks = 0;
+  for (const net::Channel* c : reliable->Channels()) {
+    for (const net::LedgerEntry& e : c->ledger().entries()) {
+      retransmits += e.retransmit ? 1 : 0;
+      acks += e.kind == net::MessageKind::kAck ? 1 : 0;
+    }
+  }
+  EXPECT_GT(retransmits, 0);
+  EXPECT_GT(acks, 0);
+  // Reliability costs words: the reliable run sent strictly more.
+  EXPECT_GT(reliable->comm().TotalWords(), unreliable->comm().TotalWords());
+
+  // Phase C: the network heals. After the lossy era slides fully out of
+  // the window, the unreliable tracker's sample is whole again.
+  SetDrop(unreliable.get(), 0.0);
+  SetDrop(reliable.get(), 0.0);
+  feed(600, 900);
+  const double err_recovered = ErrorAgainst(exact, *unreliable);
+  EXPECT_LT(err_recovered, kEpsilon * 1.5);  // the paper-level guarantee
+  EXPECT_LT(err_recovered, 0.02);            // and in fact exact again
+  EXPECT_LT(ErrorAgainst(exact, *reliable), 0.02);
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,171 @@
+// Cross-validates the ledger-derived accounting against the tracker-level
+// CommStats for every factory protocol over a full driver run, and checks
+// each recorded transmission against the per-kind word-cost catalog
+// (DESIGN.md section 9).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tracker_factory.h"
+#include "monitor/driver.h"
+#include "net/channel.h"
+#include "stream/synthetic.h"
+
+namespace dswm {
+namespace {
+
+std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kPwor,      Algorithm::kPworAll, Algorithm::kEswor,
+          Algorithm::kEsworAll,  Algorithm::kDa1,     Algorithm::kDa2,
+          Algorithm::kPwr,       Algorithm::kEswr,    Algorithm::kPwrShared,
+          Algorithm::kEswrShared, Algorithm::kCentral};
+}
+
+/// Word cost of one row upload under each protocol's frame shape.
+long RowUploadWords(Algorithm a, int d) {
+  switch (a) {
+    case Algorithm::kCentral:
+      return d + 1;  // row + timestamp
+    case Algorithm::kPwrShared:
+    case Algorithm::kEswrShared:
+      return d + 3;  // row + timestamp + key + sampler id
+    default:
+      return d + 2;  // row + timestamp + priority key
+  }
+}
+
+long ExpectedEntryWords(Algorithm a, net::MessageKind kind, int d) {
+  switch (kind) {
+    case net::MessageKind::kRowUpload:
+      return RowUploadWords(a, d);
+    case net::MessageKind::kEigenpair:
+      return d + 1;
+    case net::MessageKind::kDa2Delta:
+      return d + 2;
+    default:
+      return 1;  // every scalar kind
+  }
+}
+
+TEST(NetCrossValidation, LedgerWordsMatchCommStatsForEveryProtocol) {
+  constexpr int kDim = 5;
+  constexpr int kSites = 3;
+  constexpr Timestamp kWindow = 200;
+
+  SyntheticConfig data;
+  data.rows = 800;
+  data.dim = kDim;
+  SyntheticGenerator gen(data);
+  const std::vector<TimedRow> rows = Materialize(&gen, data.rows);
+
+  for (Algorithm a : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmName(a));
+    TrackerConfig config;
+    config.dim = kDim;
+    config.num_sites = kSites;
+    config.window = kWindow;
+    config.epsilon = 0.25;
+    config.ell_override = 12;
+    auto tracker = MakeTracker(a, config);
+    ASSERT_TRUE(tracker.ok());
+
+    DriverOptions options;
+    options.query_points = 6;
+    const RunResult r =
+        RunTracker(tracker.value().get(), rows, kSites, kWindow, options);
+
+    const std::vector<net::Channel*> channels = tracker.value()->Channels();
+    ASSERT_FALSE(channels.empty());
+
+    // 1. The tracker-level CommStats are exactly the sum of its channels'
+    //    ledger-derived counters -- no hand-maintained words anywhere.
+    CommStats sum;
+    long payload_bytes = 0;
+    long frame_bytes = 0;
+    long transmissions = 0;
+    for (const net::Channel* c : channels) {
+      sum.Add(c->comm());
+      payload_bytes += c->ledger().TotalPayloadBytes();
+      frame_bytes += c->ledger().TotalFrameBytes();
+      transmissions += static_cast<long>(c->ledger().entries().size());
+    }
+    const CommStats& legacy = tracker.value()->comm();
+    EXPECT_EQ(legacy.words_up, sum.words_up);
+    EXPECT_EQ(legacy.words_down, sum.words_down);
+    EXPECT_EQ(legacy.messages, sum.messages);
+    EXPECT_EQ(legacy.broadcasts, sum.broadcasts);
+    EXPECT_EQ(legacy.rows_sent, sum.rows_sent);
+    EXPECT_GT(legacy.TotalWords(), 0);
+
+    // 2. Bytes/words duality: 8 payload bytes per word, end to end
+    //    through the driver's aggregation.
+    EXPECT_EQ(r.total_words, legacy.TotalWords());
+    EXPECT_EQ(r.wire_payload_bytes, 8 * r.total_words);
+    EXPECT_EQ(r.wire_transmissions, transmissions);
+    EXPECT_EQ(r.wire_frame_bytes, frame_bytes);
+    EXPECT_GE(r.wire_frame_bytes,
+              r.wire_payload_bytes +
+                  static_cast<long>(net::kFrameHeaderBytes) * transmissions);
+
+    // 3. Every recorded transmission matches the per-kind cost catalog,
+    //    and loopback never drops, duplicates, or retransmits.
+    for (net::Channel* c : channels) {
+      EXPECT_EQ(c->AsFaulty(), nullptr);  // clean profile => loopback
+      for (const net::LedgerEntry& e : c->ledger().entries()) {
+        EXPECT_EQ(static_cast<long>(e.payload_words),
+                  ExpectedEntryWords(a, e.kind, kDim))
+            << net::KindName(e.kind) << " seq " << e.sequence;
+        EXPECT_GE(static_cast<long>(e.frame_bytes),
+                  static_cast<long>(net::kFrameHeaderBytes) +
+                      8L * e.payload_words);
+        EXPECT_FALSE(e.dropped);
+        EXPECT_FALSE(e.retransmit);
+        EXPECT_FALSE(e.duplicate);
+        if (e.dir == net::Direction::kBroadcast) {
+          EXPECT_EQ(e.copies, kSites);
+          EXPECT_EQ(e.site, -1);
+          EXPECT_EQ(e.kind, net::MessageKind::kThresholdBroadcast);
+        } else {
+          EXPECT_EQ(e.copies, 1);
+          EXPECT_GE(e.site, 0);
+          EXPECT_LT(e.site, kSites);
+        }
+        EXPECT_NE(e.kind, net::MessageKind::kAck);  // loopback never acks
+      }
+    }
+  }
+}
+
+TEST(NetCrossValidation, DeterministicProtocolsNeverTalkDown) {
+  // DA1/DA2/CENTRAL have no coordinator->site traffic at all: their
+  // ledgers must contain only kUp entries under loopback.
+  SyntheticConfig data;
+  data.rows = 500;
+  data.dim = 4;
+  SyntheticGenerator gen(data);
+  const std::vector<TimedRow> rows = Materialize(&gen, data.rows);
+
+  for (Algorithm a :
+       {Algorithm::kDa1, Algorithm::kDa2, Algorithm::kCentral}) {
+    SCOPED_TRACE(AlgorithmName(a));
+    TrackerConfig config;
+    config.dim = 4;
+    config.num_sites = 2;
+    config.window = 150;
+    config.epsilon = 0.3;
+    auto tracker = MakeTracker(a, config);
+    ASSERT_TRUE(tracker.ok());
+    (void)RunTracker(tracker.value().get(), rows, 2, 150, DriverOptions());
+    EXPECT_EQ(tracker.value()->comm().words_down, 0);
+    EXPECT_EQ(tracker.value()->comm().broadcasts, 0);
+    for (const net::Channel* c : tracker.value()->Channels()) {
+      for (const net::LedgerEntry& e : c->ledger().entries()) {
+        EXPECT_EQ(e.dir, net::Direction::kUp);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dswm

@@ -1,0 +1,290 @@
+// Wire-format tests: bit-exact round trips over adversarial payloads, and
+// Status (never a crash) on every malformed input the parser can see.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace dswm::net {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::vector<uint8_t> Serialize(const WireMessage& msg) {
+  std::vector<uint8_t> buf;
+  SerializeMessage(msg, &buf);
+  return buf;
+}
+
+WireMessage RoundTrip(const WireMessage& msg) {
+  const std::vector<uint8_t> buf = Serialize(msg);
+  StatusOr<WireMessage> parsed = ParseMessage(buf.data(), buf.size());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return std::move(parsed).value();
+}
+
+// One representative instance of every message kind.
+std::vector<WireMessage> OneOfEachKind() {
+  RowUploadMsg row;
+  row.values = {1.5, -2.25, 0.0};
+  row.timestamp = 12345;
+  row.support = {0, 2};
+  row.has_key = true;
+  row.key = 0.75;
+  row.has_sampler = true;
+  row.sampler = 42;
+  return {row,
+          RetrieveRequestMsg{3.5},
+          RetrieveResponseMsg{-1.25},
+          ThresholdBroadcastMsg{0.125},
+          EigenpairMsg{2.0, {0.5, -0.5, 0.25, 0.0}},
+          Da2DeltaMsg{{1.0, 2.0}, 77, -1},
+          SumDeltaMsg{-4.5},
+          ExpiryNoticeMsg{99},
+          AckMsg{0xdeadbeefcafef00dULL}};
+}
+
+TEST(Wire, EveryKindRoundTripsAndMatchesTheCostCatalog) {
+  for (const WireMessage& msg : OneOfEachKind()) {
+    const std::vector<uint8_t> buf = Serialize(msg);
+    const WireMessage back = RoundTrip(msg);
+    EXPECT_EQ(KindOf(back), KindOf(msg));
+    EXPECT_EQ(PayloadWords(back), PayloadWords(msg));
+    // Frame size formula: header + 8 bytes per payload word (+ support).
+    size_t aux = 0;
+    if (const auto* row = std::get_if<RowUploadMsg>(&msg)) {
+      aux = row->support.size();
+    }
+    EXPECT_EQ(buf.size(), kFrameHeaderBytes +
+                              8 * static_cast<size_t>(PayloadWords(msg)) +
+                              4 * aux);
+  }
+  // The documented per-kind word costs (DESIGN.md message catalog).
+  RowUploadMsg row;
+  row.values.resize(7);
+  EXPECT_EQ(PayloadWords(WireMessage(row)), 8);  // d + timestamp
+  row.has_key = true;
+  EXPECT_EQ(PayloadWords(WireMessage(row)), 9);  // PWOR shape: d + 2
+  row.has_sampler = true;
+  EXPECT_EQ(PayloadWords(WireMessage(row)), 10);  // PWR-ST shape: d + 3
+  EXPECT_EQ(PayloadWords(WireMessage(RetrieveRequestMsg{})), 1);
+  EXPECT_EQ(PayloadWords(WireMessage(RetrieveResponseMsg{})), 1);
+  EXPECT_EQ(PayloadWords(WireMessage(ThresholdBroadcastMsg{})), 1);
+  EXPECT_EQ(PayloadWords(WireMessage(EigenpairMsg{0.0, {1, 2, 3, 4, 5}})), 6);
+  EXPECT_EQ(PayloadWords(WireMessage(Da2DeltaMsg{{1, 2, 3}, 0, 1})), 5);
+  EXPECT_EQ(PayloadWords(WireMessage(SumDeltaMsg{})), 1);
+  EXPECT_EQ(PayloadWords(WireMessage(ExpiryNoticeMsg{})), 1);
+  EXPECT_EQ(PayloadWords(WireMessage(AckMsg{})), 1);
+}
+
+TEST(Wire, AdversarialDoublesRoundTripBitExactly) {
+  const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
+  double payload_nan = quiet_nan;
+  {
+    // A NaN with a nonzero mantissa payload: must survive byte-for-byte.
+    uint64_t bits = Bits(quiet_nan) | 0xdeadbeefULL;
+    std::memcpy(&payload_nan, &bits, sizeof(bits));
+  }
+  const std::vector<double> adversarial = {
+      quiet_nan,
+      payload_nan,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      std::numeric_limits<double>::epsilon(),
+      0.0,
+      -0.0,
+  };
+
+  RowUploadMsg row;
+  row.values = adversarial;
+  row.timestamp = std::numeric_limits<Timestamp>::max();
+  row.has_key = true;
+  row.key = payload_nan;
+  const WireMessage back = RoundTrip(WireMessage(row));
+  const auto parsed = std::get<RowUploadMsg>(std::move(back));
+  ASSERT_EQ(parsed.values.size(), adversarial.size());
+  for (size_t i = 0; i < adversarial.size(); ++i) {
+    EXPECT_EQ(Bits(parsed.values[i]), Bits(adversarial[i])) << "index " << i;
+  }
+  EXPECT_EQ(parsed.timestamp, row.timestamp);
+  EXPECT_EQ(Bits(parsed.key), Bits(payload_nan));
+
+  // Scalar kinds carry the same bit patterns unharmed.
+  for (double v : adversarial) {
+    const auto delta =
+        std::get<SumDeltaMsg>(RoundTrip(WireMessage(SumDeltaMsg{v})));
+    EXPECT_EQ(Bits(delta.delta), Bits(v));
+    const auto tau = std::get<ThresholdBroadcastMsg>(
+        RoundTrip(WireMessage(ThresholdBroadcastMsg{v})));
+    EXPECT_EQ(Bits(tau.threshold), Bits(v));
+  }
+}
+
+TEST(Wire, DegenerateShapesRoundTrip) {
+  // d = 1, no key, no sampler, empty support.
+  RowUploadMsg tiny;
+  tiny.values = {-0.0};
+  tiny.timestamp = 1;
+  const auto tiny_back = std::get<RowUploadMsg>(RoundTrip(WireMessage(tiny)));
+  ASSERT_EQ(tiny_back.values.size(), 1u);
+  EXPECT_EQ(Bits(tiny_back.values[0]), Bits(-0.0));
+  EXPECT_TRUE(tiny_back.support.empty());
+  EXPECT_FALSE(tiny_back.has_key);
+  EXPECT_FALSE(tiny_back.has_sampler);
+
+  // Empty retrieve set: the site answers with -infinity.
+  const double none = -std::numeric_limits<double>::infinity();
+  const auto resp = std::get<RetrieveResponseMsg>(
+      RoundTrip(WireMessage(RetrieveResponseMsg{none})));
+  EXPECT_EQ(Bits(resp.key), Bits(none));
+
+  // Eigenpair with an empty vector (d = 0 is never sent, but the frame
+  // is well-formed: just lambda).
+  const auto eig =
+      std::get<EigenpairMsg>(RoundTrip(WireMessage(EigenpairMsg{3.5, {}})));
+  EXPECT_TRUE(eig.vector.empty());
+  EXPECT_EQ(Bits(eig.lambda), Bits(3.5));
+}
+
+TEST(Wire, EveryTruncationReturnsStatusNotACrash) {
+  for (const WireMessage& msg : OneOfEachKind()) {
+    const std::vector<uint8_t> buf = Serialize(msg);
+    for (size_t len = 0; len < buf.size(); ++len) {
+      const StatusOr<WireMessage> parsed = ParseMessage(buf.data(), len);
+      EXPECT_FALSE(parsed.ok())
+          << KindName(KindOf(msg)) << " accepted a " << len << "-byte prefix";
+    }
+    // One trailing byte of garbage is a size mismatch, not a crash.
+    std::vector<uint8_t> longer = buf;
+    longer.push_back(0x5a);
+    EXPECT_FALSE(ParseMessage(longer.data(), longer.size()).ok());
+  }
+  EXPECT_FALSE(ParseMessage(nullptr, 3).ok());
+}
+
+TEST(Wire, StructurallyMalformedFramesAreRejected) {
+  std::vector<uint8_t> buf = Serialize(WireMessage(SumDeltaMsg{1.5}));
+
+  for (uint8_t bad_kind : {uint8_t{0}, uint8_t{10}, uint8_t{255}}) {
+    std::vector<uint8_t> frame = buf;
+    frame[0] = bad_kind;
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[2] = 1;  // nonzero reserved field
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[1] = 1;  // flags on a non-row message
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[4] = 7;  // inflated word count vs. actual buffer size
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    // A scalar kind must be exactly 1 word even if the frame is
+    // self-consistent about a larger size.
+    std::vector<uint8_t> frame = buf;
+    frame[4] = 2;
+    frame.insert(frame.end(), 8, 0);
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+}
+
+TEST(Wire, RowUploadRejectsBadSupportAndShortFixedFields) {
+  RowUploadMsg row;
+  row.values = {1.0, 2.0};
+  row.timestamp = 5;
+  row.support = {1};
+  std::vector<uint8_t> buf = Serialize(WireMessage(row));
+
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[frame.size() - 4] = 9;  // support index 9 >= d = 2
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[frame.size() - 1] = 0xff;  // negative support index
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[1] = 0xff;  // unknown flag bits set
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    // has_key + has_sampler + timestamp need 3 words; claim only 2. The
+    // frame must also shrink so the size check is not what rejects it.
+    RowUploadMsg empty;
+    empty.has_key = true;
+    empty.has_sampler = true;
+    std::vector<uint8_t> frame = Serialize(WireMessage(empty));
+    frame[4] = 2;
+    frame.resize(kFrameHeaderBytes + 16);
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    // DA2 delta needs timestamp + flag: one word is too short.
+    std::vector<uint8_t> frame =
+        Serialize(WireMessage(Da2DeltaMsg{{}, 0, 1}));
+    frame[4] = 1;
+    frame.resize(kFrameHeaderBytes + 8);
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    // DA2 flag must be exactly +1 or -1 on the wire.
+    std::vector<uint8_t> frame =
+        Serialize(WireMessage(Da2DeltaMsg{{1.0}, 3, 1}));
+    frame[frame.size() - 8] = 2;  // low byte of the trailing flag i64
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+}
+
+TEST(Wire, SeededMutationCorpusNeverCrashesTheParser) {
+  // Flip random bytes of valid frames; the parser must return (ok or not)
+  // without crashing, and anything it accepts must re-serialize into a
+  // frame it accepts again.
+  Rng rng(20260805);
+  const std::vector<WireMessage> corpus = OneOfEachKind();
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::vector<uint8_t> buf =
+        Serialize(corpus[rng.NextBelow(corpus.size())]);
+    const int flips = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int f = 0; f < flips; ++f) {
+      buf[rng.NextBelow(buf.size())] =
+          static_cast<uint8_t>(rng.NextU64() & 0xff);
+    }
+    // Occasionally truncate or extend as well.
+    if (rng.NextBelow(4) == 0) buf.resize(rng.NextBelow(buf.size() + 8));
+    const StatusOr<WireMessage> parsed = ParseMessage(buf.data(), buf.size());
+    if (!parsed.ok()) continue;
+    const std::vector<uint8_t> again = Serialize(parsed.value());
+    const StatusOr<WireMessage> reparsed =
+        ParseMessage(again.data(), again.size());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(KindOf(reparsed.value()), KindOf(parsed.value()));
+    EXPECT_EQ(PayloadWords(reparsed.value()), PayloadWords(parsed.value()));
+  }
+}
+
+}  // namespace
+}  // namespace dswm::net

@@ -111,12 +111,18 @@ TEST(SumTracker, TighterEpsilonCostsMoreCommunication) {
   EXPECT_GT(run(0.02), run(0.2));
 }
 
-TEST(SumTracker, ExternalCommStatsCharged) {
-  CommStats shared;
-  SumTracker tracker(1, 100, 0.1, &shared);
+TEST(SumTracker, InjectedChannelCarriesTheDeltas) {
+  auto channel = std::make_unique<net::LoopbackChannel>(1);
+  net::Channel* raw = channel.get();
+  SumTracker tracker(1, 100, 0.1, std::move(channel));
   tracker.Observe(0, 5.0, 1);
-  EXPECT_GT(shared.TotalWords(), 0);
-  EXPECT_EQ(&tracker.comm(), &shared);
+  EXPECT_GT(raw->comm().TotalWords(), 0);
+  EXPECT_EQ(tracker.channel(), raw);
+  // Every delta is a 1-word kSumDelta frame; the ledger and the derived
+  // counters agree byte for byte.
+  EXPECT_EQ(raw->ledger().TotalPayloadBytes(), 8 * raw->comm().TotalWords());
+  EXPECT_EQ(raw->ledger().ByKind(net::MessageKind::kSumDelta).words,
+            raw->comm().words_up);
 }
 
 TEST(SumTracker, SpaceBoundedBySketchNotStream) {

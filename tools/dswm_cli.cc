@@ -5,6 +5,10 @@
 //            [--queries Q] [--save-sketch out.mat] [--threads T]
 //   dswm_cli run --csv data.csv [--timestamp-col 0] --algorithm PWOR ...
 //   dswm_cli run ... --trace 1           # per-query-point error series
+//   dswm_cli run ... --trace-jsonl t.jsonl   # full message-ledger dump
+//   dswm_cli run ... --net-drop 0.01 --net-seed 7 [--net-dup P]
+//            [--net-delay D] [--net-reliable 1 --net-retry R]
+//   dswm_cli run ... --net-json 1        # wire/ledger metrics as JSON line
 //   dswm_cli sweep --dataset pamap --algorithms PWOR,DA2
 //            --epsilons 0.2,0.1,0.05     # CSV to stdout
 //   dswm_cli datasets [--rows N]
@@ -120,6 +124,12 @@ int CmdRun(const FlagSet& flags) {
   config.epsilon = flags.GetDouble("epsilon", 0.05);
   config.seed = seed;
   config.ell_override = static_cast<int>(flags.GetInt("ell", 0));
+  config.net.drop = flags.GetDouble("net-drop", 0.0);
+  config.net.duplicate = flags.GetDouble("net-dup", 0.0);
+  config.net.delay_max = flags.GetInt("net-delay", 0);
+  config.net.seed = static_cast<uint64_t>(flags.GetInt("net-seed", 0));
+  config.net.reliable = flags.GetInt("net-reliable", 0) != 0;
+  config.net.retry = std::max<Timestamp>(1, flags.GetInt("net-retry", 1));
 
   auto tracker = MakeTracker(algorithm.value(), config);
   if (!tracker.ok()) return Fail(tracker.status());
@@ -127,8 +137,10 @@ int CmdRun(const FlagSet& flags) {
   DriverOptions options;
   options.query_points = static_cast<int>(flags.GetInt("queries", 50));
   options.seed = seed + 99;
+  options.trace_jsonl = flags.GetString("trace-jsonl", "");
   const RunResult r = RunTracker(tracker.value().get(), rows,
                                  config.num_sites, config.window, options);
+  if (!r.trace_status.ok()) return Fail(r.trace_status);
 
   std::printf("algorithm        : %s\n", AlgorithmName(algorithm.value()));
   std::printf("rows x dim       : %d x %d\n", r.rows, config.dim);
@@ -143,6 +155,26 @@ int CmdRun(const FlagSet& flags) {
               r.total_words, r.messages, r.broadcasts);
   std::printf("max site space   : %ld words\n", r.max_site_space_words);
   std::printf("update rate      : %.0f rows/s\n", r.update_rows_per_sec);
+  std::printf("wire bytes       : %ld payload (%ld framed, %ld sends)\n",
+              r.wire_payload_bytes, r.wire_frame_bytes, r.wire_transmissions);
+  if (!options.trace_jsonl.empty()) {
+    std::printf("trace written to : %s\n", options.trace_jsonl.c_str());
+  }
+
+  // Machine-readable summary for bench baselines: bytes are exact under
+  // loopback, so baseline checks can demand zero drift.
+  if (flags.Has("net-json")) {
+    std::printf(
+        "{\"algorithm\":\"%s\",\"total_words\":%ld,"
+        "\"wire_payload_bytes\":%ld,\"wire_frame_bytes\":%ld,"
+        "\"wire_transmissions\":%ld,\"windows_spanned\":%.6f,"
+        "\"payload_bytes_per_window\":%.1f}\n",
+        AlgorithmName(algorithm.value()), r.total_words, r.wire_payload_bytes,
+        r.wire_frame_bytes, r.wire_transmissions, r.windows_spanned,
+        r.windows_spanned > 0
+            ? static_cast<double>(r.wire_payload_bytes) / r.windows_spanned
+            : 0.0);
+  }
 
   if (flags.Has("trace")) {
     std::printf("\n%-12s %10s %14s %14s\n", "timestamp", "err",
@@ -236,7 +268,8 @@ int main(int argc, char** argv) {
       "dataset", "csv",     "timestamp-col", "algorithm", "epsilon",
       "sites",   "window",  "rows",          "seed",      "queries",
       "ell",     "save-sketch", "trace",     "algorithms", "epsilons",
-      "threads"};
+      "threads", "trace-jsonl", "net-drop",  "net-dup",   "net-delay",
+      "net-seed", "net-reliable", "net-retry", "net-json"};
   auto flags = FlagSet::Parse(argc, argv, known);
   if (!flags.ok()) return Fail(flags.status());
 

@@ -27,6 +27,12 @@ beyond what the compiler and clang-tidy check:
                             partitioning and the single-threaded default
                             (bit-identical kernels) hold everywhere.
                             (std::this_thread is fine -- it spawns nothing.)
+  R6 comm-outside-net       No CommStats mutation (SendUp/SendDown/
+                            Broadcast calls) outside src/net/. Communication
+                            accounting is derived from the message ledger of
+                            the transport channel; protocol code must send
+                            typed wire messages (net/wire.h) through a
+                            net::Channel instead of hand-counting words.
 
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
 Suppress a single line with a trailing `// dswm-lint: allow(<rule>)`.
@@ -53,6 +59,14 @@ FLOAT_LITERAL = re.compile(
     r"^[-+]?(\d+\.\d*|\.\d+)(e[-+]?\d+)?[fl]?$|^[-+]?\d+e[-+]?\d+[fl]?$",
     re.IGNORECASE)
 EQ_MACRO = re.compile(r"\b(EXPECT_EQ|ASSERT_EQ)\s*\(")
+# CommStats mutation: a member call to SendUp/SendDown/Broadcast. Confined
+# to src/net/ (the ledger derives the counters there). Declaration and
+# definition in comm_stats.h do not match -- the pattern requires a `.` or
+# `->` receiver. Grandfather list: empty -- the transport refactor moved
+# every legacy call site; keep it empty.
+COMM_PATTERN = re.compile(r"(\.|->)\s*(SendUp|SendDown|Broadcast)\s*\(")
+COMM_ALLOWED_PREFIX = ("src", "net")
+COMM_GRANDFATHERED = set()
 ALLOW = re.compile(r"//\s*dswm-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -176,6 +190,19 @@ def check_raw_thread(path, stripped, lines, rep):
                    "deterministic single-threaded default holds")
 
 
+def check_comm_mutation(path, stripped, lines, rep):
+    if path.parts[:2] == COMM_ALLOWED_PREFIX or path in COMM_GRANDFATHERED:
+        return
+    for m in COMM_PATTERN.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if allowed(lines, ln, "comm-outside-net"):
+            continue
+        rep.report(path, ln, "comm-outside-net",
+                   f"'{m.group(2)}(...)' mutates CommStats outside src/net/; "
+                   "send a typed wire message through a net::Channel -- the "
+                   "ledger derives the counters")
+
+
 def expected_guard(path):
     parts = list(path.parts)
     if parts[0] == "src":
@@ -232,6 +259,8 @@ def lint_file(root, rel, rep):
     check_rng(rel, stripped, lines, rep)
     check_exceptions(rel, stripped, lines, rep)
     check_raw_thread(rel, stripped, lines, rep)
+    if rel.parts[0] == "src":
+        check_comm_mutation(rel, stripped, lines, rep)
     if rel.suffix == ".h":
         check_header_guard(rel, text, lines, rep)
     if rel.parts[0] == "tests":

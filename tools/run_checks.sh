@@ -62,6 +62,15 @@ if [[ "${SKIP_ASAN}" -eq 0 ]]; then
     -DDSWM_SANITIZE="address;undefined"
 fi
 
+if [[ "${SKIP_ASAN}" -eq 0 ]]; then
+  # Explicit transport pass: the net-labeled suite (wire-format parser
+  # corpus, channel fault injection, ledger cross-validation) under
+  # ASan+UBSan, where a parser over-read actually trips.
+  log "ctest -L net (build-asan)"
+  ctest --test-dir "${ROOT}/build-asan" --output-on-failure -j "${JOBS}" \
+    -L net
+fi
+
 if [[ "${SKIP_TSAN}" -eq 0 ]]; then
   # TSan is exclusive with ASan, so it gets its own tree. Only the tests
   # that actually spawn workers matter here (ThreadPool semantics plus the
@@ -91,6 +100,33 @@ assert doc.get("benchmarks"), "DSWM_BENCH_JSON produced no benchmark entries"
 print(f"bench JSON OK ({len(doc['benchmarks'])} entries)")
 PY
   rm -f "${BENCH_JSON_TMP}"
+
+  log "net bench smoke (DA2 wire bytes vs baseline)"
+  # Serialized bytes per window are exact under loopback (deterministic
+  # protocol, deterministic wire format), so the committed baseline is
+  # checked with zero tolerance: any drift is a wire-format or protocol
+  # change and must be re-baselined deliberately.
+  cmake --build "${ROOT}/build-release" -j "${JOBS}" --target dswm_cli
+  NET_JSON_TMP="$(mktemp /tmp/dswm_net_da2.XXXXXX.json)"
+  "${ROOT}/build-release/tools/dswm_cli" run --dataset synthetic \
+    --algorithm DA2 --epsilon 0.2 --sites 4 --rows 4000 --window 500 \
+    --seed 1 --queries 2 --net-json 1 | grep '^{' > "${NET_JSON_TMP}"
+  python3 - "${NET_JSON_TMP}" "${ROOT}/bench/BENCH_net_da2_bytes.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    got = json.load(f)
+with open(sys.argv[2]) as f:
+    want = json.load(f)
+for key in ("algorithm", "total_words", "wire_payload_bytes",
+            "wire_transmissions", "payload_bytes_per_window"):
+    assert got[key] == want[key], (
+        f"DA2 wire baseline drift in '{key}': got {got[key]!r}, "
+        f"baseline {want[key]!r} -- if intentional, regenerate "
+        "bench/BENCH_net_da2_bytes.json with the command in that file")
+print(f"DA2 wire baseline OK ({got['wire_payload_bytes']} payload bytes, "
+      f"{got['payload_bytes_per_window']} per window)")
+PY
+  rm -f "${NET_JSON_TMP}"
 fi
 
 log "dswm_lint"
