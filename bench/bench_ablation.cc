@@ -40,7 +40,8 @@ int main() {
     SamplingTracker tracker(config, SamplingScheme::kPriority, false);
     DriverOptions options;
     const RunResult r =
-        RunTracker(&tracker, workload.rows, m, workload.window, options);
+        RunTracker(&tracker, workload.rows, m, workload.window, options)
+            .value();
     std::printf("%-16s %12.5f %14.0f %12ld %12.0f\n",
                 p == SamplingProtocol::kSimple ? "simple(Alg.1)"
                                                : "lazy(Alg.2)",
@@ -65,7 +66,8 @@ int main() {
     auto tracker = MakeTracker(Algorithm::kDa1, config);
     DriverOptions options;
     const RunResult r = RunTracker(tracker.value().get(), workload.rows, m,
-                                   workload.window, options);
+                                   workload.window, options)
+                            .value();
     std::printf("%-16s %12.5f %14.0f %12.0f\n", lazy ? "lazy" : "eager",
                 r.avg_err, r.words_per_window, r.update_rows_per_sec);
     std::fflush(stdout);

@@ -8,11 +8,17 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stream/pamap_like.h"
 #include "stream/synthetic.h"
 #include "stream/wiki_like.h"
 
 namespace dswm::bench {
+
+bool BenchMetricsEnabled() {
+  const char* env = std::getenv("DSWM_BENCH_METRICS");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
 
 double BenchScale() {
   const char* env = std::getenv("DSWM_BENCH_SCALE");
@@ -27,6 +33,10 @@ const char* BenchJsonPath() {
 }
 
 int BenchmarkMain(int argc, char** argv) {
+  // The same DSWM_BENCH_METRICS switch that RunCell honors: micro benches
+  // then exercise the enabled instrumentation path (the overhead smoke in
+  // tools/run_checks.sh compares this against the disabled default).
+  if (BenchMetricsEnabled()) obs::SetEnabled(true);
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
@@ -82,11 +92,16 @@ void FlushSeriesJson() {
         "    {\"dataset\": \"%s\", \"algorithm\": \"%s\", \"eps\": %.6g, "
         "\"sites\": %d, \"avg_err\": %.9g, \"max_err\": %.9g, "
         "\"words_per_window\": %.9g, \"max_site_space_words\": %ld, "
-        "\"update_rows_per_sec\": %.9g}%s\n",
+        "\"update_rows_per_sec\": %.9g",
         c.dataset.c_str(), c.algorithm.c_str(), c.eps, c.num_sites,
         c.result.avg_err, c.result.max_err, c.result.words_per_window,
-        c.result.max_site_space_words, c.result.update_rows_per_sec,
-        i + 1 < log.size() ? "," : "");
+        c.result.max_site_space_words, c.result.update_rows_per_sec);
+    // Per-phase profiles ride along only when DSWM_BENCH_METRICS was set,
+    // so existing baselines stay byte-identical with metrics off.
+    if (!c.result.metrics.empty()) {
+      std::fprintf(f, ", \"metrics\": %s", c.result.metrics.ToJson().c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < log.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -170,8 +185,11 @@ RunResult RunCell(Algorithm algorithm, const Workload& workload, double eps,
   DSWM_CHECK(tracker_or.ok());
   DriverOptions options;
   options.seed = seed * 7 + 13;
-  return RunTracker(tracker_or.value().get(), workload.rows, num_sites,
-                    workload.window, options);
+  if (BenchMetricsEnabled()) obs::SetEnabled(true);
+  StatusOr<RunResult> run = RunTracker(tracker_or.value().get(), workload.rows,
+                                       num_sites, workload.window, options);
+  DSWM_CHECK(run.ok());
+  return std::move(run).value();
 }
 
 void PrintSeriesHeader() {

@@ -33,6 +33,13 @@ double BenchScale();
 /// its stdout tables, so successive PRs can diff perf trajectories.
 const char* BenchJsonPath();
 
+/// True when DSWM_BENCH_METRICS is set (and not "0"): RunCell (and
+/// BenchmarkMain, for the google-benchmark micro benches) enables the obs
+/// registry, and each series cell carries a "metrics" object (per-phase
+/// spans + counters) in the DSWM_BENCH_JSON document. Off by default so
+/// baselines stay byte-identical.
+bool BenchMetricsEnabled();
+
 /// Drop-in replacement for BENCHMARK_MAIN() used by the google-benchmark
 /// micro benches: when DSWM_BENCH_JSON is set (and the caller did not pass
 /// its own --benchmark_out), injects

@@ -44,7 +44,12 @@ int main() {
   int i = 0;
   while (auto row = generator.Next()) {
     ++i;
-    tracker.Observe(static_cast<int>(rng.NextBelow(config.num_sites)), *row);
+    const Status observed = tracker.Observe(
+        static_cast<int>(rng.NextBelow(config.num_sites)), *row);
+    if (!observed.ok()) {
+      std::fprintf(stderr, "%s\n", observed.ToString().c_str());
+      return 1;
+    }
     exact.Add(*row);
     exact.Advance(row->timestamp);
 
@@ -59,7 +64,7 @@ int main() {
     }
   }
 
-  const auto sketch_scorer = AnomalyScorer::FromSketch(tracker.SketchRows());
+  const auto sketch_scorer = AnomalyScorer::FromSketch(tracker.Query().Rows());
   const auto exact_scorer = AnomalyScorer::FromCovariance(exact.Covariance());
   if (!sketch_scorer.ok() || !exact_scorer.ok()) {
     std::fprintf(stderr, "scorer construction failed\n");
@@ -88,7 +93,7 @@ int main() {
   std::printf("%-22s %14.4g %14.4g %10.1f\n", "tracked sketch", sk_norm,
               sk_anom, sk_anom / sk_norm);
   std::printf("\nsketch comm: %ld words vs naive centralization %ld words\n",
-              tracker.comm().TotalWords(),
+              tracker.Comm().TotalWords(),
               static_cast<long>(data_config.rows) * (d + 1));
 
   const bool ok = sk_anom > 5.0 * sk_norm;

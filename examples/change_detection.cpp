@@ -47,18 +47,23 @@ int main() {
   int i = 0;
   int first_flag_row = 0;
   while (auto row = generator.Next()) {
-    tracker.Observe(static_cast<int>(site_rng.NextBelow(config.num_sites)),
-                    *row);
+    const Status observed = tracker.Observe(
+        static_cast<int>(site_rng.NextBelow(config.num_sites)), *row);
+    if (!observed.ok()) {
+      std::fprintf(stderr, "%s\n", observed.ToString().c_str());
+      return 1;
+    }
     ++i;
     if (i == 6000) {  // freeze the reference basis inside segment 1
-      detector = ChangeDetector::FromReference(tracker.SketchRows(), options);
+      detector =
+          ChangeDetector::FromReference(tracker.Query().Rows(), options);
       if (!detector.ok()) {
         std::fprintf(stderr, "%s\n", detector.status().ToString().c_str());
         return 1;
       }
     }
     if (i >= 7000 && i % 1000 == 0) {
-      const auto dist = detector.value().Update(tracker.SketchRows());
+      const auto dist = detector.value().Update(tracker.Query().Rows());
       if (!dist.ok()) continue;
       const bool flagged = detector.value().change_detected();
       if (flagged && first_flag_row == 0) first_flag_row = i;

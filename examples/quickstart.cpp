@@ -44,24 +44,29 @@ int main() {
   int observed = 0;
   while (auto row = generator.Next()) {
     const int site = static_cast<int>(site_rng.NextBelow(config.num_sites));
-    tracker.Observe(site, *row);
+    const Status observed_status = tracker.Observe(site, *row);
+    if (!observed_status.ok()) {
+      std::fprintf(stderr, "observe failed: %s\n",
+                   observed_status.ToString().c_str());
+      return 1;
+    }
     exact.Add(*row);
     exact.Advance(row->timestamp);
     ++observed;
   }
 
-  const Matrix sketch = tracker.SketchRows();
+  const Matrix sketch = tracker.Query().Rows();
   const double err = CovarianceErrorOfSketch(
       exact.Covariance(), sketch, exact.FrobeniusSquared());
 
-  std::printf("algorithm        : %s\n", tracker.name().c_str());
+  std::printf("algorithm        : %s\n", tracker.Name().c_str());
   std::printf("rows observed    : %d\n", observed);
   std::printf("active rows      : %d\n", exact.size());
   std::printf("sketch rows      : %d x %d\n", sketch.rows(), sketch.cols());
   std::printf("covariance error : %.5f  (target epsilon %.2f)\n", err,
               config.epsilon);
   std::printf("communication    : %ld words (%ld messages)\n",
-              tracker.comm().TotalWords(), tracker.comm().messages);
+              tracker.Comm().TotalWords(), tracker.Comm().messages);
   std::printf("max site space   : %ld words\n", tracker.MaxSiteSpaceWords());
   return err <= config.epsilon ? 0 : 2;
 }

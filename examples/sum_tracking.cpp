@@ -42,7 +42,11 @@ int main() {
     for (int a = 0; a < arrivals; ++a) {
       const int site = static_cast<int>(rng.NextBelow(sites));
       const double bytes = std::exp(2.0 * rng.NextGaussian());
-      tracker.Observe(site, bytes, t);
+      const dswm::Status status = tracker.Observe(site, bytes, t);
+      if (!status.ok()) {
+        std::fprintf(stderr, "Observe failed: %s\n", status.message().c_str());
+        return 1;
+      }
       exact.push_back({bytes, t});
       ++items;
     }
@@ -60,7 +64,7 @@ int main() {
   std::printf("worst relative error: %.4f (guarantee %.2f)\n", worst_rel_err,
               eps);
   std::printf("words communicated  : %ld (naive shipping: %ld)\n",
-              tracker.comm().TotalWords(), items);
+              tracker.Comm().TotalWords(), items);
   std::printf("max site space      : %ld words (window holds ~%lld items)\n",
               tracker.MaxSiteSpaceWords(),
               static_cast<long long>(items * window / 60000));

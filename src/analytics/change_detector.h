@@ -32,7 +32,7 @@ struct ChangeDetectorOptions {
 class ChangeDetector {
  public:
   /// Creates a detector with a frozen reference basis extracted from
-  /// `reference_sketch` (typically DistributedTracker::SketchRows() at
+  /// `reference_sketch` (typically DistributedTracker::Query().Rows() at
   /// the end of the reference window).
   static StatusOr<ChangeDetector> FromReference(
       const Matrix& reference_sketch, const ChangeDetectorOptions& options);

@@ -16,15 +16,16 @@ CentralizedTracker::CentralizedTracker(const TrackerConfig& config)
   });
 }
 
-void CentralizedTracker::Observe(int site, const TimedRow& row) {
-  DSWM_CHECK_GE(site, 0);
-  DSWM_CHECK_LT(site, config_.num_sites);
+Status CentralizedTracker::Observe(int site, const TimedRow& row) {
+  DSWM_RETURN_NOT_OK(
+      ValidateObserve(site, config_.num_sites, row.timestamp));
   channel_->AdvanceTime(row.timestamp);
   net::RowUploadMsg msg;  // row + timestamp: d + 1 words
   msg.values = row.values;
   msg.timestamp = row.timestamp;
   msg.support = row.support;
   channel_->Send(net::Direction::kUp, site, msg);
+  return Status::OK();
 }
 
 void CentralizedTracker::AdvanceTime(Timestamp t) {
@@ -32,11 +33,8 @@ void CentralizedTracker::AdvanceTime(Timestamp t) {
   meh_.Advance(t);
 }
 
-Approximation CentralizedTracker::GetApproximation() const {
-  Approximation approx;
-  approx.is_rows = true;
-  approx.sketch_rows = meh_.QueryRows();
-  return approx;
+CovarianceEstimate CentralizedTracker::Query() const {
+  return CovarianceEstimate::FromRows(meh_.QueryRows());
 }
 
 }  // namespace dswm

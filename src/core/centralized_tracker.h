@@ -29,16 +29,16 @@ class CentralizedTracker : public DistributedTracker {
  public:
   explicit CentralizedTracker(const TrackerConfig& config);
 
-  void Observe(int site, const TimedRow& row) override;
+  Status Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
-  Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return channel_->comm(); }
+  CovarianceEstimate Query() const override;
+  const CommStats& Comm() const override { return channel_->comm(); }
   std::vector<net::Channel*> Channels() const override {
     return {channel_.get()};
   }
   long MaxSiteSpaceWords() const override { return 0; }  // sites stateless
-  std::string name() const override { return "CENTRAL"; }
-  int dim() const override { return config_.dim; }
+  std::string Name() const override { return "CENTRAL"; }
+  int Dim() const override { return config_.dim; }
 
  private:
   TrackerConfig config_;

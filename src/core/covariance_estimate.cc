@@ -1,0 +1,45 @@
+#include "core/covariance_estimate.h"
+
+#include <utility>
+
+#include "linalg/psd_sqrt.h"
+#include "obs/span.h"
+
+namespace dswm {
+
+CovarianceEstimate CovarianceEstimate::FromRows(Matrix rows) {
+  CovarianceEstimate est;
+  est.is_rows_ = true;
+  est.rows_ = std::move(rows);
+  return est;
+}
+
+CovarianceEstimate CovarianceEstimate::FromCovariance(Matrix covariance) {
+  CovarianceEstimate est;
+  est.is_rows_ = false;
+  est.rows_.reset();
+  est.covariance_ = std::move(covariance);
+  return est;
+}
+
+const Matrix& CovarianceEstimate::Rows() const {
+  if (!rows_.has_value()) {
+    obs::Span span("query.psd_sqrt");
+    rows_ = PsdSqrt(*covariance_);
+  }
+  return *rows_;
+}
+
+const Matrix& CovarianceEstimate::Covariance() const {
+  if (!covariance_.has_value()) {
+    obs::Span span("query.gram");
+    covariance_ = GramTranspose(*rows_);
+  }
+  return *covariance_;
+}
+
+int CovarianceEstimate::Dim() const {
+  return is_rows_ ? rows_->cols() : covariance_->cols();
+}
+
+}  // namespace dswm

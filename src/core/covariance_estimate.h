@@ -1,0 +1,64 @@
+// The unified tracker query result: one covariance estimate, viewable as
+// sketch rows or as a covariance matrix, converting lazily (and caching)
+// so measurement loops never pay a repeated O(d^3) PSD square root.
+
+#ifndef DSWM_CORE_COVARIANCE_ESTIMATE_H_
+#define DSWM_CORE_COVARIANCE_ESTIMATE_H_
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace dswm {
+
+/// A tracker's covariance estimate in whichever form the protocol produces
+/// natively: sampling protocols hold sketch rows B (l x d with
+/// B^T B ~= A_w^T A_w), deterministic protocols hold C_hat = B^T B (d x d).
+/// Either view is available through Rows() / Covariance(); the non-native
+/// one is derived on first access and cached:
+///
+///   rows -> covariance   GramTranspose (exact, B^T B)
+///   covariance -> rows   PsdSqrt (Algorithm 4/5 QUERY(); O(d^3), clamps
+///                        negative eigenvalues, r <= d rows)
+///
+/// Move-only-cheap value type: moves are O(1); copies deep-copy the cached
+/// matrices. Lazy conversion mutates a cache, so a single instance must not
+/// be queried from multiple threads concurrently (distinct instances are
+/// independent).
+class CovarianceEstimate {
+ public:
+  /// Empty estimate of dimension 0 in rows form.
+  CovarianceEstimate() : is_rows_(true), rows_(Matrix()) {}
+
+  [[nodiscard]] static CovarianceEstimate FromRows(Matrix rows);
+  [[nodiscard]] static CovarianceEstimate FromCovariance(Matrix covariance);
+
+  CovarianceEstimate(CovarianceEstimate&&) noexcept = default;
+  CovarianceEstimate& operator=(CovarianceEstimate&&) noexcept = default;
+  CovarianceEstimate(const CovarianceEstimate&) = default;
+  CovarianceEstimate& operator=(const CovarianceEstimate&) = default;
+
+  /// True when the native (conversion-free) view is Rows(). Error
+  /// evaluation dispatches on this to stay in the cheap form.
+  [[nodiscard]] bool NativeIsRows() const { return is_rows_; }
+
+  /// The sketch B (r x d). Derived via PsdSqrt and cached when the native
+  /// form is a covariance.
+  [[nodiscard]] const Matrix& Rows() const;
+
+  /// The covariance estimate B^T B (d x d). Derived via GramTranspose and
+  /// cached when the native form is rows.
+  [[nodiscard]] const Matrix& Covariance() const;
+
+  /// Row dimension d (0 for an empty estimate).
+  [[nodiscard]] int Dim() const;
+
+ private:
+  bool is_rows_;
+  mutable std::optional<Matrix> rows_;
+  mutable std::optional<Matrix> covariance_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_CORE_COVARIANCE_ESTIMATE_H_

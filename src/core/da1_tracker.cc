@@ -108,9 +108,9 @@ void Da1Tracker::MaybeReport(int site, SiteState* st, Timestamp /*t*/) {
   st->mass_since_check = 0.0;
 }
 
-void Da1Tracker::Observe(int site, const TimedRow& row) {
-  DSWM_CHECK_GE(site, 0);
-  DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+Status Da1Tracker::Observe(int site, const TimedRow& row) {
+  DSWM_RETURN_NOT_OK(ValidateObserve(site, static_cast<int>(sites_.size()),
+                                     row.timestamp));
   AdvanceTime(row.timestamp);
 
   SiteState& st = sites_[site];
@@ -118,6 +118,7 @@ void Da1Tracker::Observe(int site, const TimedRow& row) {
   st.c.AddOuterProduct(row.values.data(), 1.0);
   st.mass_since_check += row.NormSquared();
   MaybeReport(site, &st, row.timestamp);
+  return Status::OK();
 }
 
 void Da1Tracker::AdvanceTime(Timestamp t) {
@@ -133,11 +134,10 @@ void Da1Tracker::AdvanceTime(Timestamp t) {
   }
 }
 
-Approximation Da1Tracker::GetApproximation() const {
-  Approximation approx;
-  approx.is_rows = false;
-  approx.covariance = coordinator_c_hat_;
-  return approx;
+CovarianceEstimate Da1Tracker::Query() const {
+  // The copy is the snapshot semantics: the estimate must not alias the
+  // live coordinator state.
+  return CovarianceEstimate::FromCovariance(Matrix(coordinator_c_hat_));
 }
 
 long Da1Tracker::MaxSiteSpaceWords() const {

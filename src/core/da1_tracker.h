@@ -37,16 +37,16 @@ class Da1Tracker : public DistributedTracker {
  public:
   explicit Da1Tracker(const TrackerConfig& config);
 
-  void Observe(int site, const TimedRow& row) override;
+  Status Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
-  Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return channel_->comm(); }
+  CovarianceEstimate Query() const override;
+  const CommStats& Comm() const override { return channel_->comm(); }
   std::vector<net::Channel*> Channels() const override {
     return {channel_.get()};
   }
   long MaxSiteSpaceWords() const override;
-  std::string name() const override { return "DA1"; }
-  int dim() const override { return config_.dim; }
+  std::string Name() const override { return "DA1"; }
+  int Dim() const override { return config_.dim; }
 
   /// Number of eigendecompositions performed (tests/ablation).
   long decompositions() const { return decompositions_; }

@@ -140,18 +140,19 @@ void Da2Tracker::ProcessBoundary(int site, SiteState* st, Timestamp boundary) {
   st->iwmt_e = std::make_unique<IwmtProtocol>(config_.dim, ell_fd_);
 }
 
-void Da2Tracker::Observe(int site, const TimedRow& row) {
-  DSWM_CHECK_GE(site, 0);
-  DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+Status Da2Tracker::Observe(int site, const TimedRow& row) {
+  DSWM_RETURN_NOT_OK(ValidateObserve(site, static_cast<int>(sites_.size()),
+                                     row.timestamp));
   AdvanceTime(row.timestamp);
 
   SiteState& st = sites_[site];
   const double w = row.NormSquared();
   st.meh.Insert(row.values.data(), row.timestamp);
-  if (w <= 0.0) return;
+  if (w <= 0.0) return Status::OK();
   std::vector<IwmtOutput> outs;
   st.iwmt_a.Input(row.values.data(), SiteTheta(st, w), &outs);
   ShipForward(site, outs);
+  return Status::OK();
 }
 
 void Da2Tracker::AdvanceTime(Timestamp t) {
@@ -179,15 +180,13 @@ void Da2Tracker::AdvanceTime(Timestamp t) {
   }
 }
 
-Approximation Da2Tracker::GetApproximation() const {
-  Approximation approx;
-  approx.is_rows = false;
-  approx.covariance = Matrix(config_.dim, config_.dim);
+CovarianceEstimate Da2Tracker::Query() const {
+  Matrix covariance(config_.dim, config_.dim);
   for (const SiteState& st : sites_) {
-    approx.covariance.AddScaled(st.c_active, 1.0);
-    approx.covariance.AddScaled(st.c_expiring, 1.0);
+    covariance.AddScaled(st.c_active, 1.0);
+    covariance.AddScaled(st.c_expiring, 1.0);
   }
-  return approx;
+  return CovarianceEstimate::FromCovariance(std::move(covariance));
 }
 
 long Da2Tracker::MaxSiteSpaceWords() const {

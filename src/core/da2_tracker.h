@@ -43,16 +43,16 @@ class Da2Tracker : public DistributedTracker {
  public:
   explicit Da2Tracker(const TrackerConfig& config);
 
-  void Observe(int site, const TimedRow& row) override;
+  Status Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
-  Approximation GetApproximation() const override;
-  const CommStats& comm() const override { return channel_->comm(); }
+  CovarianceEstimate Query() const override;
+  const CommStats& Comm() const override { return channel_->comm(); }
   std::vector<net::Channel*> Channels() const override {
     return {channel_.get()};
   }
   long MaxSiteSpaceWords() const override;
-  std::string name() const override { return "DA2"; }
-  int dim() const override { return config_.dim; }
+  std::string Name() const override { return "DA2"; }
+  int Dim() const override { return config_.dim; }
 
   /// Window boundaries processed so far (tests).
   long boundaries_processed() const { return boundaries_; }

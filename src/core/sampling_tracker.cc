@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dswm {
 
 namespace {
@@ -72,18 +74,19 @@ void SamplingTracker::ShipToCoordinator(int site, TimedRow row, double key) {
 }
 
 void SamplingTracker::BroadcastThreshold() {
+  DSWM_OBS_COUNT("sampling.threshold_broadcasts", 1);
   net::ThresholdBroadcastMsg msg;
   msg.threshold = tau_;
   channel_->Send(net::Direction::kBroadcast, -1, msg);
 }
 
-void SamplingTracker::Observe(int site, const TimedRow& row) {
-  DSWM_CHECK_GE(site, 0);
-  DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+Status SamplingTracker::Observe(int site, const TimedRow& row) {
+  DSWM_RETURN_NOT_OK(ValidateObserve(site, static_cast<int>(sites_.size()),
+                                     row.timestamp));
   AdvanceTime(row.timestamp);
 
   const double w = row.NormSquared();
-  if (w <= 0.0) return;  // zero rows carry no covariance mass
+  if (w <= 0.0) return Status::OK();  // zero rows carry no covariance mass
 
   SiteState& st = sites_[site];
   const double key = DrawKey(scheme_, w, &st.rng);
@@ -96,9 +99,10 @@ void SamplingTracker::Observe(int site, const TimedRow& row) {
     st.queue.Enqueue(row, key, bv);
   }
   if (fnorm_tracker_ != nullptr) {
-    fnorm_tracker_->Observe(site, w, row.timestamp);
+    DSWM_RETURN_NOT_OK(fnorm_tracker_->Observe(site, w, row.timestamp));
   }
   Maintain();
+  return Status::OK();
 }
 
 void SamplingTracker::AdvanceTime(Timestamp t) {
@@ -141,6 +145,7 @@ void SamplingTracker::MaintainSimple() {
   if (s_.size() < ell_ && AnyRowOutstanding()) {
     // Negotiation: the coordinator requests each site's local highest
     // priority (one request + one reply word per site).
+    DSWM_OBS_COUNT("sampling.negotiations", 1);
     const double none = -std::numeric_limits<double>::infinity();
     for (int j = 0; j < config_.num_sites; ++j) {
       net::RetrieveRequestMsg req;
@@ -197,6 +202,7 @@ void SamplingTracker::MaintainLazy() {
 
   if (s_.size() <= ell_) {
     while (s_.size() <= 2 * ell_ && AnyRowOutstanding()) {
+      DSWM_OBS_COUNT("sampling.refill_rounds", 1);
       tau_ = RelaxThreshold(scheme_, tau_);
       BroadcastThreshold();
       for (CoordEntry& e : s_prime_.TakeAtLeast(tau_)) {
@@ -211,9 +217,9 @@ void SamplingTracker::MaintainLazy() {
   }
 }
 
-const CommStats& SamplingTracker::comm() const {
+const CommStats& SamplingTracker::Comm() const {
   comm_cache_ = channel_->comm();
-  if (fnorm_tracker_ != nullptr) comm_cache_.Add(fnorm_tracker_->comm());
+  if (fnorm_tracker_ != nullptr) comm_cache_.Add(fnorm_tracker_->Comm());
   return comm_cache_;
 }
 
@@ -241,14 +247,11 @@ std::vector<const CoordEntry*> SamplingTracker::CurrentSamples() const {
   return s_.TopK(std::min(ell_, s_.size()));
 }
 
-Approximation SamplingTracker::GetApproximation() const {
-  Approximation approx;
-  approx.is_rows = true;
-
+CovarianceEstimate SamplingTracker::Query() const {
   const std::vector<const CoordEntry*> samples = CurrentSamples();
   const int k = static_cast<int>(samples.size());
-  approx.sketch_rows = Matrix(k, config_.dim);
-  if (k == 0) return approx;
+  Matrix sketch_rows(k, config_.dim);
+  if (k == 0) return CovarianceEstimate::FromRows(std::move(sketch_rows));
 
   // When the sample happens to contain every active row (small windows,
   // or eps so tight that l exceeds the window), every inclusion
@@ -306,11 +309,11 @@ Approximation SamplingTracker::GetApproximation() const {
     } else {
       scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
     }
-    double* dst = approx.sketch_rows.Row(i);
+    double* dst = sketch_rows.Row(i);
     const double* src = row.values.data();
     for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
   }
-  return approx;
+  return CovarianceEstimate::FromRows(std::move(sketch_rows));
 }
 
 long SamplingTracker::MaxSiteSpaceWords() const {

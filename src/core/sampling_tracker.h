@@ -53,14 +53,14 @@ class SamplingTracker : public DistributedTracker {
                   bool use_all_samples, bool track_fnorm = true,
                   uint64_t channel_salt = 0);
 
-  void Observe(int site, const TimedRow& row) override;
+  Status Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
-  Approximation GetApproximation() const override;
-  const CommStats& comm() const override;
+  CovarianceEstimate Query() const override;
+  const CommStats& Comm() const override;
   std::vector<net::Channel*> Channels() const override;
   long MaxSiteSpaceWords() const override;
-  std::string name() const override { return name_; }
-  int dim() const override { return config_.dim; }
+  std::string Name() const override { return name_; }
+  int Dim() const override { return config_.dim; }
 
   /// Sample-set size l in use.
   int ell() const { return ell_; }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace dswm {
 
@@ -59,18 +62,19 @@ void SharedThresholdWrTracker::Ship(int site, int sampler, const TimedRow& row,
 }
 
 void SharedThresholdWrTracker::BroadcastThreshold() {
+  DSWM_OBS_COUNT("sampling.threshold_broadcasts", 1);
   net::ThresholdBroadcastMsg msg;
   msg.threshold = tau_;
   channel_->Send(net::Direction::kBroadcast, -1, msg);
 }
 
-void SharedThresholdWrTracker::Observe(int site, const TimedRow& row) {
-  DSWM_CHECK_GE(site, 0);
-  DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+Status SharedThresholdWrTracker::Observe(int site, const TimedRow& row) {
+  DSWM_RETURN_NOT_OK(ValidateObserve(site, static_cast<int>(sites_.size()),
+                                     row.timestamp));
   AdvanceTime(row.timestamp);
 
   const double w = row.NormSquared();
-  if (w <= 0.0) return;
+  if (w <= 0.0) return Status::OK();
   SiteState& st = sites_[site];
   auto shared_row = std::make_shared<const TimedRow>(row);
 
@@ -88,8 +92,9 @@ void SharedThresholdWrTracker::Observe(int site, const TimedRow& row) {
       q.push_back(Pending{shared_row, key});
     }
   }
-  fnorm_tracker_.Observe(site, w, row.timestamp);
+  DSWM_RETURN_NOT_OK(fnorm_tracker_.Observe(site, w, row.timestamp));
   Maintain();
+  return Status::OK();
 }
 
 void SharedThresholdWrTracker::AdvanceTime(Timestamp t) {
@@ -175,6 +180,7 @@ void SharedThresholdWrTracker::Maintain() {
     return false;
   };
   while (starved() && AnythingOutstanding()) {
+    DSWM_OBS_COUNT("sampling.refill_rounds", 1);
     tau_ = RelaxThreshold(scheme_, tau_);
     BroadcastThreshold();
     for (int j = 0; j < static_cast<int>(sites_.size()); ++j) {
@@ -195,9 +201,9 @@ void SharedThresholdWrTracker::Maintain() {
   }
 }
 
-const CommStats& SharedThresholdWrTracker::comm() const {
+const CommStats& SharedThresholdWrTracker::Comm() const {
   comm_cache_ = channel_->comm();
-  comm_cache_.Add(fnorm_tracker_.comm());
+  comm_cache_.Add(fnorm_tracker_.Comm());
   return comm_cache_;
 }
 
@@ -213,9 +219,7 @@ int SharedThresholdWrTracker::SamplersWithSample() const {
   return served;
 }
 
-Approximation SharedThresholdWrTracker::GetApproximation() const {
-  Approximation approx;
-  approx.is_rows = true;
+CovarianceEstimate SharedThresholdWrTracker::Query() const {
   const double fnorm2 = std::max(fnorm_tracker_.Estimate(), 0.0);
 
   std::vector<const CoordEntryWr*> picks;
@@ -227,16 +231,16 @@ Approximation SharedThresholdWrTracker::GetApproximation() const {
     if (best != nullptr) picks.push_back(best);
   }
   const int k = static_cast<int>(picks.size());
-  approx.sketch_rows = Matrix(k, config_.dim);
+  Matrix sketch_rows(k, config_.dim);
   for (int i = 0; i < k; ++i) {
     const TimedRow& row = *picks[i]->row;
     const double w = row.NormSquared();
     const double scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
     const double* src = row.values.data();
-    double* dst = approx.sketch_rows.Row(i);
+    double* dst = sketch_rows.Row(i);
     for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
   }
-  return approx;
+  return CovarianceEstimate::FromRows(std::move(sketch_rows));
 }
 
 long SharedThresholdWrTracker::MaxSiteSpaceWords() const {

@@ -36,14 +36,14 @@ class SharedThresholdWrTracker : public DistributedTracker {
   SharedThresholdWrTracker(const TrackerConfig& config,
                            SamplingScheme scheme);
 
-  void Observe(int site, const TimedRow& row) override;
+  Status Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
-  Approximation GetApproximation() const override;
-  const CommStats& comm() const override;
+  CovarianceEstimate Query() const override;
+  const CommStats& Comm() const override;
   std::vector<net::Channel*> Channels() const override;
   long MaxSiteSpaceWords() const override;
-  std::string name() const override { return name_; }
-  int dim() const override { return config_.dim; }
+  std::string Name() const override { return name_; }
+  int Dim() const override { return config_.dim; }
 
   int ell() const { return ell_; }
   double threshold() const { return tau_; }

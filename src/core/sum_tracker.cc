@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -40,12 +41,16 @@ void SumTracker::CheckSite(int site, Timestamp t) {
   }
 }
 
-void SumTracker::Observe(int site, double w, Timestamp t) {
-  DSWM_CHECK_GE(site, 0);
-  DSWM_CHECK_LT(site, static_cast<int>(sites_.size()));
+Status SumTracker::Observe(int site, double w, Timestamp t) {
+  if (site < 0 || site >= static_cast<int>(sites_.size())) {
+    return Status::InvalidArgument("SumTracker::Observe: site " +
+                                   std::to_string(site) + " not in [0, " +
+                                   std::to_string(sites_.size()) + ")");
+  }
   channel_->AdvanceTime(t);
   sites_[site].histogram.Insert(w, t);
   CheckSite(site, t);
+  return Status::OK();
 }
 
 void SumTracker::AdvanceTime(Timestamp t) {

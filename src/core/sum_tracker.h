@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "monitor/comm_stats.h"
 #include "net/channel.h"
 #include "window/exponential_histogram.h"
@@ -37,7 +38,9 @@ class SumTracker {
              std::unique_ptr<net::Channel> channel = nullptr);
 
   /// Weight w (> 0) arrives at `site` at time t (non-decreasing).
-  void Observe(int site, double w, Timestamp t);
+  /// InvalidArgument on an out-of-range site, matching the
+  /// DistributedTracker Observe contract.
+  Status Observe(int site, double w, Timestamp t);
 
   /// Advances the clock; sites re-check their thresholds because expiry
   /// shrinks C even without arrivals.
@@ -46,7 +49,7 @@ class SumTracker {
   /// Coordinator's estimate of the window sum.
   [[nodiscard]] double Estimate() const { return coordinator_sum_; }
 
-  [[nodiscard]] const CommStats& comm() const { return channel_->comm(); }
+  [[nodiscard]] const CommStats& Comm() const { return channel_->comm(); }
 
   /// The transport this tracker sends through.
   [[nodiscard]] net::Channel* channel() const { return channel_.get(); }

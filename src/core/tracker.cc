@@ -1,13 +1,23 @@
 #include "core/tracker.h"
 
-#include "linalg/psd_sqrt.h"
+#include <string>
 
 namespace dswm {
 
-Matrix DistributedTracker::SketchRows() const {
-  Approximation approx = GetApproximation();
-  if (approx.is_rows) return std::move(approx.sketch_rows);
-  return PsdSqrt(approx.covariance);
+Status DistributedTracker::ValidateObserve(int site, int num_sites,
+                                           Timestamp t) {
+  if (site < 0 || site >= num_sites) {
+    return Status::InvalidArgument("Observe: site " + std::to_string(site) +
+                                   " out of range [0, " +
+                                   std::to_string(num_sites) + ")");
+  }
+  if (t < last_observe_time_) {
+    return Status::InvalidArgument(
+        "Observe: timestamp regression (" + std::to_string(t) + " < " +
+        std::to_string(last_observe_time_) + ")");
+  }
+  last_observe_time_ = t;
+  return Status::OK();
 }
 
 }  // namespace dswm

@@ -4,10 +4,12 @@
 #ifndef DSWM_CORE_TRACKER_H_
 #define DSWM_CORE_TRACKER_H_
 
+#include <limits>
 #include <string>
 #include <vector>
 
-#include "linalg/matrix.h"
+#include "common/status.h"
+#include "core/covariance_estimate.h"
 #include "monitor/comm_stats.h"
 #include "stream/timed_row.h"
 
@@ -17,48 +19,38 @@ namespace net {
 class Channel;
 }  // namespace net
 
-/// The coordinator's current approximation, in whichever form the protocol
-/// produces natively: sampling protocols hold sketch rows B (l x d with
-/// B^T B ~= A_w^T A_w), deterministic protocols hold the covariance
-/// estimate C_hat = B^T B directly (d x d).
-struct Approximation {
-  /// True when `sketch_rows` is the native form; false when `covariance`
-  /// is.
-  bool is_rows = true;
-  Matrix sketch_rows;
-  Matrix covariance;
-};
-
 /// A distributed sliding-window covariance-sketch tracker.
 ///
 /// Usage: call AdvanceTime(t) whenever the global clock moves, Observe()
-/// for each arrival, and read the approximation through SketchRows() or
-/// GetApproximation(). All protocols in the paper (PWOR, PWOR-ALL, ESWOR,
-/// ESWOR-ALL, PWR, ESWR, DA1, DA2) implement this interface; build them
-/// with MakeTracker() (tracker_factory.h).
+/// for each arrival, and read the estimate through Query(). All protocols
+/// in the paper (PWOR, PWOR-ALL, ESWOR, ESWOR-ALL, PWR, ESWR, DA1, DA2)
+/// implement this interface; build them with MakeTracker()
+/// (tracker_factory.h).
+///
+/// Misuse is reported, not crashed on: Observe() returns InvalidArgument
+/// for an out-of-range site or a timestamp regression. Contract violations
+/// *inside* a protocol remain DSWM_CHECKs.
 class DistributedTracker {
  public:
   virtual ~DistributedTracker() = default;
 
   /// Row `row` arrives at site `site` at time row.timestamp. Timestamps
-  /// across calls must be non-decreasing.
-  virtual void Observe(int site, const TimedRow& row) = 0;
+  /// across calls must be non-decreasing; a decrease or an out-of-range
+  /// site returns InvalidArgument without mutating tracker state.
+  [[nodiscard]] virtual Status Observe(int site, const TimedRow& row) = 0;
 
   /// Advances the global clock to `t`: expirations are processed at every
   /// site and at the coordinator, and the protocol re-establishes its
   /// invariants (threshold negotiation, refills, backward tracking).
   virtual void AdvanceTime(Timestamp t) = 0;
 
-  /// The approximation in its native (cheapest) form.
-  [[nodiscard]] virtual Approximation GetApproximation() const = 0;
-
-  /// The sketch B (rows x d) with B^T B ~= A_w^T A_w. For deterministic
-  /// trackers this runs an O(d^3) PSD square root (Algorithm 4/5 QUERY());
-  /// measurement loops should prefer GetApproximation().
-  [[nodiscard]] Matrix SketchRows() const;
+  /// The current estimate in its native (cheapest) form; the other view
+  /// converts lazily inside CovarianceEstimate. Move-returned -- no deep
+  /// copies beyond the snapshot the protocol itself must take.
+  [[nodiscard]] virtual CovarianceEstimate Query() const = 0;
 
   /// Cumulative communication.
-  [[nodiscard]] virtual const CommStats& comm() const = 0;
+  [[nodiscard]] virtual const CommStats& Comm() const = 0;
 
   /// The transport channels this tracker sends through (composite
   /// protocols own several). Drivers aggregate their ledgers for trace
@@ -71,10 +63,19 @@ class DistributedTracker {
   [[nodiscard]] virtual long MaxSiteSpaceWords() const = 0;
 
   /// Algorithm name as used in the paper's figures ("PWOR", "DA2", ...).
-  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string Name() const = 0;
 
   /// Row dimension d.
-  [[nodiscard]] virtual int dim() const = 0;
+  [[nodiscard]] virtual int Dim() const = 0;
+
+ protected:
+  /// Shared Observe() precondition check: `site` must be in
+  /// [0, num_sites) and `t` must not precede the last observed timestamp.
+  /// On OK the timestamp watermark advances; on error no state changes.
+  [[nodiscard]] Status ValidateObserve(int site, int num_sites, Timestamp t);
+
+ private:
+  Timestamp last_observe_time_ = std::numeric_limits<Timestamp>::min();
 };
 
 }  // namespace dswm

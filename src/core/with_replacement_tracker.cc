@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace dswm {
 
@@ -29,11 +30,18 @@ WithReplacementTracker::WithReplacementTracker(const TrackerConfig& config,
   }
 }
 
-void WithReplacementTracker::Observe(int site, const TimedRow& row) {
+Status WithReplacementTracker::Observe(int site, const TimedRow& row) {
+  DSWM_RETURN_NOT_OK(
+      ValidateObserve(site, config_.num_sites, row.timestamp));
   const double w = row.NormSquared();
-  if (w <= 0.0) return;
-  for (auto& s : samplers_) s->Observe(site, row);
-  fnorm_tracker_.Observe(site, w, row.timestamp);
+  if (w <= 0.0) return Status::OK();
+  for (auto& s : samplers_) {
+    // The wrapper's precondition check passed, so the delegated calls
+    // cannot fail (sub-samplers see the same site range and timestamps).
+    DSWM_RETURN_NOT_OK(s->Observe(site, row));
+  }
+  DSWM_RETURN_NOT_OK(fnorm_tracker_.Observe(site, w, row.timestamp));
+  return Status::OK();
 }
 
 void WithReplacementTracker::AdvanceTime(Timestamp t) {
@@ -41,10 +49,7 @@ void WithReplacementTracker::AdvanceTime(Timestamp t) {
   fnorm_tracker_.AdvanceTime(t);
 }
 
-Approximation WithReplacementTracker::GetApproximation() const {
-  Approximation approx;
-  approx.is_rows = true;
-
+CovarianceEstimate WithReplacementTracker::Query() const {
   const double fnorm2 = std::max(fnorm_tracker_.Estimate(), 0.0);
   std::vector<const CoordEntry*> picks;
   for (const auto& s : samplers_) {
@@ -52,7 +57,7 @@ Approximation WithReplacementTracker::GetApproximation() const {
     if (!top.empty()) picks.push_back(top.front());
   }
   const int k = static_cast<int>(picks.size());
-  approx.sketch_rows = Matrix(k, config_.dim);
+  Matrix sketch_rows(k, config_.dim);
   for (int i = 0; i < k; ++i) {
     const TimedRow& row = picks[i]->row;
     const double w = row.NormSquared();
@@ -60,16 +65,16 @@ Approximation WithReplacementTracker::GetApproximation() const {
     // contribution is rescaled to squared norm F^2 / k.
     const double scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
     const double* src = row.values.data();
-    double* dst = approx.sketch_rows.Row(i);
+    double* dst = sketch_rows.Row(i);
     for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
   }
-  return approx;
+  return CovarianceEstimate::FromRows(std::move(sketch_rows));
 }
 
-const CommStats& WithReplacementTracker::comm() const {
+const CommStats& WithReplacementTracker::Comm() const {
   aggregate_ = CommStats();
-  for (const auto& s : samplers_) aggregate_.Add(s->comm());
-  aggregate_.Add(fnorm_tracker_.comm());
+  for (const auto& s : samplers_) aggregate_.Add(s->Comm());
+  aggregate_.Add(fnorm_tracker_.Comm());
   return aggregate_;
 }
 
@@ -83,7 +88,7 @@ std::vector<net::Channel*> WithReplacementTracker::Channels() const {
 }
 
 long WithReplacementTracker::MaxSiteSpaceWords() const {
-  // Approximation: the samplers are independent, so a site's space is the
+  // Estimate: the samplers are independent, so a site's space is the
   // sum of its per-sampler queues; we report the sum of per-sampler
   // maxima (an upper bound).
   long total = 0;

@@ -25,14 +25,14 @@ class WithReplacementTracker : public DistributedTracker {
  public:
   WithReplacementTracker(const TrackerConfig& config, SamplingScheme scheme);
 
-  void Observe(int site, const TimedRow& row) override;
+  Status Observe(int site, const TimedRow& row) override;
   void AdvanceTime(Timestamp t) override;
-  Approximation GetApproximation() const override;
-  const CommStats& comm() const override;
+  CovarianceEstimate Query() const override;
+  const CommStats& Comm() const override;
   std::vector<net::Channel*> Channels() const override;
   long MaxSiteSpaceWords() const override;
-  std::string name() const override { return name_; }
-  int dim() const override { return config_.dim; }
+  std::string Name() const override { return name_; }
+  int Dim() const override { return config_.dim; }
 
   int ell() const { return static_cast<int>(samplers_.size()); }
 

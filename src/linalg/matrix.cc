@@ -10,6 +10,7 @@
 #endif
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace dswm {
 
@@ -632,6 +633,8 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const int row_tiles = (m + kMr - 1) / kMr;
   ThreadPool* pool = ThreadPool::Global();
   const long mul_adds = static_cast<long>(m) * p * kk;
+  DSWM_OBS_COUNT("linalg.matmul.calls", 1);
+  DSWM_OBS_COUNT("linalg.matmul.flops", 2 * mul_adds);
   const bool parallel = UsePool(pool, mul_adds);
 
 #if defined(__SSE2__)
@@ -728,6 +731,8 @@ Matrix GramTransposePrefix(const Matrix& a, int rows) {
 
   ThreadPool* pool = ThreadPool::Global();
   const long mul_adds = static_cast<long>(rows) * d * (d + 1) / 2;
+  DSWM_OBS_COUNT("linalg.gram_transpose.calls", 1);
+  DSWM_OBS_COUNT("linalg.gram_transpose.flops", 2 * mul_adds);
   const bool parallel = UsePool(pool, mul_adds);
   const int row_tiles = (d + kMr - 1) / kMr;
 
@@ -779,6 +784,8 @@ Matrix GramPrefix(const Matrix& a, int rows) {
 
   ThreadPool* pool = ThreadPool::Global();
   const long mul_adds = static_cast<long>(rows) * (rows + 1) / 2 * a.cols();
+  DSWM_OBS_COUNT("linalg.gram.calls", 1);
+  DSWM_OBS_COUNT("linalg.gram.flops", 2 * mul_adds);
   const int row_tiles = (rows + kMr - 1) / kMr;
   const auto run = [&a, &g, rows](int t0, int t1) {
     for (int t = t0; t < t1; ++t) {

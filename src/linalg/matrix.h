@@ -8,6 +8,7 @@
 #ifndef DSWM_LINALG_MATRIX_H_
 #define DSWM_LINALG_MATRIX_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstring>
 #include <vector>
@@ -35,6 +36,32 @@ class Matrix {
 
   /// d x d identity.
   [[nodiscard]] static Matrix Identity(int d);
+
+  /// Matrix stays a regular value type, but deep copies bump a
+  /// process-global counter so tests can assert a measured path performs
+  /// no gratuitous copies (e.g. the driver's query-snapshot path). Moves
+  /// are O(1) and uncounted.
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    copy_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      copy_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// Deep copies since process start (test hook; diff around the code
+  /// under audit).
+  [[nodiscard]] static long CopyCount() {
+    return copy_count_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] int rows() const { return rows_; }
   [[nodiscard]] int cols() const { return cols_; }
@@ -112,6 +139,8 @@ class Matrix {
   }
 
  private:
+  inline static std::atomic<long> copy_count_{0};
+
   int rows_;
   int cols_;
   std::vector<double> data_;

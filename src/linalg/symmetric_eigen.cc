@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace dswm {
 
 namespace {
@@ -131,6 +133,7 @@ bool TridiagonalQL(std::vector<double>* diag, std::vector<double>* sub,
       }
       if (m == l) break;
       if (iter++ == 50) return false;
+      DSWM_OBS_COUNT("linalg.eigen.ql_iterations", 1);
       // Wilkinson-style shift from the leading 2x2.
       double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
       double r = std::hypot(g, 1.0);
@@ -189,6 +192,7 @@ void JacobiEigen(Matrix* a_ptr, Matrix* v_ptr) {
 
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
     if (OffDiagonalMass(a) <= tol) break;
+    DSWM_OBS_COUNT("linalg.eigen.jacobi_sweeps", 1);
     for (int p = 0; p < d - 1; ++p) {
       for (int q = p + 1; q < d; ++q) {
         double* const ap = a.Row(p);
@@ -278,6 +282,7 @@ EigenResult SortDescending(std::vector<double>* values, Matrix* vectors_rows) {
 EigenResult SymmetricEigen(const Matrix& input) {
   DSWM_CHECK_EQ(input.rows(), input.cols());
   const int d = input.rows();
+  DSWM_OBS_COUNT("linalg.eigen.calls", 1);
 
   // Fast path: Householder tridiagonalization + implicit-shift QL with
   // row-major eigenvector accumulation. ~4-5x cheaper than cyclic Jacobi

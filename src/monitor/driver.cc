@@ -6,9 +6,9 @@
 #include <utility>
 
 #include "common/rng.h"
-#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "net/channel.h"
+#include "obs/span.h"
 #include "sketch/covariance.h"
 #include "window/exact_window.h"
 
@@ -16,11 +16,13 @@ namespace dswm {
 
 namespace {
 
-double EvalError(const Matrix& cov_exact, const Approximation& approx,
+double EvalError(const Matrix& cov_exact, const CovarianceEstimate& estimate,
                  double fnorm2) {
-  return approx.is_rows
-             ? CovarianceErrorOfSketch(cov_exact, approx.sketch_rows, fnorm2)
-             : CovarianceErrorOfCovariance(cov_exact, approx.covariance,
+  // Dispatch on the native form so evaluation never pays a lazy
+  // conversion (PsdSqrt / GramTranspose) inside the measurement loop.
+  return estimate.NativeIsRows()
+             ? CovarianceErrorOfSketch(cov_exact, estimate.Rows(), fnorm2)
+             : CovarianceErrorOfCovariance(cov_exact, estimate.Covariance(),
                                            fnorm2);
 }
 
@@ -35,14 +37,67 @@ Status WriteTextFile(const std::string& path, const std::string& text) {
   return Status::OK();
 }
 
+Status ValidateRun(const DistributedTracker* tracker,
+                   const std::vector<TimedRow>& rows, int num_sites,
+                   Timestamp window, const DriverOptions& options) {
+  if (tracker == nullptr) {
+    return Status::InvalidArgument("RunTracker: tracker is null");
+  }
+  if (num_sites < 1) {
+    return Status::InvalidArgument("RunTracker: num_sites must be >= 1, got " +
+                                   std::to_string(num_sites));
+  }
+  if (window < 1) {
+    return Status::InvalidArgument("RunTracker: window must be >= 1, got " +
+                                   std::to_string(window));
+  }
+  DSWM_RETURN_NOT_OK(options.Validate());
+  const int d = tracker->Dim();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (static_cast<int>(rows[i].values.size()) != d) {
+      return Status::InvalidArgument(
+          "RunTracker: row " + std::to_string(i) + " has dimension " +
+          std::to_string(rows[i].values.size()) + ", tracker expects " +
+          std::to_string(d));
+    }
+    if (i > 0 && rows[i].timestamp < rows[i - 1].timestamp) {
+      return Status::InvalidArgument(
+          "RunTracker: rows out of time order at index " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-RunResult RunTracker(DistributedTracker* tracker,
-                     const std::vector<TimedRow>& rows, int num_sites,
-                     Timestamp window, const DriverOptions& options) {
+Status DriverOptions::Validate() const {
+  if (query_points < 0) {
+    return Status::InvalidArgument(
+        "DriverOptions: query_points must be >= 0, got " +
+        std::to_string(query_points));
+  }
+  if (!(warmup_fraction >= 0.0 && warmup_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "DriverOptions: warmup_fraction must be in [0, 1], got " +
+        std::to_string(warmup_fraction));
+  }
+  return Status::OK();
+}
+
+StatusOr<RunResult> RunTracker(DistributedTracker* tracker,
+                               const std::vector<TimedRow>& rows,
+                               int num_sites, Timestamp window,
+                               const DriverOptions& options) {
+  DSWM_RETURN_NOT_OK(
+      ValidateRun(tracker, rows, num_sites, window, options));
+
   RunResult result;
   result.rows = static_cast<int>(rows.size());
   if (rows.empty()) return result;
+
+  const bool metrics_on = obs::Enabled();
+  const obs::MetricsSnapshot metrics_base =
+      metrics_on ? obs::Registry().Snapshot() : obs::MetricsSnapshot();
 
   Rng rng(options.seed);
   const int n = result.rows;
@@ -55,8 +110,7 @@ RunResult RunTracker(DistributedTracker* tracker,
     is_query[first + static_cast<int>(rng.NextBelow(n - first))] = true;
   }
 
-  ExactWindow exact(tracker->dim(), window);
-  Stopwatch tracker_clock;
+  ExactWindow exact(tracker->Dim(), window);
   double tracker_seconds = 0.0;
 
   // Query-point error evaluations are independent of the stream replay
@@ -73,31 +127,33 @@ RunResult RunTracker(DistributedTracker* tracker,
     const TimedRow& row = rows[i];
     const int site = static_cast<int>(rng.NextBelow(num_sites));
 
-    tracker_clock.Start();
-    tracker->Observe(site, row);
-    tracker_seconds += tracker_clock.ElapsedSeconds();
+    {
+      obs::Span span("driver.observe", &tracker_seconds);
+      DSWM_RETURN_NOT_OK(tracker->Observe(site, row));
+    }
 
     exact.Add(row);
     exact.Advance(row.timestamp);
 
     if (is_query[i]) {
-      Approximation approx = tracker->GetApproximation();
+      obs::Span span("driver.query");
+      CovarianceEstimate estimate = tracker->Query();
       const long site_space = tracker->MaxSiteSpaceWords();
       result.max_site_space_words =
           std::max(result.max_site_space_words, site_space);
       result.trace.push_back(TraceEntry{row.timestamp, 0.0,
-                                        tracker->comm().TotalWords(),
+                                        tracker->Comm().TotalWords(),
                                         site_space});
       errs.push_back(0.0);
       double* out = &errs.back();
       if (async_eval) {
         pool->Submit([cov = exact.Covariance(),
                       fnorm2 = exact.FrobeniusSquared(),
-                      snapshot = std::move(approx), out] {
+                      snapshot = std::move(estimate), out] {
           *out = EvalError(cov, snapshot, fnorm2);
         });
       } else {
-        *out = EvalError(exact.Covariance(), approx,
+        *out = EvalError(exact.Covariance(), estimate,
                          exact.FrobeniusSquared());
       }
     }
@@ -112,7 +168,7 @@ RunResult RunTracker(DistributedTracker* tracker,
   }
   result.avg_err = errs.empty() ? 0.0 : err_sum / static_cast<double>(errs.size());
 
-  const CommStats& comm = tracker->comm();
+  const CommStats& comm = tracker->Comm();
   result.total_words = comm.TotalWords();
   result.messages = comm.messages;
   result.broadcasts = comm.broadcasts;
@@ -141,6 +197,22 @@ RunResult RunTracker(DistributedTracker* tracker,
           : static_cast<double>(result.total_words);
   result.update_rows_per_sec =
       tracker_seconds > 0 ? n / tracker_seconds : 0.0;
+
+  if (metrics_on) {
+    // Export the ledger-derived comm/space totals as gauges so one
+    // snapshot covers comm + compute + space, then scope the cumulative
+    // registry to this run.
+    obs::MetricRegistry& reg = obs::Registry();
+    reg.GetGauge("comm.total_words")->Set(result.total_words);
+    reg.GetGauge("comm.messages")->Set(result.messages);
+    reg.GetGauge("comm.broadcasts")->Set(result.broadcasts);
+    reg.GetGauge("comm.rows_sent")->Set(result.rows_sent);
+    reg.GetGauge("comm.wire_payload_bytes")->Set(result.wire_payload_bytes);
+    reg.GetGauge("comm.wire_frame_bytes")->Set(result.wire_frame_bytes);
+    reg.GetGauge("comm.wire_transmissions")->Set(result.wire_transmissions);
+    reg.GetGauge("space.max_site_words")->Set(result.max_site_space_words);
+    result.metrics = reg.Snapshot().DeltaSince(metrics_base);
+  }
   return result;
 }
 

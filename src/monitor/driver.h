@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "core/tracker.h"
+#include "obs/metrics.h"
 #include "stream/timed_row.h"
 
 namespace dswm {
@@ -30,6 +31,11 @@ struct DriverOptions {
   /// When non-empty, the merged message-ledger trace of every channel the
   /// tracker owns is written here as JSONL (one transmission per line).
   std::string trace_jsonl;
+
+  /// InvalidArgument unless query_points >= 0 and warmup_fraction is in
+  /// [0, 1]. Checked by RunTracker; CLIs should call it up front to report
+  /// flag errors before constructing trackers.
+  [[nodiscard]] Status Validate() const;
 };
 
 /// One query-point measurement (chronological).
@@ -65,11 +71,20 @@ struct RunResult {
   long wire_transmissions = 0;
   /// Outcome of the trace_jsonl dump (OK when disabled).
   Status trace_status = Status::OK();
+  /// Observability snapshot scoped to this run (empty unless metrics are
+  /// enabled, obs::SetEnabled(true)): per-phase spans, subsystem counters,
+  /// and ledger-derived comm/space gauges in one document.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Runs `tracker` over `rows` (time-ordered), assigning each row to a
 /// uniformly random site in [0, num_sites). `window` must equal the
 /// tracker's configured window.
+///
+/// Inputs are validated up front -- null tracker, num_sites < 1,
+/// window < 1, invalid options, rows out of time order, or a row whose
+/// dimension differs from tracker->Dim() all return InvalidArgument
+/// without feeding the tracker.
 ///
 /// When the global ThreadPool has more than one thread (--threads /
 /// DSWM_THREADS), query-point error evaluations run concurrently with the
@@ -77,9 +92,10 @@ struct RunResult {
 /// are folded in query order, so every reported metric is identical to the
 /// single-threaded run; only wall-clock changes. Tracker updates themselves
 /// are causally ordered by the protocol and are never reordered.
-RunResult RunTracker(DistributedTracker* tracker,
-                     const std::vector<TimedRow>& rows, int num_sites,
-                     Timestamp window, const DriverOptions& options);
+[[nodiscard]] StatusOr<RunResult> RunTracker(DistributedTracker* tracker,
+                                             const std::vector<TimedRow>& rows,
+                                             int num_sites, Timestamp window,
+                                             const DriverOptions& options);
 
 }  // namespace dswm
 

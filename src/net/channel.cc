@@ -47,6 +47,10 @@ Channel::Channel(int num_sites) : num_sites_(num_sites) {
 }
 
 void Channel::Send(Direction dir, int site, const WireMessage& msg) {
+  DSWM_OBS_COUNT("net.sends", 1);
+  DSWM_OBS_HISTOGRAM("net.payload_words",
+                     (std::vector<long>{1, 4, 16, 64, 256, 1024, 4096}),
+                     static_cast<long>(PayloadWords(msg)));
   SerializeMessage(msg, &scratch_);
   // Deliver the parsed frame, not the original object: the receiving side
   // only ever sees what survived serialization. The two must agree by

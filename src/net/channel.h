@@ -42,6 +42,7 @@
 #include "common/rng.h"
 #include "net/ledger.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace dswm::net {
 
@@ -132,6 +133,7 @@ class Channel {
 
   /// Invokes the handler (if any) with a delivered frame.
   void Handle(Delivery delivery) {
+    DSWM_OBS_COUNT("net.deliveries", 1);
     if (handler_) handler_(std::move(delivery));
   }
 

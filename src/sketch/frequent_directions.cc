@@ -5,6 +5,7 @@
 
 #include "linalg/svd.h"
 #include "linalg/symmetric_eigen.h"
+#include "obs/metrics.h"
 
 namespace dswm {
 
@@ -30,6 +31,7 @@ void FrequentDirections::Append(const double* row) {
 
 void FrequentDirections::Shrink() {
   if (count_ <= ell_) return;
+  DSWM_OBS_COUNT("sketch.fd.shrinks", 1);
   const int n = count_;
   const int r = std::min(n, d_);
 

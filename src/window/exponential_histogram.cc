@@ -1,6 +1,7 @@
 #include "window/exponential_histogram.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace dswm {
 
@@ -26,6 +27,7 @@ void ExponentialHistogram::Insert(double w, Timestamp t) {
 void ExponentialHistogram::ExpireUpTo(Timestamp t_now) {
   const Timestamp cutoff = t_now - window_;
   while (!buckets_.empty() && buckets_.front().t_newest <= cutoff) {
+    DSWM_OBS_COUNT("window.geh.expired_buckets", 1);
     total_ -= buckets_.front().sum;
     buckets_.pop_front();
   }
@@ -49,6 +51,7 @@ void ExponentialHistogram::Compress() {
     const double pair = buckets_[i].sum + buckets_[i + 1].sum;
     const double suffix = total_ - prefix - pair;
     if (pair <= eps_ * suffix) {
+      DSWM_OBS_COUNT("window.geh.merges", 1);
       buckets_[i].sum = pair;
       buckets_[i].t_newest = buckets_[i + 1].t_newest;
       buckets_[i].merged = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace dswm {
 
@@ -38,6 +39,7 @@ void MatrixExpHistogram::Advance(Timestamp t_now,
   last_time_ = t_now;
   const Timestamp cutoff = t_now - window_;
   while (!buckets_.empty() && buckets_.front().t_newest <= cutoff) {
+    DSWM_OBS_COUNT("window.meh.expired_buckets", 1);
     total_mass_ -= buckets_.front().mass;
     if (dropped != nullptr) dropped->push_back(std::move(buckets_.front()));
     buckets_.pop_front();
@@ -61,6 +63,7 @@ void MatrixExpHistogram::Compress() {
     const double pair = buckets_[i].mass + buckets_[i + 1].mass;
     const double suffix = total_mass_ - prefix - pair;
     if (pair <= eps_bucket_ * suffix) {
+      DSWM_OBS_COUNT("window.meh.merges", 1);
       Bucket& dst = buckets_[i];
       Bucket& src = buckets_[i + 1];
       dst.fd.Merge(src.fd);

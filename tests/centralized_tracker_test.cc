@@ -28,12 +28,14 @@ TEST(CentralizedTracker, NearExactButShipsEverything) {
   config.epsilon = 0.1;
   auto tracker = MakeTracker(Algorithm::kCentral, config);
   ASSERT_TRUE(tracker.ok());
-  EXPECT_EQ(tracker.value()->name(), "CENTRAL");
+  EXPECT_EQ(tracker.value()->Name(), "CENTRAL");
 
   DriverOptions options;
   options.query_points = 15;
-  const RunResult r =
+  const StatusOr<RunResult> run =
       RunTracker(tracker.value().get(), rows, 4, window, options);
+  ASSERT_TRUE(run.ok());
+  const RunResult& r = run.value();
 
   // Near-exact (only the mEH guarantee applies)...
   EXPECT_LE(r.max_err, 0.1);
@@ -64,12 +66,15 @@ TEST(CentralizedTracker, EveryProtocolCommunicatesLessThanCentral) {
   options.query_points = 3;
   auto central = MakeTracker(Algorithm::kCentral, config);
   const long central_words =
-      RunTracker(central.value().get(), rows, 4, window, options).total_words;
+      RunTracker(central.value().get(), rows, 4, window, options)
+          .value()
+          .total_words;
 
   for (Algorithm a : PaperAlgorithms()) {
     auto tracker = MakeTracker(a, config);
     const long words =
         RunTracker(tracker.value().get(), rows, 4, window, options)
+            .value()
             .total_words;
     EXPECT_LT(words, central_words) << AlgorithmName(a);
   }

@@ -40,9 +40,11 @@ TEST_P(Determinism, IdenticalRunsIdenticalResults) {
     DriverOptions options;
     options.query_points = 10;
     options.seed = 5;
-    const RunResult r =
+    StatusOr<RunResult> r =
         RunTracker(tracker.value().get(), rows, 3, 500, options);
-    return std::make_pair(r, tracker.value()->SketchRows());
+    DSWM_CHECK(r.ok());
+    return std::make_pair(std::move(r).value(),
+                          tracker.value()->Query().Rows());
   };
 
   const auto [r1, sketch1] = run();
@@ -74,6 +76,7 @@ TEST(Determinism, DifferentSeedsDifferForSampling) {
     DriverOptions options;
     options.query_points = 3;
     return RunTracker(tracker.value().get(), rows, 3, 500, options)
+        .value()
         .total_words;
   };
   EXPECT_NE(words(1), words(2));  // different priority draws

@@ -40,13 +40,13 @@ double WorstError(Tracker* tracker, int d, int sites, Timestamp window,
   for (int i = 1; i <= n; ++i) {
     const double scale = heavy ? std::exp(1.2 * rng.NextGaussian()) : 1.0;
     TimedRow row = RandomRow(&rng, d, i, scale);
-    tracker->Observe(static_cast<int>(rng.NextBelow(sites)), row);
+    EXPECT_TRUE(tracker->Observe(static_cast<int>(rng.NextBelow(sites)), row).ok());
     exact.Add(row);
     exact.Advance(i);
     if (i > static_cast<int>(window) / 2 && i % 97 == 0) {
-      const Approximation approx = tracker->GetApproximation();
+      const CovarianceEstimate approx = tracker->Query();
       const double err = CovarianceErrorOfCovariance(
-          exact.Covariance(), approx.covariance, exact.FrobeniusSquared());
+          exact.Covariance(), approx.Covariance(), exact.FrobeniusSquared());
       worst = std::max(worst, err);
     }
   }
@@ -98,22 +98,22 @@ TEST(Da1, OneWayCommunicationOnly) {
   Da1Tracker tracker(Config(5, 3, 200, 0.2));
   Rng rng(1);
   for (int i = 1; i <= 1000; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i)).ok());
   }
-  EXPECT_EQ(tracker.comm().words_down, 0);
-  EXPECT_EQ(tracker.comm().broadcasts, 0);
-  EXPECT_GT(tracker.comm().words_up, 0);
+  EXPECT_EQ(tracker.Comm().words_down, 0);
+  EXPECT_EQ(tracker.Comm().broadcasts, 0);
+  EXPECT_GT(tracker.Comm().words_up, 0);
 }
 
 TEST(Da2, OneWayCommunicationOnly) {
   Da2Tracker tracker(Config(5, 3, 200, 0.2));
   Rng rng(2);
   for (int i = 1; i <= 1000; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i)).ok());
   }
-  EXPECT_EQ(tracker.comm().words_down, 0);
-  EXPECT_EQ(tracker.comm().broadcasts, 0);
-  EXPECT_GT(tracker.comm().words_up, 0);
+  EXPECT_EQ(tracker.Comm().words_down, 0);
+  EXPECT_EQ(tracker.Comm().broadcasts, 0);
+  EXPECT_GT(tracker.Comm().words_up, 0);
 }
 
 TEST(Da1, LazyNormCheckMatchesEagerWithinBudgetAndIsCheaper) {
@@ -136,10 +136,10 @@ TEST(Da1, CommunicationGrowsAsEpsilonShrinks) {
     Da1Tracker tracker(Config(5, 2, 300, eps));
     Rng rng(6);
     for (int i = 1; i <= 2500; ++i) {
-      tracker.Observe(static_cast<int>(rng.NextBelow(2)),
-                      RandomRow(&rng, 5, i));
+      EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)),
+                      RandomRow(&rng, 5, i)).ok());
     }
-    return tracker.comm().TotalWords();
+    return tracker.Comm().TotalWords();
   };
   EXPECT_GT(run(0.05), run(0.4));
 }
@@ -149,10 +149,10 @@ TEST(Da2, CommunicationGrowsAsEpsilonShrinks) {
     Da2Tracker tracker(Config(5, 2, 300, eps));
     Rng rng(7);
     for (int i = 1; i <= 2500; ++i) {
-      tracker.Observe(static_cast<int>(rng.NextBelow(2)),
-                      RandomRow(&rng, 5, i));
+      EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)),
+                      RandomRow(&rng, 5, i)).ok());
     }
-    return tracker.comm().TotalWords();
+    return tracker.Comm().TotalWords();
   };
   EXPECT_GT(run(0.05), run(0.4));
 }
@@ -161,14 +161,14 @@ TEST(Da2, ProcessesBoundariesOnIdleTimeJumps) {
   Da2Tracker tracker(Config(4, 1, 100, 0.3));
   Rng rng(8);
   for (int i = 1; i <= 150; ++i) {
-    tracker.Observe(0, RandomRow(&rng, 4, i));
+    EXPECT_TRUE(tracker.Observe(0, RandomRow(&rng, 4, i)).ok());
   }
   EXPECT_GE(tracker.boundaries_processed(), 1);
   // A jump across several windows must process every crossed boundary and
   // drain the coordinator's estimate to ~zero.
   tracker.AdvanceTime(1000);
   EXPECT_GE(tracker.boundaries_processed(), 3);
-  const Matrix cov = tracker.GetApproximation().covariance;
+  const Matrix cov = tracker.Query().Covariance();
   // All mass expired; only discarded-residue noise may remain.
   ExactWindow empty(4, 100);
   EXPECT_LT(std::sqrt(cov.FrobeniusNormSquared()), 150 * 4 * 0.35);
@@ -181,10 +181,10 @@ TEST(Da1, ExpiryOnlyStreamDrainsEstimate) {
   for (int i = 1; i <= 200; ++i) {
     TimedRow row = RandomRow(&rng, 4, i);
     mass += row.NormSquared();
-    tracker.Observe(0, row);
+    EXPECT_TRUE(tracker.Observe(0, row).ok());
   }
   tracker.AdvanceTime(5000);
-  const Matrix cov = tracker.GetApproximation().covariance;
+  const Matrix cov = tracker.Query().Covariance();
   // After full expiry the site must have reported the (negative) change.
   EXPECT_LT(std::sqrt(cov.FrobeniusNormSquared()), 0.25 * mass);
 }
@@ -197,10 +197,10 @@ TEST(Da1, ConstantRowsLowRankStream) {
   Rng rng(10);
   for (int i = 1; i <= 2000; ++i) {
     row.timestamp = i;
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)), row);
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), row).ok());
   }
   // Every message carries d+1 words; a rank-1 drift needs few messages.
-  EXPECT_LT(tracker.comm().rows_sent, 200);
+  EXPECT_LT(tracker.Comm().rows_sent, 200);
 }
 
 }  // namespace

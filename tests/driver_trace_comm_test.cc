@@ -30,8 +30,10 @@ TEST(DriverTrace, ChronologicalAndConsistentWithAggregates) {
   auto tracker = MakeTracker(Algorithm::kPwor, config);
   DriverOptions options;
   options.query_points = 20;
-  const RunResult r =
+  const StatusOr<RunResult> run =
       RunTracker(tracker.value().get(), rows, 3, 400, options);
+  ASSERT_TRUE(run.ok());
+  const RunResult& r = run.value();
 
   ASSERT_FALSE(r.trace.empty());
   ASSERT_LE(static_cast<int>(r.trace.size()), options.query_points);
@@ -70,9 +72,9 @@ TEST_P(CommConsistency, CountersAreCoherent) {
   auto tracker = MakeTracker(algorithm, config);
   DriverOptions options;
   options.query_points = 5;
-  RunTracker(tracker.value().get(), rows, 4, 300, options);
+  ASSERT_TRUE(RunTracker(tracker.value().get(), rows, 4, 300, options).ok());
 
-  const CommStats& c = tracker.value()->comm();
+  const CommStats& c = tracker.value()->Comm();
   EXPECT_EQ(c.TotalWords(), c.words_up + c.words_down);
   EXPECT_GE(c.words_up, 0);
   EXPECT_GE(c.words_down, 0);
@@ -99,8 +101,8 @@ TEST(CommConsistency, DeterministicProtocolsNeverTalkDown) {
     auto tracker = MakeTracker(a, config);
     DriverOptions options;
     options.query_points = 2;
-    RunTracker(tracker.value().get(), rows, 4, 300, options);
-    EXPECT_EQ(tracker.value()->comm().words_down, 0) << AlgorithmName(a);
+    ASSERT_TRUE(RunTracker(tracker.value().get(), rows, 4, 300, options).ok());
+    EXPECT_EQ(tracker.value()->Comm().words_down, 0) << AlgorithmName(a);
   }
 }
 

@@ -52,12 +52,12 @@ TEST(EdgeCases, SamplerHandlesHugeNormRatioStream) {
   for (int i = 1; i <= 1200; ++i) {
     const double scale = (i % 400 == 0) ? 1e6 : 1.0;
     TimedRow row = RowOf({scale * rng.NextGaussian(), rng.NextGaussian()}, i);
-    tracker.value()->Observe(static_cast<int>(rng.NextBelow(2)), row);
+    EXPECT_TRUE(tracker.value()->Observe(static_cast<int>(rng.NextBelow(2)), row).ok());
     exact.Add(row);
     exact.Advance(i);
   }
   const double err = CovarianceErrorOfSketch(
-      exact.Covariance(), tracker.value()->GetApproximation().sketch_rows,
+      exact.Covariance(), tracker.value()->Query().Rows(),
       exact.FrobeniusSquared());
   EXPECT_TRUE(std::isfinite(err));
   EXPECT_LT(err, 0.5);
@@ -76,16 +76,16 @@ TEST(EdgeCases, ManyRowsSharingOneTimestamp) {
     auto tracker = MakeTracker(a, config);
     Rng rng(5);
     for (int i = 0; i < 300; ++i) {
-      tracker.value()->Observe(
+      EXPECT_TRUE(tracker.value()->Observe(
           static_cast<int>(rng.NextBelow(2)),
           RowOf({rng.NextGaussian(), rng.NextGaussian(), rng.NextGaussian()},
-                /*t=*/7));
+                /*t=*/7)).ok());
     }
     tracker.value()->AdvanceTime(8);
-    EXPECT_GT(tracker.value()->SketchRows().FrobeniusNormSquared(), 0.0)
+    EXPECT_GT(tracker.value()->Query().Rows().FrobeniusNormSquared(), 0.0)
         << AlgorithmName(a);
     tracker.value()->AdvanceTime(100);  // burst fully expires
-    const Matrix sketch = tracker.value()->SketchRows();
+    const Matrix sketch = tracker.value()->Query().Rows();
     // Deterministic trackers may carry sub-threshold residue; samplers
     // must be empty.
     if (a != Algorithm::kDa1 && a != Algorithm::kDa2) {
@@ -104,9 +104,9 @@ TEST(EdgeCases, SingleRowWindow) {
   auto tracker = MakeTracker(Algorithm::kPwor, config);
   Rng rng(6);
   for (int i = 1; i <= 100; ++i) {
-    tracker.value()->Observe(0, RowOf({1, 2, 3, 4}, i));
+    EXPECT_TRUE(tracker.value()->Observe(0, RowOf({1, 2, 3, 4}, i)).ok());
     // Exactly one active row at all times.
-    const Matrix sketch = tracker.value()->GetApproximation().sketch_rows;
+    const Matrix sketch = tracker.value()->Query().Rows();
     ASSERT_EQ(sketch.rows(), 1);
     EXPECT_NEAR(NormSquared(sketch.Row(0), 4), 30.0, 1e-9);
   }
@@ -129,17 +129,17 @@ TEST(EdgeCases, AllMassOnOneSite) {
       TimedRow row = RowOf({rng.NextGaussian(), rng.NextGaussian(),
                             rng.NextGaussian(), rng.NextGaussian()},
                            i);
-      tracker.value()->Observe(/*site=*/3, row);
+      EXPECT_TRUE(tracker.value()->Observe(/*site=*/3, row).ok());
       exact.Add(row);
       exact.Advance(i);
     }
-    const Approximation approx = tracker.value()->GetApproximation();
+    const CovarianceEstimate approx = tracker.value()->Query();
     const double err =
-        approx.is_rows
-            ? CovarianceErrorOfSketch(exact.Covariance(), approx.sketch_rows,
+        approx.NativeIsRows()
+            ? CovarianceErrorOfSketch(exact.Covariance(), approx.Rows(),
                                       exact.FrobeniusSquared())
             : CovarianceErrorOfCovariance(exact.Covariance(),
-                                          approx.covariance,
+                                          approx.Covariance(),
                                           exact.FrobeniusSquared());
     EXPECT_LT(err, 0.5) << AlgorithmName(a);
   }
@@ -160,12 +160,12 @@ TEST(EdgeCases, TinyEpsilonLargeEll) {
   for (int i = 1; i <= 400; ++i) {
     TimedRow row =
         RowOf({rng.NextGaussian(), rng.NextGaussian(), rng.NextGaussian()}, i);
-    tracker.value()->Observe(static_cast<int>(rng.NextBelow(2)), row);
+    EXPECT_TRUE(tracker.value()->Observe(static_cast<int>(rng.NextBelow(2)), row).ok());
     exact.Add(row);
     exact.Advance(i);
   }
   const double err = CovarianceErrorOfSketch(
-      exact.Covariance(), tracker.value()->GetApproximation().sketch_rows,
+      exact.Covariance(), tracker.value()->Query().Rows(),
       exact.FrobeniusSquared());
   EXPECT_LT(err, 1e-9);  // exact: the full window is the "sample"
 }
@@ -190,14 +190,14 @@ TEST(EdgeCases, Da2BoundaryFlushPreventsCrossWindowDrift) {
       row.timestamp = i;
       row.values.resize(6);
       for (int j = 0; j < 6; ++j) row.values[j] = rng.NextGaussian();
-      tracker.Observe(static_cast<int>(rng.NextBelow(2)), row);
+      EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), row).ok());
       exact.Add(row);
       exact.Advance(i);
       if (i > 400 && i % 83 == 0) {
         worst = std::max(
             worst, CovarianceErrorOfCovariance(
                        exact.Covariance(),
-                       tracker.GetApproximation().covariance,
+                       tracker.Query().Covariance(),
                        exact.FrobeniusSquared()));
       }
     }
@@ -221,8 +221,8 @@ TEST(EdgeCases, AdvanceTimeWithoutObservationsIsSafeEverywhere) {
     for (Timestamp t = 1; t <= 500; t += 37) {
       tracker.value()->AdvanceTime(t);
     }
-    EXPECT_EQ(tracker.value()->comm().TotalWords(), 0) << AlgorithmName(a);
-    EXPECT_EQ(tracker.value()->SketchRows().rows(), 0) << AlgorithmName(a);
+    EXPECT_EQ(tracker.value()->Comm().TotalWords(), 0) << AlgorithmName(a);
+    EXPECT_EQ(tracker.value()->Query().Rows().rows(), 0) << AlgorithmName(a);
   }
 }
 

@@ -47,9 +47,9 @@ Matrix MeanSketchCovariance(SamplingScheme scheme, int ell, int trials) {
     SamplingTracker tracker(config, scheme, /*use_all_samples=*/false);
     Rng site_rng(trial);
     for (const TimedRow& row : rows) {
-      tracker.Observe(static_cast<int>(site_rng.NextBelow(2)), row);
+      EXPECT_TRUE(tracker.Observe(static_cast<int>(site_rng.NextBelow(2)), row).ok());
     }
-    mean.AddScaled(GramTranspose(tracker.GetApproximation().sketch_rows),
+    mean.AddScaled(GramTranspose(tracker.Query().Rows()),
                    1.0 / trials);
   }
   return mean;
@@ -106,10 +106,10 @@ TEST(EstimatorConvergence, ErrorShrinksWithSampleSize) {
       SamplingTracker tracker(config, SamplingScheme::kPriority, false);
       Rng site_rng(trial);
       for (const TimedRow& row : rows) {
-        tracker.Observe(static_cast<int>(site_rng.NextBelow(2)), row);
+        EXPECT_TRUE(tracker.Observe(static_cast<int>(site_rng.NextBelow(2)), row).ok());
       }
       total += MaxAbsDiff(
-          GramTranspose(tracker.GetApproximation().sketch_rows), truth);
+          GramTranspose(tracker.Query().Rows()), truth);
     }
     return total / trials;
   };

@@ -120,8 +120,8 @@ TEST(Factory, BuildsEveryAlgorithmWithMatchingName) {
   for (Algorithm a : PaperAlgorithms()) {
     auto tracker = MakeTracker(a, config);
     ASSERT_TRUE(tracker.ok());
-    EXPECT_EQ(tracker.value()->name(), AlgorithmName(a));
-    EXPECT_EQ(tracker.value()->dim(), 3);
+    EXPECT_EQ(tracker.value()->Name(), AlgorithmName(a));
+    EXPECT_EQ(tracker.value()->Dim(), 3);
   }
 }
 
@@ -153,8 +153,10 @@ TEST(Driver, ReportsSaneMetrics) {
 
   DriverOptions options;
   options.query_points = 10;
-  const RunResult r =
+  const StatusOr<RunResult> run =
       RunTracker(tracker.value().get(), rows, 2, 300, options);
+  ASSERT_TRUE(run.ok());
+  const RunResult& r = run.value();
   EXPECT_EQ(r.rows, 1200);
   EXPECT_GT(r.windows_spanned, 2.0);
   EXPECT_GT(r.words_per_window, 0.0);
@@ -186,7 +188,10 @@ TEST(Driver, ThreadedRunMatchesSingleThreaded) {
   const auto run = [&] {
     auto tracker = MakeTracker(Algorithm::kPwor, config);
     EXPECT_TRUE(tracker.ok());
-    return RunTracker(tracker.value().get(), rows, 2, 250, options);
+    StatusOr<RunResult> r = RunTracker(tracker.value().get(), rows, 2, 250,
+                                       options);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
   };
   const RunResult single = run();
   ThreadPool::SetGlobalThreads(4);
@@ -206,14 +211,15 @@ TEST(Driver, EmptyDataset) {
   config.window = 10;
   config.epsilon = 0.2;
   auto tracker = MakeTracker(Algorithm::kDa2, config);
-  const RunResult r =
+  const StatusOr<RunResult> run =
       RunTracker(tracker.value().get(), {}, 1, 10, DriverOptions());
-  EXPECT_EQ(r.rows, 0);
-  EXPECT_EQ(r.total_words, 0);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().rows, 0);
+  EXPECT_EQ(run.value().total_words, 0);
 }
 
-TEST(Tracker, SketchRowsFromCovarianceForm) {
-  // DistributedTracker::SketchRows must PSD-sqrt the covariance form.
+TEST(Tracker, RowsAccessorFromCovarianceForm) {
+  // Query().Rows() on a covariance-native estimate must PSD-sqrt it.
   TrackerConfig config;
   config.dim = 4;
   config.num_sites = 1;
@@ -226,12 +232,14 @@ TEST(Tracker, SketchRowsFromCovarianceForm) {
     row.timestamp = i;
     row.values = {rng.NextGaussian(), rng.NextGaussian(), rng.NextGaussian(),
                   rng.NextGaussian()};
-    tracker.value()->Observe(0, row);
+    EXPECT_TRUE(tracker.value()->Observe(0, row).ok());
   }
-  const Matrix b = tracker.value()->SketchRows();
+  const CovarianceEstimate estimate = tracker.value()->Query();
+  EXPECT_FALSE(estimate.NativeIsRows());
+  const Matrix& b = estimate.Rows();
   EXPECT_GT(b.rows(), 0);
   EXPECT_EQ(b.cols(), 4);
-  const Matrix cov = tracker.value()->GetApproximation().covariance;
+  const Matrix& cov = estimate.Covariance();
   // B^T B ~= PSD projection of the covariance estimate.
   EXPECT_LT(MaxAbsDiff(GramTranspose(b), cov),
             0.05 * (1.0 + cov.FrobeniusNormSquared()));

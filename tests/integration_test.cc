@@ -53,8 +53,10 @@ TEST_P(TrackerGrid, ErrorAndCommunicationOnMiniSynthetic) {
 
   DriverOptions options;
   options.query_points = 25;
-  const RunResult result = RunTracker(tracker_or.value().get(), rows,
-                                      config.num_sites, window, options);
+  const StatusOr<RunResult> run = RunTracker(tracker_or.value().get(), rows,
+                                             config.num_sites, window, options);
+  ASSERT_TRUE(run.ok());
+  const RunResult& result = run.value();
 
   // Deterministic protocols must meet eps outright; sampling protocols
   // carry a randomized guarantee (and WR uses a tiny l here), so allow
@@ -136,8 +138,10 @@ TEST_P(FailureInjection, BurstySilenceAndSkew) {
   DriverOptions options;
   options.query_points = 30;
   options.warmup_fraction = 0.1;
-  const RunResult result = RunTracker(tracker_or.value().get(), rows,
-                                      config.num_sites, window, options);
+  const StatusOr<RunResult> run = RunTracker(tracker_or.value().get(), rows,
+                                             config.num_sites, window, options);
+  ASSERT_TRUE(run.ok());
+  const RunResult& result = run.value();
   // Survival + sanity: errors finite and bounded, nothing crashed.
   EXPECT_LT(result.max_err, 1.0) << AlgorithmName(algorithm);
   EXPECT_GE(result.avg_err, 0.0);
@@ -162,9 +166,13 @@ TEST(Integration, DeterministicBeatsSamplingAtEqualEpsilon) {
   auto da2 = MakeTracker(Algorithm::kDa2, config);
   auto pwor = MakeTracker(Algorithm::kPwor, config);
   DriverOptions options;
-  const RunResult rd = RunTracker(da2.value().get(), rows, 4, window, options);
-  const RunResult rs = RunTracker(pwor.value().get(), rows, 4, window, options);
-  EXPECT_LT(rd.avg_err, rs.avg_err);
+  const StatusOr<RunResult> rd =
+      RunTracker(da2.value().get(), rows, 4, window, options);
+  const StatusOr<RunResult> rs =
+      RunTracker(pwor.value().get(), rows, 4, window, options);
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_LT(rd.value().avg_err, rs.value().avg_err);
 }
 
 TEST(Integration, SamplingCommFlatInSitesDeterministicLinear) {
@@ -184,6 +192,7 @@ TEST(Integration, SamplingCommFlatInSitesDeterministicLinear) {
     DriverOptions options;
     options.query_points = 5;
     return RunTracker(tracker.value().get(), rows, m, window, options)
+        .value()
         .total_words;
   };
 
@@ -224,9 +233,10 @@ TEST(Integration, MiniPamapAndWikiRunAllAlgorithms) {
       ASSERT_TRUE(tracker.ok());
       DriverOptions options;
       options.query_points = 8;
-      const RunResult r = RunTracker(tracker.value().get(), *data, 3,
-                                     config.window, options);
-      EXPECT_LT(r.max_err, 1.0) << AlgorithmName(a);
+      const StatusOr<RunResult> r = RunTracker(tracker.value().get(), *data, 3,
+                                               config.window, options);
+      ASSERT_TRUE(r.ok());
+      EXPECT_LT(r.value().max_err, 1.0) << AlgorithmName(a);
     }
   }
 }

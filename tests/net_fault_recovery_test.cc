@@ -53,12 +53,12 @@ void SetDrop(DistributedTracker* tracker, double p) {
 
 double ErrorAgainst(const ExactWindow& exact,
                     const DistributedTracker& tracker) {
-  const Approximation approx = tracker.GetApproximation();
+  const CovarianceEstimate approx = tracker.Query();
   const Matrix cov = exact.Covariance();
   const double fnorm2 = exact.FrobeniusSquared();
-  return approx.is_rows
-             ? CovarianceErrorOfSketch(cov, approx.sketch_rows, fnorm2)
-             : CovarianceErrorOfCovariance(cov, approx.covariance, fnorm2);
+  return approx.NativeIsRows()
+             ? CovarianceErrorOfSketch(cov, approx.Rows(), fnorm2)
+             : CovarianceErrorOfCovariance(cov, approx.Covariance(), fnorm2);
 }
 
 std::vector<TimedRow> GaussianRows(int n) {
@@ -84,8 +84,8 @@ TEST(NetFaultRecovery, PworDegradesUnderLossAndRecoversAfterwards) {
   const auto feed = [&](int begin, int end) {
     for (int i = begin; i < end; ++i) {
       const int site = i % kSites;
-      unreliable->Observe(site, rows[i]);
-      reliable->Observe(site, rows[i]);
+      EXPECT_TRUE(unreliable->Observe(site, rows[i]).ok());
+      EXPECT_TRUE(reliable->Observe(site, rows[i]).ok());
       exact.Add(rows[i]);
       exact.Advance(rows[i].timestamp);
     }
@@ -133,7 +133,7 @@ TEST(NetFaultRecovery, PworDegradesUnderLossAndRecoversAfterwards) {
   EXPECT_GT(retransmits, 0);
   EXPECT_GT(acks, 0);
   // Reliability costs words: the reliable run sent strictly more.
-  EXPECT_GT(reliable->comm().TotalWords(), unreliable->comm().TotalWords());
+  EXPECT_GT(reliable->Comm().TotalWords(), unreliable->Comm().TotalWords());
 
   // Phase C: the network heals. After the lossy era slides fully out of
   // the window, the unreliable tracker's sample is whole again.

@@ -72,8 +72,10 @@ TEST(NetCrossValidation, LedgerWordsMatchCommStatsForEveryProtocol) {
 
     DriverOptions options;
     options.query_points = 6;
-    const RunResult r =
+    const StatusOr<RunResult> run =
         RunTracker(tracker.value().get(), rows, kSites, kWindow, options);
+    ASSERT_TRUE(run.ok());
+    const RunResult& r = run.value();
 
     const std::vector<net::Channel*> channels = tracker.value()->Channels();
     ASSERT_FALSE(channels.empty());
@@ -90,7 +92,7 @@ TEST(NetCrossValidation, LedgerWordsMatchCommStatsForEveryProtocol) {
       frame_bytes += c->ledger().TotalFrameBytes();
       transmissions += static_cast<long>(c->ledger().entries().size());
     }
-    const CommStats& legacy = tracker.value()->comm();
+    const CommStats& legacy = tracker.value()->Comm();
     EXPECT_EQ(legacy.words_up, sum.words_up);
     EXPECT_EQ(legacy.words_down, sum.words_down);
     EXPECT_EQ(legacy.messages, sum.messages);
@@ -156,9 +158,11 @@ TEST(NetCrossValidation, DeterministicProtocolsNeverTalkDown) {
     config.epsilon = 0.3;
     auto tracker = MakeTracker(a, config);
     ASSERT_TRUE(tracker.ok());
-    (void)RunTracker(tracker.value().get(), rows, 2, 150, DriverOptions());
-    EXPECT_EQ(tracker.value()->comm().words_down, 0);
-    EXPECT_EQ(tracker.value()->comm().broadcasts, 0);
+    ASSERT_TRUE(
+        RunTracker(tracker.value().get(), rows, 2, 150, DriverOptions())
+            .ok());
+    EXPECT_EQ(tracker.value()->Comm().words_down, 0);
+    EXPECT_EQ(tracker.value()->Comm().broadcasts, 0);
     for (const net::Channel* c : tracker.value()->Channels()) {
       for (const net::LedgerEntry& e : c->ledger().entries()) {
         EXPECT_EQ(e.dir, net::Direction::kUp);

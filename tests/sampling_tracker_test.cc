@@ -45,8 +45,8 @@ void CheckInvariantsOverStream(SamplingScheme scheme,
   int active_estimate = 0;
   for (int i = 1; i <= 2500; ++i) {
     const Timestamp t = i;
-    tracker.Observe(static_cast<int>(rng.NextBelow(config.num_sites)),
-                    RandomRow(&rng, config.dim, t));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(config.num_sites)),
+                    RandomRow(&rng, config.dim, t)).ok());
     active_estimate = std::min(i, static_cast<int>(config.window));
 
     if (active_estimate >= 4 * tracker.ell()) {
@@ -93,10 +93,10 @@ TEST(SamplingTracker, FewActiveRowsAllAtCoordinator) {
   SamplingTracker tracker(config, SamplingScheme::kPriority, false);
   Rng rng(3);
   for (int i = 1; i <= 30; ++i) {
-    tracker.Observe(0, RandomRow(&rng, config.dim, i));
+    EXPECT_TRUE(tracker.Observe(0, RandomRow(&rng, config.dim, i)).ok());
   }
   EXPECT_EQ(tracker.sample_set_size(), 30);
-  const Matrix sketch = tracker.GetApproximation().sketch_rows;
+  const Matrix sketch = tracker.Query().Rows();
   EXPECT_EQ(sketch.rows(), 30);
 }
 
@@ -105,14 +105,14 @@ TEST(SamplingTracker, ExpiryDrainsSamples) {
   SamplingTracker tracker(config, SamplingScheme::kPriority, false);
   Rng rng(4);
   for (int i = 1; i <= 200; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)),
-                    RandomRow(&rng, 4, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)),
+                    RandomRow(&rng, 4, i)).ok());
   }
   EXPECT_GT(tracker.sample_set_size(), 0);
   tracker.AdvanceTime(1000);  // everything expires
   EXPECT_EQ(tracker.sample_set_size(), 0);
   EXPECT_EQ(tracker.candidate_set_size(), 0);
-  EXPECT_EQ(tracker.GetApproximation().sketch_rows.rows(), 0);
+  EXPECT_EQ(tracker.Query().Rows().rows(), 0);
 }
 
 TEST(SamplingTracker, LazyBroadcastsFarFewerThanSimple) {
@@ -122,10 +122,10 @@ TEST(SamplingTracker, LazyBroadcastsFarFewerThanSimple) {
     SamplingTracker tracker(config, SamplingScheme::kPriority, false);
     Rng rng(6);
     for (int i = 1; i <= 4000; ++i) {
-      tracker.Observe(static_cast<int>(rng.NextBelow(4)),
-                      RandomRow(&rng, 4, i));
+      EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(4)),
+                      RandomRow(&rng, 4, i)).ok());
     }
-    return tracker.comm().broadcasts;
+    return tracker.Comm().broadcasts;
   };
   const long lazy = run(SamplingProtocol::kLazyBroadcast);
   const long simple = run(SamplingProtocol::kSimple);
@@ -150,13 +150,13 @@ TEST_P(SamplingEstimator, CovarianceErrorSmallOnSteadyStream) {
   double err_at_end = 1.0;
   for (int i = 1; i <= 3000; ++i) {
     TimedRow row = RandomRow(&rng, 6, i);
-    tracker.Observe(static_cast<int>(rng.NextBelow(3)), row);
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(3)), row).ok());
     exact.Add(row);
     exact.Advance(i);
     if (i == 3000) {
-      const Approximation approx = tracker.GetApproximation();
+      const CovarianceEstimate approx = tracker.Query();
       err_at_end = CovarianceErrorOfSketch(
-          exact.Covariance(), approx.sketch_rows, exact.FrobeniusSquared());
+          exact.Covariance(), approx.Rows(), exact.FrobeniusSquared());
     }
   }
   // l=150 gives roughly 1/sqrt(l) ~ 0.08 error; allow generous slack.
@@ -183,7 +183,7 @@ TEST(SamplingTracker, SkewedStreamHeavyRowAlwaysSampled) {
     row.timestamp = i;
     row.values = (i == 250) ? std::vector<double>{500.0, 0.0}
                             : std::vector<double>{0.0, 1.0};
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)), row);
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), row).ok());
   }
   bool found_heavy = false;
   for (const CoordEntry* e : tracker.CurrentSamples()) {
@@ -191,7 +191,7 @@ TEST(SamplingTracker, SkewedStreamHeavyRowAlwaysSampled) {
   }
   EXPECT_TRUE(found_heavy);
   // And the estimator must reproduce its mass within a small factor.
-  const Matrix sketch = tracker.GetApproximation().sketch_rows;
+  const Matrix sketch = tracker.Query().Rows();
   const Matrix cov = GramTranspose(sketch);
   EXPECT_GT(cov(0, 0), 0.5 * 250000.0);
 }
@@ -202,9 +202,9 @@ TEST(SamplingTracker, ZeroNormRowsIgnored) {
   TimedRow zero;
   zero.timestamp = 1;
   zero.values = {0.0, 0.0, 0.0, 0.0};
-  tracker.Observe(0, zero);
+  EXPECT_TRUE(tracker.Observe(0, zero).ok());
   EXPECT_EQ(tracker.sample_set_size(), 0);
-  EXPECT_EQ(tracker.comm().TotalWords(), 0);
+  EXPECT_EQ(tracker.Comm().TotalWords(), 0);
 }
 
 TEST(SamplingTracker, EsChargesFnormTrackingCommunication) {
@@ -214,11 +214,11 @@ TEST(SamplingTracker, EsChargesFnormTrackingCommunication) {
   Rng rng1(9);
   Rng rng2(9);
   for (int i = 1; i <= 1500; ++i) {
-    pwor.Observe(static_cast<int>(rng1.NextBelow(3)), RandomRow(&rng1, 4, i));
-    eswor.Observe(static_cast<int>(rng2.NextBelow(3)), RandomRow(&rng2, 4, i));
+    EXPECT_TRUE(pwor.Observe(static_cast<int>(rng1.NextBelow(3)), RandomRow(&rng1, 4, i)).ok());
+    EXPECT_TRUE(eswor.Observe(static_cast<int>(rng2.NextBelow(3)), RandomRow(&rng2, 4, i)).ok());
   }
   // Same key distribution family, but ESWOR additionally tracks F^2.
-  EXPECT_GT(eswor.comm().messages, pwor.comm().messages);
+  EXPECT_GT(eswor.Comm().messages, pwor.Comm().messages);
 }
 
 TEST(SamplingTracker, BurstyArrivalsKeepInvariant) {
@@ -231,8 +231,8 @@ TEST(SamplingTracker, BurstyArrivalsKeepInvariant) {
   Timestamp t = 1;
   for (int burst = 0; burst < 20; ++burst) {
     for (int i = 0; i < 80; ++i) {
-      tracker.Observe(static_cast<int>(rng.NextBelow(2)),
-                      RandomRow(&rng, 3, t));
+      EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)),
+                      RandomRow(&rng, 3, t)).ok());
       if (i % 4 == 0) ++t;
     }
     t += 90;  // almost the whole window of silence

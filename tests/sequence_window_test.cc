@@ -87,13 +87,13 @@ TEST(SequenceWindow, SingleSiteTrackerOverLastNRows) {
     row.timestamp = i;
     row.values.resize(d);
     for (int j = 0; j < d; ++j) row.values[j] = rng.NextGaussian();
-    tracker.value()->Observe(0, row);
+    EXPECT_TRUE(tracker.value()->Observe(0, row).ok());
     exact.Add(row);
     exact.Advance(i);
     if (i > n_window && i % 97 == 0) {
-      const Approximation approx = tracker.value()->GetApproximation();
+      const CovarianceEstimate approx = tracker.value()->Query();
       const double err =
-          SpectralNormSym(Subtract(exact.Covariance(), approx.covariance)) /
+          SpectralNormSym(Subtract(exact.Covariance(), approx.Covariance())) /
           exact.FrobeniusSquared();
       worst = std::max(worst, err);
     }

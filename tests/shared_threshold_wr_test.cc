@@ -36,12 +36,12 @@ TEST(SharedThresholdWr, EverySamplerServedInSteadyState) {
   SharedThresholdWrTracker tracker(Config(16), SamplingScheme::kPriority);
   Rng rng(1);
   for (int i = 1; i <= 2000; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i)).ok());
     if (i > 100) {
       EXPECT_EQ(tracker.SamplersWithSample(), 16) << "at row " << i;
     }
   }
-  const Matrix sketch = tracker.GetApproximation().sketch_rows;
+  const Matrix sketch = tracker.Query().Rows();
   EXPECT_EQ(sketch.rows(), 16);
 }
 
@@ -51,8 +51,8 @@ TEST(SharedThresholdWr, SurvivesFullExpiryAndRefills) {
   Timestamp t = 1;
   for (int burst = 0; burst < 10; ++burst) {
     for (int i = 0; i < 200; ++i) {
-      tracker.Observe(static_cast<int>(rng.NextBelow(3)),
-                      RandomRow(&rng, 5, t));
+      EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(3)),
+                      RandomRow(&rng, 5, t)).ok());
       if (i % 2 == 0) ++t;
     }
     t += 1000;  // full expiry
@@ -73,15 +73,17 @@ TEST(SharedThresholdWr, FarFewerBroadcastsThanIndependentThresholds) {
   auto independent = MakeTracker(Algorithm::kPwr, config);
   DriverOptions options;
   options.query_points = 3;
-  const RunResult rs =
+  const StatusOr<RunResult> rs =
       RunTracker(shared.value().get(), rows, 3, config.window, options);
-  const RunResult ri =
+  const StatusOr<RunResult> ri =
       RunTracker(independent.value().get(), rows, 3, config.window, options);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(ri.ok());
 
   // The whole point of threshold sharing ([2]): one broadcast serves all
   // l samplers instead of one per sampler.
-  EXPECT_LT(rs.broadcasts * 4, ri.broadcasts);
-  EXPECT_GT(rs.broadcasts, 0);
+  EXPECT_LT(rs.value().broadcasts * 4, ri.value().broadcasts);
+  EXPECT_GT(rs.value().broadcasts, 0);
 }
 
 TEST(SharedThresholdWr, EstimatorAccuracyComparableToIndependentWr) {
@@ -96,12 +98,12 @@ TEST(SharedThresholdWr, EstimatorAccuracyComparableToIndependentWr) {
   double err = 1.0;
   for (int i = 1; i <= 2500; ++i) {
     TimedRow row = RandomRow(&rng, d, i);
-    tracker.Observe(static_cast<int>(rng.NextBelow(3)), row);
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(3)), row).ok());
     exact.Add(row);
     exact.Advance(i);
     if (i == 2500) {
       err = CovarianceErrorOfSketch(exact.Covariance(),
-                                    tracker.GetApproximation().sketch_rows,
+                                    tracker.Query().Rows(),
                                     exact.FrobeniusSquared());
     }
   }
@@ -111,13 +113,13 @@ TEST(SharedThresholdWr, EstimatorAccuracyComparableToIndependentWr) {
 TEST(SharedThresholdWr, EsSchemeWorksToo) {
   SharedThresholdWrTracker tracker(Config(8),
                                    SamplingScheme::kEfraimidisSpirakis);
-  EXPECT_EQ(tracker.name(), "ESWR-ST");
+  EXPECT_EQ(tracker.Name(), "ESWR-ST");
   Rng rng(4);
   for (int i = 1; i <= 800; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(3)), RandomRow(&rng, 5, i)).ok());
   }
   EXPECT_EQ(tracker.SamplersWithSample(), 8);
-  EXPECT_GT(tracker.comm().TotalWords(), 0);
+  EXPECT_GT(tracker.Comm().TotalWords(), 0);
 }
 
 TEST(SharedThresholdWr, FactoryRoundTrip) {
@@ -127,7 +129,7 @@ TEST(SharedThresholdWr, FactoryRoundTrip) {
     EXPECT_EQ(parsed.value(), a);
     auto tracker = MakeTracker(a, Config(4));
     ASSERT_TRUE(tracker.ok());
-    EXPECT_EQ(tracker.value()->name(), AlgorithmName(a));
+    EXPECT_EQ(tracker.value()->Name(), AlgorithmName(a));
   }
 }
 

@@ -15,7 +15,7 @@ class ExactDistributedSum {
  public:
   ExactDistributedSum(int sites, Timestamp window)
       : window_(window), items_(sites) {}
-  void Observe(int site, double w, Timestamp t) {
+  void Add(int site, double w, Timestamp t) {
     items_[site].push_back({w, t});
   }
   double Query(Timestamp now) {
@@ -54,8 +54,8 @@ TEST_P(SumTrackerProperty, RelativeErrorBoundHolds) {
     const double w =
         heavy ? std::exp(3.0 * rng.NextGaussian()) : 1.0 + rng.NextDouble();
     tracker.AdvanceTime(t);
-    tracker.Observe(site, w, t);
-    exact.Observe(site, w, t);
+    ASSERT_TRUE(tracker.Observe(site, w, t).ok());
+    exact.Add(site, w, t);
     if (i % 17 == 0) {
       const double truth = exact.Query(t);
       if (truth <= 0) continue;
@@ -74,8 +74,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SumTracker, EstimateDropsToZeroAfterFullExpiry) {
   SumTracker tracker(2, 50, 0.1);
-  tracker.Observe(0, 10.0, 1);
-  tracker.Observe(1, 20.0, 2);
+  EXPECT_TRUE(tracker.Observe(0, 10.0, 1).ok());
+  EXPECT_TRUE(tracker.Observe(1, 20.0, 2).ok());
   EXPECT_GT(tracker.Estimate(), 0.0);
   tracker.AdvanceTime(1000);
   EXPECT_DOUBLE_EQ(tracker.Estimate(), 0.0);
@@ -87,14 +87,14 @@ TEST(SumTracker, CommunicationScalesLogarithmicallyNotLinearly) {
   Rng rng(5);
   for (int i = 1; i <= 20000; ++i) {
     tracker.AdvanceTime(i);
-    tracker.Observe(0, 1.0 + rng.NextDouble(), i);
+    ASSERT_TRUE(tracker.Observe(0, 1.0 + rng.NextDouble(), i).ok());
   }
   // 20000 arrivals, 10 windows: O((1/eps) log(NR)) messages per window is
   // a few hundred; sending every arrival would be 20000 messages.
-  EXPECT_LT(tracker.comm().messages, 3000);
-  EXPECT_GT(tracker.comm().messages, 10);
+  EXPECT_LT(tracker.Comm().messages, 3000);
+  EXPECT_GT(tracker.Comm().messages, 10);
   // One-way protocol: nothing flows down.
-  EXPECT_EQ(tracker.comm().words_down, 0);
+  EXPECT_EQ(tracker.Comm().words_down, 0);
 }
 
 TEST(SumTracker, TighterEpsilonCostsMoreCommunication) {
@@ -103,10 +103,12 @@ TEST(SumTracker, TighterEpsilonCostsMoreCommunication) {
     Rng rng(6);
     for (int i = 1; i <= 5000; ++i) {
       tracker.AdvanceTime(i);
-      tracker.Observe(static_cast<int>(rng.NextBelow(2)),
-                      1.0 + rng.NextDouble(), i);
+      EXPECT_TRUE(tracker
+                      .Observe(static_cast<int>(rng.NextBelow(2)),
+                               1.0 + rng.NextDouble(), i)
+                      .ok());
     }
-    return tracker.comm().TotalWords();
+    return tracker.Comm().TotalWords();
   };
   EXPECT_GT(run(0.02), run(0.2));
 }
@@ -115,7 +117,7 @@ TEST(SumTracker, InjectedChannelCarriesTheDeltas) {
   auto channel = std::make_unique<net::LoopbackChannel>(1);
   net::Channel* raw = channel.get();
   SumTracker tracker(1, 100, 0.1, std::move(channel));
-  tracker.Observe(0, 5.0, 1);
+  EXPECT_TRUE(tracker.Observe(0, 5.0, 1).ok());
   EXPECT_GT(raw->comm().TotalWords(), 0);
   EXPECT_EQ(tracker.channel(), raw);
   // Every delta is a 1-word kSumDelta frame; the ledger and the derived
@@ -130,7 +132,7 @@ TEST(SumTracker, SpaceBoundedBySketchNotStream) {
   Rng rng(7);
   for (int i = 1; i <= 20000; ++i) {
     tracker.AdvanceTime(i);
-    tracker.Observe(0, 1.0 + rng.NextDouble(), i);
+    ASSERT_TRUE(tracker.Observe(0, 1.0 + rng.NextDouble(), i).ok());
   }
   EXPECT_LT(tracker.MaxSiteSpaceWords(), 3000);  // << 5000 active items
 }

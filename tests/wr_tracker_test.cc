@@ -34,9 +34,9 @@ TEST(WithReplacement, ProducesEllSamplesInSteadyState) {
   EXPECT_EQ(tracker.ell(), 12);
   Rng rng(1);
   for (int i = 1; i <= 1200; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i)).ok());
   }
-  const Matrix sketch = tracker.GetApproximation().sketch_rows;
+  const Matrix sketch = tracker.Query().Rows();
   EXPECT_EQ(sketch.rows(), 12);
   // WR estimator: every scaled row has squared norm F^2 / l.
   const double expected = NormSquared(sketch.Row(0), 4);
@@ -49,9 +49,9 @@ TEST(WithReplacement, AggregatedCommIsSumOfParts) {
   WithReplacementTracker tracker(Config(6), SamplingScheme::kPriority);
   Rng rng(2);
   for (int i = 1; i <= 600; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i)).ok());
   }
-  const CommStats& c = tracker.comm();
+  const CommStats& c = tracker.Comm();
   EXPECT_GT(c.TotalWords(), 0);
   EXPECT_EQ(c.TotalWords(), c.words_up + c.words_down);
   EXPECT_GE(c.messages, 6);  // at least one shipment per sampler
@@ -64,12 +64,12 @@ TEST(WithReplacement, EstimatorRoughlyTracksCovariance) {
   double err = 1.0;
   for (int i = 1; i <= 1500; ++i) {
     TimedRow row = RandomRow(&rng, 4, i);
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)), row);
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), row).ok());
     exact.Add(row);
     exact.Advance(i);
     if (i == 1500) {
       err = CovarianceErrorOfSketch(exact.Covariance(),
-                                    tracker.GetApproximation().sketch_rows,
+                                    tracker.Query().Rows(),
                                     exact.FrobeniusSquared());
     }
   }
@@ -80,21 +80,21 @@ TEST(WithReplacement, ExpiryDrainsAllSamplers) {
   WithReplacementTracker tracker(Config(5), SamplingScheme::kPriority);
   Rng rng(4);
   for (int i = 1; i <= 200; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i)).ok());
   }
   tracker.AdvanceTime(5000);
-  EXPECT_EQ(tracker.GetApproximation().sketch_rows.rows(), 0);
+  EXPECT_EQ(tracker.Query().Rows().rows(), 0);
 }
 
 TEST(WithReplacement, EsVariantNameAndBehaviour) {
   WithReplacementTracker tracker(Config(5),
                                  SamplingScheme::kEfraimidisSpirakis);
-  EXPECT_EQ(tracker.name(), "ESWR");
+  EXPECT_EQ(tracker.Name(), "ESWR");
   Rng rng(5);
   for (int i = 1; i <= 400; ++i) {
-    tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i));
+    EXPECT_TRUE(tracker.Observe(static_cast<int>(rng.NextBelow(2)), RandomRow(&rng, 4, i)).ok());
   }
-  EXPECT_EQ(tracker.GetApproximation().sketch_rows.rows(), 5);
+  EXPECT_EQ(tracker.Query().Rows().rows(), 5);
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 //   dswm_cli run ... --net-drop 0.01 --net-seed 7 [--net-dup P]
 //            [--net-delay D] [--net-reliable 1 --net-retry R]
 //   dswm_cli run ... --net-json 1        # wire/ledger metrics as JSON line
+//   dswm_cli run ... --metrics-json -    # obs snapshot (spans + counters +
+//            comm gauges) as one JSON document to stdout, or to a file path
 //   dswm_cli sweep --dataset pamap --algorithms PWOR,DA2
 //            --epsilons 0.2,0.1,0.05     # CSV to stdout
 //   dswm_cli datasets [--rows N]
@@ -25,6 +27,7 @@
 #include "core/tracker_factory.h"
 #include "linalg/matrix_io.h"
 #include "monitor/driver.h"
+#include "obs/metrics.h"
 #include "stream/csv_loader.h"
 #include "stream/pamap_like.h"
 #include "stream/synthetic.h"
@@ -37,6 +40,17 @@ using namespace dswm;
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open file: " + path);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status::IoError("short write to file: " + path);
+  }
+  return Status::OK();
 }
 
 StatusOr<std::vector<TimedRow>> BuildDataset(const std::string& name,
@@ -138,8 +152,16 @@ int CmdRun(const FlagSet& flags) {
   options.query_points = static_cast<int>(flags.GetInt("queries", 50));
   options.seed = seed + 99;
   options.trace_jsonl = flags.GetString("trace-jsonl", "");
-  const RunResult r = RunTracker(tracker.value().get(), rows,
-                                 config.num_sites, config.window, options);
+  const Status options_status = options.Validate();
+  if (!options_status.ok()) return Fail(options_status);
+
+  const bool want_metrics = flags.Has("metrics-json");
+  if (want_metrics) obs::SetEnabled(true);
+
+  const StatusOr<RunResult> run = RunTracker(
+      tracker.value().get(), rows, config.num_sites, config.window, options);
+  if (!run.ok()) return Fail(run.status());
+  const RunResult& r = run.value();
   if (!r.trace_status.ok()) return Fail(r.trace_status);
 
   std::printf("algorithm        : %s\n", AlgorithmName(algorithm.value()));
@@ -186,8 +208,20 @@ int CmdRun(const FlagSet& flags) {
     }
   }
 
+  if (want_metrics) {
+    const std::string json = r.metrics.ToJson();
+    const std::string dest = flags.GetString("metrics-json", "-");
+    if (dest == "-" || dest == "1" || dest.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      const Status st = WriteTextFile(dest, json + "\n");
+      if (!st.ok()) return Fail(st);
+      std::printf("metrics written  : %s\n", dest.c_str());
+    }
+  }
+
   if (flags.Has("save-sketch")) {
-    const Status st = SaveMatrixBinary(tracker.value()->SketchRows(),
+    const Status st = SaveMatrixBinary(tracker.value()->Query().Rows(),
                                        flags.GetString("save-sketch", ""));
     if (!st.ok()) return Fail(st);
     std::printf("sketch saved to  : %s\n",
@@ -250,8 +284,12 @@ int CmdSweep(const FlagSet& flags) {
       DriverOptions options;
       options.query_points = static_cast<int>(flags.GetInt("queries", 25));
       options.seed = seed + 99;
-      const RunResult r =
+      const Status options_status = options.Validate();
+      if (!options_status.ok()) return Fail(options_status);
+      const StatusOr<RunResult> run =
           RunTracker(tracker.value().get(), rows, sites, window, options);
+      if (!run.ok()) return Fail(run.status());
+      const RunResult& r = run.value();
       std::printf("%s,%g,%d,%.6f,%.6f,%.0f,%ld,%.0f\n", AlgorithmName(a),
                   eps, sites, r.avg_err, r.max_err, r.words_per_window,
                   r.max_site_space_words, r.update_rows_per_sec);
@@ -269,7 +307,7 @@ int main(int argc, char** argv) {
       "sites",   "window",  "rows",          "seed",      "queries",
       "ell",     "save-sketch", "trace",     "algorithms", "epsilons",
       "threads", "trace-jsonl", "net-drop",  "net-dup",   "net-delay",
-      "net-seed", "net-reliable", "net-retry", "net-json"};
+      "net-seed", "net-reliable", "net-retry", "net-json", "metrics-json"};
   auto flags = FlagSet::Parse(argc, argv, known);
   if (!flags.ok()) return Fail(flags.status());
 

@@ -33,6 +33,13 @@ beyond what the compiler and clang-tidy check:
                             the transport channel; protocol code must send
                             typed wire messages (net/wire.h) through a
                             net::Channel instead of hand-counting words.
+  R7 raw-timing-outside-obs No Stopwatch/std::chrono timing outside
+                            src/common/ and src/obs/. Phase timing flows
+                            through obs::Span (obs/span.h) so wall-clock
+                            metrics sit behind the single enabled gate and
+                            the .wall_ns naming convention; ad-hoc timers
+                            would be invisible to --metrics-json and to the
+                            determinism contract's wall-time exclusion.
 
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
 Suppress a single line with a trailing `// dswm-lint: allow(<rule>)`.
@@ -67,6 +74,12 @@ EQ_MACRO = re.compile(r"\b(EXPECT_EQ|ASSERT_EQ)\s*\(")
 COMM_PATTERN = re.compile(r"(\.|->)\s*(SendUp|SendDown|Broadcast)\s*\(")
 COMM_ALLOWED_PREFIX = ("src", "net")
 COMM_GRANDFATHERED = set()
+# Raw timing primitives. Confined to src/common/ (Stopwatch's home) and
+# src/obs/ (the Span implementation). Grandfather list: empty -- the obs
+# refactor routed every timing site through Span; keep it empty.
+TIMING_PATTERN = re.compile(r"\bStopwatch\b|std::chrono\b")
+TIMING_ALLOWED_PREFIXES = (("src", "common"), ("src", "obs"))
+TIMING_GRANDFATHERED = set()
 ALLOW = re.compile(r"//\s*dswm-lint:\s*allow\(([\w-]+)\)")
 
 
@@ -203,6 +216,19 @@ def check_comm_mutation(path, stripped, lines, rep):
                    "ledger derives the counters")
 
 
+def check_raw_timing(path, stripped, lines, rep):
+    if path.parts[:2] in TIMING_ALLOWED_PREFIXES or path in TIMING_GRANDFATHERED:
+        return
+    for m in TIMING_PATTERN.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if allowed(lines, ln, "raw-timing-outside-obs"):
+            continue
+        rep.report(path, ln, "raw-timing-outside-obs",
+                   f"'{m.group(0)}' outside src/common/ and src/obs/; time "
+                   "phases with obs::Span (obs/span.h) so wall-clock metrics "
+                   "stay behind the enabled gate and the .wall_ns convention")
+
+
 def expected_guard(path):
     parts = list(path.parts)
     if parts[0] == "src":
@@ -259,6 +285,7 @@ def lint_file(root, rel, rep):
     check_rng(rel, stripped, lines, rep)
     check_exceptions(rel, stripped, lines, rep)
     check_raw_thread(rel, stripped, lines, rep)
+    check_raw_timing(rel, stripped, lines, rep)
     if rel.parts[0] == "src":
         check_comm_mutation(rel, stripped, lines, rep)
     if rel.suffix == ".h":

@@ -78,6 +78,13 @@ if [[ "${SKIP_TSAN}" -eq 0 ]]; then
   # under ASan above.
   build_and_test build-tsan 'ThreadPool|Threaded' -DCMAKE_BUILD_TYPE=Debug \
     -DDSWM_SANITIZE=thread
+
+  # The obs-labeled suite under TSan: concurrent relaxed-atomic metric
+  # updates and the thread_local span paths are exactly the code TSan can
+  # vet (a missed atomic would be a data race here, not just wrong counts).
+  log "ctest -L obs (build-tsan)"
+  ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
+    -L obs
 fi
 
 if [[ "${SKIP_BENCH}" -eq 0 ]]; then
@@ -100,6 +107,47 @@ assert doc.get("benchmarks"), "DSWM_BENCH_JSON produced no benchmark entries"
 print(f"bench JSON OK ({len(doc['benchmarks'])} entries)")
 PY
   rm -f "${BENCH_JSON_TMP}"
+
+  log "metrics overhead smoke (micro-sketch, enabled vs disabled)"
+  # The observability contract says instrumentation is near-zero overhead:
+  # the disabled path is one relaxed load + untaken branch per site, and
+  # even the *enabled* path (relaxed atomic adds) must stay within 3% on
+  # the hottest instrumented loop (FD append, one DSWM_OBS_COUNT per
+  # shrink). Measuring enabled-vs-disabled bounds both: the disabled path
+  # is a strict subset of the enabled one. Medians over repetitions damp
+  # scheduler noise.
+  cmake --build "${ROOT}/build-release" -j "${JOBS}" --target bench_micro_sketch
+  OVH_OFF_TMP="$(mktemp /tmp/dswm_ovh_off.XXXXXX.json)"
+  OVH_ON_TMP="$(mktemp /tmp/dswm_ovh_on.XXXXXX.json)"
+  DSWM_BENCH_JSON="${OVH_OFF_TMP}" \
+    "${ROOT}/build-release/bench/bench_micro_sketch" \
+    --benchmark_filter='BM_FrequentDirectionsAppend/128/20$' \
+    --benchmark_min_time=0.05 --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true >/dev/null
+  DSWM_BENCH_JSON="${OVH_ON_TMP}" DSWM_BENCH_METRICS=1 \
+    "${ROOT}/build-release/bench/bench_micro_sketch" \
+    --benchmark_filter='BM_FrequentDirectionsAppend/128/20$' \
+    --benchmark_min_time=0.05 --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true >/dev/null
+  python3 - "${OVH_OFF_TMP}" "${OVH_ON_TMP}" <<'PY'
+import json, sys
+def median_time(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for b in doc["benchmarks"]:
+        if b.get("aggregate_name") == "median":
+            return b["real_time"]
+    raise AssertionError(f"no median aggregate in {path}")
+off = median_time(sys.argv[1])
+on = median_time(sys.argv[2])
+overhead = (on - off) / off
+assert overhead < 0.03, (
+    f"metrics overhead {overhead:.1%} exceeds 3% on micro-sketch "
+    f"(disabled {off:.1f}ns, enabled {on:.1f}ns per append)")
+print(f"metrics overhead OK ({overhead:+.2%}: "
+      f"disabled {off:.1f}ns, enabled {on:.1f}ns per append)")
+PY
+  rm -f "${OVH_OFF_TMP}" "${OVH_ON_TMP}"
 
   log "net bench smoke (DA2 wire bytes vs baseline)"
   # Serialized bytes per window are exact under loopback (deterministic
