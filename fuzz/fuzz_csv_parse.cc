@@ -1,0 +1,45 @@
+// libFuzzer harness for the CSV loader (stream/csv_loader.h).
+//
+// The first input byte selects the parse options (delimiter, header skip,
+// timestamp column and scale), so one corpus covers every configuration
+// the CLI can reach; the rest is the file content. Checked properties:
+//   1. ParseCsv never crashes, over-reads, or aborts on arbitrary bytes
+//      (Status is the only legal rejection path).
+//   2. An accepted parse yields structurally sane rows: uniform dimension
+//      and non-decreasing synthetic timestamps when timestamp_column is
+//      -1 (file order), which downstream window code relies on.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "stream/csv_loader.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const uint8_t opts_byte = data[0];
+  const char* content_begin =
+      static_cast<const char*>(static_cast<const void*>(data)) + 1;
+  const std::string content(content_begin, size - 1);
+
+  dswm::CsvOptions options;
+  constexpr char kDelims[] = {',', ';', '\t', ' '};
+  options.delimiter = kDelims[opts_byte & 0x3];
+  options.skip_header = (opts_byte & 0x4) != 0;
+  options.timestamp_column = ((opts_byte >> 3) & 0x3) - 1;  // -1..2
+  options.timestamp_scale = (opts_byte & 0x20) != 0 ? 100.0 : 1.0;
+
+  dswm::StatusOr<std::vector<dswm::TimedRow>> rows =
+      dswm::ParseCsv(content, options);
+  if (!rows.ok()) return 0;
+
+  const std::vector<dswm::TimedRow>& parsed = rows.value();
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    DSWM_CHECK_EQ(parsed[i].values.size(), parsed[0].values.size());
+    if (options.timestamp_column == -1 && i > 0) {
+      DSWM_CHECK_GE(parsed[i].timestamp, parsed[i - 1].timestamp);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// libFuzzer harness for the wire-format parser (net/wire.h).
+//
+// Properties checked on every input, not just "does not crash":
+//   1. ParseMessage never reads out of bounds and never aborts on
+//      arbitrary bytes (ASan/UBSan catch the former; a DSWM_CHECK inside
+//      the parser would abort and count as a finding).
+//   2. Any frame that parses OK re-serializes to a canonical frame that
+//      (a) parses OK, (b) has the same kind and word cost, and
+//      (c) is a fixed point: serialize(parse(canonical)) == canonical.
+//      This pins the parser and serializer to each other, so a lenient
+//      parse path that fabricates unserializable state is a crash here.
+//
+// Built under -fsanitize=fuzzer on clang; under any other toolchain the
+// standalone driver (standalone_driver.cc) provides main() with corpus
+// replay and a deterministic mutation mode, so the committed corpus runs
+// as an ordinary ctest everywhere (see fuzz/CMakeLists.txt).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "net/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using dswm::net::KindOf;
+  using dswm::net::ParseMessage;
+  using dswm::net::PayloadWords;
+  using dswm::net::SerializeMessage;
+  using dswm::net::WireMessage;
+
+  dswm::StatusOr<WireMessage> parsed = ParseMessage(data, size);
+  if (!parsed.ok()) return 0;  // malformed input correctly rejected
+
+  // Canonicalize: the parsed message must survive its own serialization.
+  const WireMessage& msg = parsed.value();
+  std::vector<uint8_t> canonical;
+  SerializeMessage(msg, &canonical);
+
+  dswm::StatusOr<WireMessage> reparsed =
+      ParseMessage(canonical.data(), canonical.size());
+  DSWM_CHECK(reparsed.ok());
+  DSWM_CHECK(KindOf(reparsed.value()) == KindOf(msg));
+  DSWM_CHECK_EQ(PayloadWords(reparsed.value()), PayloadWords(msg));
+
+  // Fixed point: a canonical frame re-serializes byte-identically.
+  std::vector<uint8_t> twice;
+  SerializeMessage(reparsed.value(), &twice);
+  DSWM_CHECK(twice == canonical);
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (any non-clang toolchain). Provides main() over the same
+// LLVMFuzzerTestOneInput entry point with a libFuzzer-compatible surface:
+//
+//   fuzz_foo -runs=0   DIR|FILE...    replay corpus inputs (regression)
+//   fuzz_foo -runs=N   DIR|FILE...    replay, then N deterministic
+//                                     mutations of the corpus (smoke fuzz)
+//   fuzz_foo -seed=S   ...            mutation seed (default 1)
+//
+// The mutation loop is a deliberately simple byte-level fuzzer (flips,
+// truncations, duplications, splices, interesting-value stamps) driven by
+// a self-contained splitmix64 so runs replay bit-identically; it is a
+// smoke layer, not a coverage-guided engine -- real fuzzing runs happen
+// under clang/libFuzzer with the same harness object file.
+//
+// Exit status: 0 when every input ran clean; a harness property violation
+// aborts (DSWM_CHECK), and ASan/UBSan abort on memory/UB findings, so any
+// finding fails the enclosing ctest.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::vector<uint8_t> bytes;
+  char c;
+  while (in.get(c)) bytes.push_back(static_cast<uint8_t>(c));
+  *ok = true;
+  return bytes;
+}
+
+/// One deterministic mutation of `base` (never grows past 1 MiB).
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& base,
+                            uint64_t* state) {
+  std::vector<uint8_t> out = base;
+  const int kind = static_cast<int>(SplitMix64(state) % 6);
+  const auto pos = [&](size_t span) -> size_t {
+    return span == 0 ? 0 : static_cast<size_t>(SplitMix64(state) % span);
+  };
+  switch (kind) {
+    case 0:  // flip one byte
+      if (!out.empty()) out[pos(out.size())] ^= static_cast<uint8_t>(
+          1u << (SplitMix64(state) % 8));
+      break;
+    case 1:  // truncate
+      if (!out.empty()) out.resize(pos(out.size()));
+      break;
+    case 2: {  // insert a random byte
+      const size_t at = pos(out.size() + 1);
+      out.insert(out.begin() + static_cast<long>(at),
+                 static_cast<uint8_t>(SplitMix64(state)));
+      break;
+    }
+    case 3: {  // stamp an "interesting" 32-bit value
+      static constexpr uint32_t kInteresting[] = {
+          0u, 1u, 0x7fu, 0x80u, 0xffu, 0x7fffu, 0xffffu, 0x7fffffffu,
+          0x80000000u, 0xffffffffu};
+      if (out.size() >= 4) {
+        const uint32_t v = kInteresting[SplitMix64(state) %
+                                        (sizeof(kInteresting) / 4)];
+        std::memcpy(&out[pos(out.size() - 3)], &v, 4);
+      }
+      break;
+    }
+    case 4: {  // duplicate a slice
+      if (!out.empty() && out.size() < (1u << 20)) {
+        const size_t a = pos(out.size());
+        const size_t len = pos(out.size() - a) + 1;
+        out.insert(out.begin() + static_cast<long>(pos(out.size() + 1)),
+                   out.begin() + static_cast<long>(a),
+                   out.begin() + static_cast<long>(a + len));
+      }
+      break;
+    }
+    default:  // overwrite with a run of one byte
+      if (!out.empty()) {
+        const size_t a = pos(out.size());
+        const size_t len = std::min(out.size() - a, pos(16) + 1);
+        std::memset(&out[a], static_cast<int>(SplitMix64(state) & 0xff),
+                    len);
+      }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atol(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer-style flags so ctest invocations stay
+      // engine-portable.
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  // Expand directories into sorted file lists so replay order (and the
+  // mutation stream below) is deterministic across filesystems.
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(input)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(input);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& path : files) {
+    bool ok = false;
+    std::vector<uint8_t> bytes = ReadFile(path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "fuzz driver: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    corpus.push_back(std::move(bytes));
+  }
+  std::printf("replayed %zu corpus input(s)\n", corpus.size());
+
+  if (runs > 0 && !corpus.empty()) {
+    uint64_t state = seed;
+    for (long i = 0; i < runs; ++i) {
+      const std::vector<uint8_t>& base =
+          corpus[SplitMix64(&state) % corpus.size()];
+      std::vector<uint8_t> mutated = Mutate(base, &state);
+      // Occasionally splice two corpus entries head-to-tail.
+      if ((SplitMix64(&state) & 7) == 0) {
+        const std::vector<uint8_t>& other =
+            corpus[SplitMix64(&state) % corpus.size()];
+        mutated.insert(mutated.end(), other.begin(),
+                       other.begin() + static_cast<long>(
+                           other.size() / 2));
+      }
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+    }
+    std::printf("executed %ld mutation run(s) (seed %llu)\n", runs,
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

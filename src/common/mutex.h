@@ -1,0 +1,93 @@
+// Annotated mutex primitives: the only lockable types in the codebase.
+//
+// dswm::Mutex wraps std::mutex and carries the clang thread-safety
+// CAPABILITY attribute, so fields can be declared DSWM_GUARDED_BY(mu_) and
+// the analysis can prove every access happens under the right lock. Raw
+// std::mutex cannot carry the attribute, so it is confined to this header
+// (enforced by tools/dswm_semlint.py rule mutex-without-capability).
+//
+// dswm::MutexLock is the scoped acquisition type (SCOPED_CAPABILITY);
+// dswm::CondVar is the matching condition variable whose Wait() declares
+// DSWM_REQUIRES(mu), closing the classic annotation hole where a wait
+// releases and reacquires the lock invisibly.
+//
+// All three are thin, header-only, and exception-free. Locking discipline:
+// never hold a Mutex across a call that can reenter the owning object
+// (Channel::Send -> handler -> Send is a legal cycle; see net/channel.h).
+
+#ifndef DSWM_COMMON_MUTEX_H_
+#define DSWM_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dswm {
+
+/// A std::mutex with the clang thread-safety capability attribute.
+class DSWM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DSWM_ACQUIRE() { mu_.lock(); }
+  void Unlock() DSWM_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped std::mutex, for interop with std condition primitives.
+  /// Only CondVar below should need this.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex; the scoped capability the analysis tracks.
+class DSWM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DSWM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DSWM_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with dswm::Mutex. Wait() must be called with
+/// the mutex held (a MutexLock in scope) and returns with it held again;
+/// the annotation makes clang reject a wait on an unlocked mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires `mu`.
+  /// Spurious wakeups happen; use the predicate overload.
+  void Wait(Mutex& mu) DSWM_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release the unique_lock's ownership claim so the MutexLock in
+    // the caller's scope remains the sole owner.
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Waits until `pred()` holds (re-checked on every wakeup).
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) DSWM_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_COMMON_MUTEX_H_

@@ -1,0 +1,79 @@
+// Clang thread-safety-analysis capability annotations (no-ops elsewhere).
+//
+// These macros attach the concurrency contract of a structure to its
+// declaration so `clang -Wthread-safety` can machine-check it: which mutex
+// guards which field, which functions must (or must not) be called with a
+// lock held, and which scoped objects acquire/release a capability. Under
+// GCC -- which has no thread-safety analysis -- every macro expands to
+// nothing, so annotated code compiles identically everywhere; the analysis
+// runs wherever clang is available (tools/run_checks.sh adds a
+// -DDSWM_THREAD_SAFETY=ON clang tree when it can) and the structural
+// invariant "every mutex field names guarded siblings" is enforced
+// compiler-independently by tools/dswm_semlint.py rule
+// mutex-without-capability.
+//
+// Conventions (DESIGN.md section 11):
+//   * Lockable types are declared with DSWM_CAPABILITY("mutex"); the only
+//     such type in the tree is dswm::Mutex (common/mutex.h). Raw std::mutex
+//     outside common/mutex.h is a semlint violation -- it cannot carry the
+//     capability, so clang could not check anything about it.
+//   * Every field protected by a mutex is annotated DSWM_GUARDED_BY(mu_)
+//     (DSWM_PT_GUARDED_BY for the pointee of a pointer field).
+//   * Functions that must run with the lock held are DSWM_REQUIRES(mu_);
+//     functions that take the lock themselves are DSWM_EXCLUDES(mu_) so
+//     reentrant acquisition is rejected at compile time.
+
+#ifndef DSWM_COMMON_THREAD_ANNOTATIONS_H_
+#define DSWM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DSWM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DSWM_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Declares a lockable type; the string names the capability in diagnostics.
+#define DSWM_CAPABILITY(x) DSWM_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases
+/// a capability (e.g. MutexLock).
+#define DSWM_SCOPED_CAPABILITY DSWM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field or method data is protected by the given capability.
+#define DSWM_GUARDED_BY(x) DSWM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data a pointer field points to is protected by the capability (the
+/// pointer itself may be read freely).
+#define DSWM_PT_GUARDED_BY(x) DSWM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Callers must hold the capability (exclusively) when calling.
+#define DSWM_REQUIRES(...) \
+  DSWM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the capability when calling (the function takes it
+/// itself; rejects self-deadlock at compile time).
+#define DSWM_EXCLUDES(...) \
+  DSWM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and does not release it.
+#define DSWM_ACQUIRE(...) \
+  DSWM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define DSWM_RELEASE(...) \
+  DSWM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given capability (used by
+/// accessors like Mutex::native()).
+#define DSWM_RETURN_CAPABILITY(x) DSWM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define DSWM_ASSERT_CAPABILITY(x) \
+  DSWM_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the contract holds anyway.
+#define DSWM_NO_THREAD_SAFETY_ANALYSIS \
+  DSWM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DSWM_COMMON_THREAD_ANNOTATIONS_H_

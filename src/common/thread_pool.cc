@@ -23,14 +23,14 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Contract: destruction with queued work waits for it (WaitIdle
     // semantics), so no task is silently dropped.
-    idle_.wait(lock, [this] { return in_flight_ == 0; });
+    idle_.Wait(mu_, [this]() DSWM_REQUIRES(mu_) { return in_flight_ == 0; });
     stopping_ = true;
   }
-  work_ready_.notify_all();
-  for (std::thread& w : workers_) w.join();  // dswm-lint: allow(raw-thread-outside-common)
+  work_ready_.NotifyAll();
+  for (std::thread& w : workers_) w.join();  // dswm-semlint: allow(raw-thread-outside-common)
 }
 
 void ThreadPool::WorkerLoop() {
@@ -38,16 +38,18 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_ready_.Wait(mu_, [this]() DSWM_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_.notify_all();
+      MutexLock lock(mu_);
+      if (--in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -58,18 +60,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DSWM_CHECK(!stopping_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
   if (num_threads_ == 1) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  idle_.Wait(mu_, [this]() DSWM_REQUIRES(mu_) { return in_flight_ == 0; });
 }
 
 void ThreadPool::ParallelFor(int count,
@@ -100,8 +102,8 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
   return pool;
 }
 
-std::mutex& GlobalPoolMutex() {
-  static std::mutex mu;
+Mutex& GlobalPoolMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -115,7 +117,7 @@ int ThreadsFromEnv() {
 }  // namespace
 
 ThreadPool* ThreadPool::Global() {
-  std::unique_lock<std::mutex> lock(GlobalPoolMutex());
+  MutexLock lock(GlobalPoolMutex());
   std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
   if (slot == nullptr) slot = std::make_unique<ThreadPool>(ThreadsFromEnv());
   return slot.get();
@@ -123,7 +125,7 @@ ThreadPool* ThreadPool::Global() {
 
 void ThreadPool::SetGlobalThreads(int n) {
   if (n < 1) n = 1;
-  std::unique_lock<std::mutex> lock(GlobalPoolMutex());
+  MutexLock lock(GlobalPoolMutex());
   std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
   if (slot != nullptr && slot->num_threads() == n) return;
   slot = std::make_unique<ThreadPool>(n);

@@ -1,7 +1,7 @@
 // Fixed-size worker pool with deterministic work partitioning.
 //
 // This is the only place in the codebase allowed to touch std::thread
-// (enforced by tools/dswm_lint.py rule raw-thread-outside-common). All
+// (enforced by tools/dswm_semlint.py rule raw-thread-outside-common). All
 // parallelism flows through ParallelFor / Submit so that:
 //   * the default configuration (1 thread) spawns no workers and runs
 //     every task inline on the caller -- results are bit-identical to a
@@ -15,18 +15,22 @@
 //
 // The global pool is sized by DSWM_THREADS (env) or SetGlobalThreads()
 // (the --threads CLI knob) and defaults to single-threaded.
+//
+// Concurrency contract (machine-checked under clang -Wthread-safety):
+// mu_ guards the queue, the in-flight count, and the stop flag; workers
+// and submitters only touch them through it. num_threads_ and workers_
+// are immutable after construction.
 
 #ifndef DSWM_COMMON_THREAD_POOL_H_
 #define DSWM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>  // dswm-lint: allow(raw-thread-outside-common)
+#include <thread>  // dswm-semlint: allow(raw-thread-outside-common)
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace dswm {
 
@@ -51,10 +55,10 @@ class ThreadPool {
 
   /// Enqueues a task for asynchronous execution (runs inline when the
   /// pool is single-threaded). Pair with WaitIdle().
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DSWM_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has completed.
-  void WaitIdle();
+  void WaitIdle() DSWM_EXCLUDES(mu_);
 
   /// Process-wide pool, sized by SetGlobalThreads() or, failing that, the
   /// DSWM_THREADS environment variable; defaults to 1 (inline execution).
@@ -65,16 +69,18 @@ class ThreadPool {
   static void SetGlobalThreads(int n);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DSWM_EXCLUDES(mu_);
 
   const int num_threads_;
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;  // queued + currently executing tasks
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;  // dswm-lint: allow(raw-thread-outside-common)
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ DSWM_GUARDED_BY(mu_);
+  int in_flight_ DSWM_GUARDED_BY(mu_) = 0;  // queued + executing tasks
+  bool stopping_ DSWM_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined by the destructor; never
+  // touched while workers run.
+  std::vector<std::thread> workers_;  // dswm-semlint: allow(raw-thread-outside-common)
 };
 
 }  // namespace dswm

@@ -123,6 +123,16 @@ StatusOr<RunResult> RunTracker(DistributedTracker* tracker,
   const bool async_eval = pool->num_threads() > 1;
   std::deque<double> errs;
 
+  // Every submitted eval task writes through a pointer into `errs`, so no
+  // path may unwind this frame while tasks are in flight. The error
+  // return inside the replay loop below used to do exactly that --
+  // destroying `errs` (and the exact-window snapshots) under a running
+  // worker. Declared after `errs` so it quiesces the pool first.
+  struct PoolQuiescer {
+    ThreadPool* pool;
+    ~PoolQuiescer() { pool->WaitIdle(); }
+  } quiesce{pool};
+
   for (int i = 0; i < n; ++i) {
     const TimedRow& row = rows[i];
     const int site = static_cast<int>(rng.NextBelow(num_sites));

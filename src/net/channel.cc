@@ -51,26 +51,34 @@ void Channel::Send(Direction dir, int site, const WireMessage& msg) {
   DSWM_OBS_HISTOGRAM("net.payload_words",
                      (std::vector<long>{1, 4, 16, 64, 256, 1024, 4096}),
                      static_cast<long>(PayloadWords(msg)));
-  SerializeMessage(msg, &scratch_);
-  // Deliver the parsed frame, not the original object: the receiving side
-  // only ever sees what survived serialization. The two must agree by
-  // construction; a parse failure here is a wire-format bug.
-  StatusOr<WireMessage> parsed = ParseMessage(scratch_.data(), scratch_.size());
-  DSWM_CHECK(parsed.ok());
   FrameInfo frame;
-  frame.kind = KindOf(msg);
-  frame.payload_words = static_cast<uint32_t>(PayloadWords(msg));
-  frame.frame_bytes = static_cast<uint32_t>(scratch_.size());
   Delivery delivery;
-  delivery.dir = dir;
-  delivery.site = dir == Direction::kBroadcast ? -1 : site;
-  delivery.sent_at = now_;
-  delivery.msg = std::move(parsed).value();
+  {
+    // Serialization uses the shared scratch buffer; everything read out of
+    // it happens under the lock, which is released before Dispatch so a
+    // handler may legally reenter Send.
+    MutexLock lock(mu_);
+    SerializeMessage(msg, &scratch_);
+    // Deliver the parsed frame, not the original object: the receiving
+    // side only ever sees what survived serialization. The two must agree
+    // by construction; a parse failure here is a wire-format bug.
+    StatusOr<WireMessage> parsed =
+        ParseMessage(scratch_.data(), scratch_.size());
+    DSWM_CHECK(parsed.ok());
+    frame.kind = KindOf(msg);
+    frame.payload_words = static_cast<uint32_t>(PayloadWords(msg));
+    frame.frame_bytes = static_cast<uint32_t>(scratch_.size());
+    delivery.dir = dir;
+    delivery.site = dir == Direction::kBroadcast ? -1 : site;
+    delivery.sent_at = now_;
+    delivery.msg = std::move(parsed).value();
+  }
   Dispatch(std::move(delivery), frame);
 }
 
 void Channel::Record(const Delivery& delivery, const FrameInfo& frame,
                      bool dropped, bool retransmit, bool duplicate) {
+  MutexLock lock(mu_);
   LedgerEntry entry;
   entry.sequence = next_sequence_++;
   entry.kind = frame.kind;
@@ -110,7 +118,28 @@ void FaultyChannel::Dispatch(Delivery delivery, const FrameInfo& frame) {
 
 void FaultyChannel::Attempt(Delivery delivery, const FrameInfo& frame,
                             bool retransmit) {
-  if (profile_.drop > 0.0 && rng_.NextDouble() < profile_.drop) {
+  // Roll every fault die under the lock, in the exact order (and with the
+  // exact knob-gated short-circuits) of the pre-lock implementation, so
+  // the draw sequence -- and therefore every seeded experiment -- is
+  // bit-identical. Records and deliveries happen after release.
+  bool dropped = false;
+  bool duplicated = false;
+  Timestamp delay = 0;
+  {
+    MutexLock lock(fault_mu_);
+    dropped = profile_.drop > 0.0 && rng_.NextDouble() < profile_.drop;
+    if (!dropped) {
+      duplicated =
+          profile_.duplicate > 0.0 && rng_.NextDouble() < profile_.duplicate;
+      if (profile_.delay_max > 0) {
+        delay = profile_.delay_min +
+                static_cast<Timestamp>(rng_.NextBelow(static_cast<uint64_t>(
+                    profile_.delay_max - profile_.delay_min + 1)));
+      }
+    }
+  }
+
+  if (dropped) {
     Record(delivery, frame, /*dropped=*/true, retransmit, false);
     if (profile_.reliable) {
       // No ack will arrive; the sender times out and resends. The resend
@@ -140,15 +169,6 @@ void FaultyChannel::Attempt(Delivery delivery, const FrameInfo& frame,
     Record(ack, ack_frame, false, false, false);
   }
 
-  const bool duplicated =
-      profile_.duplicate > 0.0 && rng_.NextDouble() < profile_.duplicate;
-  Timestamp delay = 0;
-  if (profile_.delay_max > 0) {
-    delay = profile_.delay_min +
-            static_cast<Timestamp>(rng_.NextBelow(static_cast<uint64_t>(
-                profile_.delay_max - profile_.delay_min + 1)));
-  }
-
   if (duplicated) {
     // The duplicate is a real second transmission: ledgered, and
     // delivered right after the original copy.
@@ -173,6 +193,7 @@ void FaultyChannel::DeliverNow(Delivery delivery, const FrameInfo& frame) {
 }
 
 void FaultyChannel::Enqueue(Timestamp due, Queued item) {
+  MutexLock lock(fault_mu_);
   queue_.emplace(std::make_pair(due, enqueue_counter_++), std::move(item));
 }
 
@@ -180,10 +201,17 @@ void FaultyChannel::AdvanceTime(Timestamp t) {
   Channel::AdvanceTime(t);
   // Flush everything due by the new clock in (due, enqueue-order). An
   // attempt may re-enqueue (repeated loss under the shim); the map keeps
-  // iteration deterministic regardless.
-  while (!queue_.empty() && queue_.begin()->first.first <= now_) {
-    Queued item = std::move(queue_.begin()->second);
-    queue_.erase(queue_.begin());
+  // iteration deterministic regardless. Each item is popped under the
+  // lock but delivered outside it: DeliverNow reaches the handler, which
+  // may legally reenter Send/Enqueue.
+  for (;;) {
+    Queued item;
+    {
+      MutexLock lock(fault_mu_);
+      if (queue_.empty() || queue_.begin()->first.first > now_) break;
+      item = std::move(queue_.begin()->second);
+      queue_.erase(queue_.begin());
+    }
     if (item.is_retransmit) {
       Attempt(std::move(item.delivery), item.frame, /*retransmit=*/true);
     } else {

@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "net/ledger.h"
 #include "net/wire.h"
@@ -102,15 +103,29 @@ class Channel {
   /// Serializes `msg`, records the transmission, and (per implementation)
   /// delivers it. `site` is the sender for kUp, the recipient for kDown,
   /// and ignored (-1) for kBroadcast, which charges num_sites copies.
-  void Send(Direction dir, int site, const WireMessage& msg);
+  /// Reentrant: a handler invoked by a Send may itself Send (the
+  /// coordinator answering a site), so no channel lock is ever held
+  /// across the Dispatch/Handle call chain.
+  void Send(Direction dir, int site, const WireMessage& msg)
+      DSWM_EXCLUDES(mu_);
 
   /// Advances the transport clock; fault-injecting implementations flush
   /// due deliveries and retransmissions here, in deterministic order.
   virtual void AdvanceTime(Timestamp t) { now_ = t > now_ ? t : now_; }
 
-  [[nodiscard]] const MessageLedger& ledger() const { return ledger_; }
-  /// Communication counters derived from the ledger.
-  [[nodiscard]] const CommStats& comm() const { return ledger_.stats(); }
+  /// The transmission trace. The returned reference is only stable while
+  /// no Send/AdvanceTime runs concurrently; callers read it after the run
+  /// quiesces (the driver does so post-WaitIdle).
+  [[nodiscard]] const MessageLedger& ledger() const DSWM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return ledger_;
+  }
+  /// Communication counters derived from the ledger. Same quiescence
+  /// contract as ledger().
+  [[nodiscard]] const CommStats& comm() const DSWM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return ledger_.stats();
+  }
   [[nodiscard]] int num_sites() const { return num_sites_; }
   [[nodiscard]] Timestamp now() const { return now_; }
 
@@ -129,22 +144,30 @@ class Channel {
 
   /// Records one transmission attempt in the ledger.
   void Record(const Delivery& delivery, const FrameInfo& frame, bool dropped,
-              bool retransmit, bool duplicate);
+              bool retransmit, bool duplicate) DSWM_EXCLUDES(mu_);
 
-  /// Invokes the handler (if any) with a delivered frame.
-  void Handle(Delivery delivery) {
+  /// Invokes the handler (if any) with a delivered frame. Never called
+  /// with mu_ held: the handler may reenter Send.
+  void Handle(Delivery delivery) DSWM_EXCLUDES(mu_) {
     DSWM_OBS_COUNT("net.deliveries", 1);
     if (handler_) handler_(std::move(delivery));
   }
 
+  /// Simulation clock. Mutated only by AdvanceTime/Send on the driving
+  /// thread (the event loop owns time); not part of the mu_ domain.
   Timestamp now_ = std::numeric_limits<Timestamp>::min() / 2;
 
  private:
   int num_sites_;
+  /// Set once during tracker construction, before any traffic; immutable
+  /// while messages flow (Handle reads it without mu_ by that contract).
   std::function<void(Delivery)> handler_;
-  MessageLedger ledger_;
-  std::vector<uint8_t> scratch_;
-  uint64_t next_sequence_ = 0;
+  /// Guards the send/record path: the serialization scratch buffer, the
+  /// sequence counter, and the ledger they feed.
+  mutable Mutex mu_;
+  MessageLedger ledger_ DSWM_GUARDED_BY(mu_);
+  std::vector<uint8_t> scratch_ DSWM_GUARDED_BY(mu_);
+  uint64_t next_sequence_ DSWM_GUARDED_BY(mu_) = 0;
 };
 
 /// Perfect in-process transport: synchronous FIFO delivery inside Send.
@@ -170,7 +193,8 @@ class FaultyChannel final : public Channel {
   [[nodiscard]] const NetProfile& profile() const { return profile_; }
 
   /// Frames currently queued (delayed or awaiting retransmission).
-  [[nodiscard]] long in_flight() const {
+  [[nodiscard]] long in_flight() const DSWM_EXCLUDES(fault_mu_) {
+    MutexLock lock(fault_mu_);
     return static_cast<long>(queue_.size());
   }
 
@@ -186,15 +210,25 @@ class FaultyChannel final : public Channel {
 
   /// One transmission attempt: rolls drop/duplicate/delay and either
   /// delivers, queues, or (reliable) schedules a retransmission.
-  void Attempt(Delivery delivery, const FrameInfo& frame, bool retransmit);
-  void DeliverNow(Delivery delivery, const FrameInfo& frame);
-  void Enqueue(Timestamp due, Queued item);
+  void Attempt(Delivery delivery, const FrameInfo& frame, bool retransmit)
+      DSWM_EXCLUDES(fault_mu_);
+  void DeliverNow(Delivery delivery, const FrameInfo& frame)
+      DSWM_EXCLUDES(fault_mu_);
+  void Enqueue(Timestamp due, Queued item) DSWM_EXCLUDES(fault_mu_);
 
+  /// Mutated through profile() by experiments between protocol steps;
+  /// read by Attempt. Single-threaded by the simulation contract (the
+  /// accessor exposes a bare reference, so it cannot be lock-guarded).
   NetProfile profile_;
-  Rng rng_;
+  /// Guards the fault state shared between the send path (Dispatch ->
+  /// Attempt) and the clock path (AdvanceTime): the fault dice and the
+  /// delayed/retransmission queue. Released before every Handle call.
+  mutable Mutex fault_mu_;
+  Rng rng_ DSWM_GUARDED_BY(fault_mu_);
   // (due time, enqueue order) -> item; processed in key order.
-  std::map<std::pair<Timestamp, uint64_t>, Queued> queue_;
-  uint64_t enqueue_counter_ = 0;
+  std::map<std::pair<Timestamp, uint64_t>, Queued> queue_
+      DSWM_GUARDED_BY(fault_mu_);
+  uint64_t enqueue_counter_ DSWM_GUARDED_BY(fault_mu_) = 0;
 };
 
 /// Builds the channel a tracker's config asks for: loopback when no fault

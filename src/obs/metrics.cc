@@ -176,14 +176,14 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -191,7 +191,7 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         const std::vector<long>& edges) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(edges);
@@ -202,7 +202,7 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot out;
   for (const auto& [name, c] : counters_) out.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
@@ -218,7 +218,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->ResetForTest();
   for (auto& [name, g] : gauges_) g->ResetForTest();
   for (auto& [name, h] : histograms_) h->ResetForTest();

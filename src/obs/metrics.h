@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace dswm {
 namespace obs {
@@ -136,28 +137,34 @@ struct MetricsSnapshot {
 
 /// Registry of named metrics. Get*() registers on first use and returns a
 /// pointer that stays valid for the process lifetime. Registration takes a
-/// mutex; updates through the returned handles are lock-free.
+/// mutex; updates through the returned handles are lock-free (the metric
+/// objects are heap-allocated and never destroyed while the registry
+/// lives, so escaping the raw pointer from under mu_ is safe by design).
 class MetricRegistry {
  public:
-  [[nodiscard]] Counter* GetCounter(const std::string& name);
-  [[nodiscard]] Gauge* GetGauge(const std::string& name);
+  [[nodiscard]] Counter* GetCounter(const std::string& name)
+      DSWM_EXCLUDES(mu_);
+  [[nodiscard]] Gauge* GetGauge(const std::string& name) DSWM_EXCLUDES(mu_);
   /// Registers (or fetches) a histogram. `edges` must be strictly
   /// increasing and non-empty; a second registration under the same name
   /// must pass identical edges (DCHECK'd) and returns the existing one.
   [[nodiscard]] Histogram* GetHistogram(const std::string& name,
-                                        const std::vector<long>& edges);
+                                        const std::vector<long>& edges)
+      DSWM_EXCLUDES(mu_);
 
-  [[nodiscard]] MetricsSnapshot Snapshot() const;
+  [[nodiscard]] MetricsSnapshot Snapshot() const DSWM_EXCLUDES(mu_);
 
   /// Zeroes every metric value. Handles stay valid. Test-only: never call
   /// while instrumented code runs on another thread.
-  void ResetForTest();
+  void ResetForTest() DSWM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DSWM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DSWM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DSWM_GUARDED_BY(mu_);
 };
 
 /// The process-global registry every instrumentation site reports into.

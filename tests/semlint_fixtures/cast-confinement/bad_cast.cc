@@ -1,0 +1,16 @@
+// semlint-fixture-path: src/linalg/bad_cast.cc
+// Fixture: reinterpret_cast / const_cast outside src/net must be
+// flagged; binary I/O stages through memcpy instead.
+#include <cstdint>
+
+namespace dswm {
+
+const char* PunBytes(const double* values) {
+  return reinterpret_cast<const char*>(values);
+}
+
+double* StripConst(const double* values) {
+  return const_cast<double*>(values);
+}
+
+}  // namespace dswm

@@ -1,0 +1,13 @@
+// semlint-fixture-path: src/net/ok_cast.cc
+// Fixture: src/net wire framing is the one sanctioned home for
+// reinterpret_cast; value casts are fine everywhere.
+
+namespace dswm {
+
+const unsigned char* FrameBytes(const char* data) {
+  return reinterpret_cast<const unsigned char*>(data);
+}
+
+long Narrow(double x) { return static_cast<long>(x); }
+
+}  // namespace dswm

@@ -1,0 +1,16 @@
+// semlint-fixture-path: src/linalg/ok_cast_value.cc
+// Fixture: static_cast and memcpy-staged conversion are the sanctioned
+// patterns outside src/net.
+#include <cstring>
+
+namespace dswm {
+
+long Narrow(double x) { return static_cast<long>(x); }
+
+unsigned long long BitsOf(double x) {
+  unsigned long long bits = 0;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace dswm

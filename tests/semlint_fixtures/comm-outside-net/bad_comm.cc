@@ -1,0 +1,14 @@
+// semlint-fixture-path: src/core/bad_comm.cc
+// Fixture: hand-mutating CommStats outside src/net must be flagged.
+
+namespace dswm {
+
+struct CommStats;
+
+void CountByHand(CommStats& stats, CommStats* remote) {
+  stats.SendUp(4);
+  remote->SendDown(2);
+  remote->Broadcast(1);
+}
+
+}  // namespace dswm

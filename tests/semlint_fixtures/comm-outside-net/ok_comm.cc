@@ -1,0 +1,14 @@
+// semlint-fixture-path: src/net/ok_comm.cc
+// Fixture: src/net owns the ledger-derived counters, so the same calls
+// are sanctioned here; similarly-named methods elsewhere do not match.
+
+namespace dswm {
+
+struct CommStats;
+
+void DeriveFromLedger(CommStats& stats) {
+  stats.SendUp(4);
+  stats.SendDown(2);
+}
+
+}  // namespace dswm

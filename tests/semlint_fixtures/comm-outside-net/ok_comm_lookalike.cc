@@ -1,0 +1,18 @@
+// semlint-fixture-path: src/core/ok_comm_lookalike.cc
+// Fixture: free functions and different member names must not match the
+// member-call pattern.
+
+namespace dswm {
+
+void SendUp(int);
+
+struct Uploader {
+  void SendUpstream(int);
+};
+
+void NotCommMutation(Uploader& u) {
+  SendUp(3);        // free function, not a CommStats member call
+  u.SendUpstream(3);
+}
+
+}  // namespace dswm

@@ -1,0 +1,31 @@
+// semlint-fixture-path: src/core/bad_status.cc
+// Fixture: every discard shape the rule must see -- bare expression
+// statement, (void) cast in src/, both ternary branches, lambda body,
+// and a discard after a nested block (the statement-splitting case).
+
+namespace dswm {
+
+class Status;
+template <typename T>
+class StatusOr;
+
+Status CheckConfig(int x);
+StatusOr<double> ParseKnob(int x);
+
+void UseAll(bool flag) {
+  CheckConfig(1);          // bare discard
+  (void)CheckConfig(2);    // (void) discard is still a discard in src/
+  ParseKnob(3);            // StatusOr discard
+  flag ? CheckConfig(4) : CheckConfig(5);  // ternary discard
+  auto deferred = [&] {
+    CheckConfig(6);        // discard inside a lambda body
+  };
+  deferred();
+  if (flag) {
+    int unused = 0;
+    (void)unused;
+  }
+  CheckConfig(7);          // discard following a nested block
+}
+
+}  // namespace dswm

@@ -1,0 +1,27 @@
+// semlint-fixture-path: src/core/ok_status.cc
+// Fixture: every sanctioned consumption shape -- propagation, explicit
+// checks, assignment, return (including mid-statement after `if`), and
+// calls whose result feeds a larger expression.
+
+namespace dswm {
+
+class Status;
+template <typename T>
+class StatusOr;
+
+Status CheckConfig(int x);
+StatusOr<double> ParseKnob(int x);
+Status Wrap(Status s);
+
+Status ConsumeProperly(bool flag) {
+  Status kept = CheckConfig(1);
+  if (!kept.ok()) return kept;
+  if (flag) return CheckConfig(2);
+  auto knob = ParseKnob(3);
+  if (!knob.ok()) {
+    return knob.status();
+  }
+  return Wrap(CheckConfig(4));  // inner result consumed by Wrap
+}
+
+}  // namespace dswm

@@ -1,0 +1,16 @@
+// semlint-fixture-path: tests/ok_status_void_in_tests.cc
+// Fixture: an explicit (void) discard is the sanctioned idiom in tests/
+// (death tests evaluate an expression purely for its side effect), but a
+// bare discard is flagged even there.
+
+namespace dswm {
+
+class Status;
+
+Status CheckConfig(int x);
+
+void DeathTestBody() {
+  (void)CheckConfig(1);  // sanctioned: explicit discard in tests/
+}
+
+}  // namespace dswm

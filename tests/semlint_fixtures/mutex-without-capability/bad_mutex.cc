@@ -1,0 +1,25 @@
+// semlint-fixture-path: src/obs/bad_mutex.cc
+// Fixture: a dswm::Mutex member no annotation references, and a raw
+// std::mutex member outside src/common/mutex.h, must both be flagged.
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace dswm {
+
+class UncheckedCache {
+ public:
+  void Put(int k, double v);
+
+ private:
+  Mutex mu_;       // no DSWM_GUARDED_BY / DSWM_REQUIRES references it
+  double last_ = 0.0;
+};
+
+class RawLockHolder {
+ private:
+  std::mutex raw_mu_;  // raw std::mutex cannot carry the capability
+  int count_ = 0;
+};
+
+}  // namespace dswm

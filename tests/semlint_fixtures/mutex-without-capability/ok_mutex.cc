@@ -1,0 +1,26 @@
+// semlint-fixture-path: src/obs/ok_mutex.cc
+// Fixture: annotated mutexes pass -- via GUARDED_BY on a sibling field,
+// or via REQUIRES/EXCLUDES on methods.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dswm {
+
+class GuardedCache {
+ public:
+  void Put(int k, double v) DSWM_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  double last_ DSWM_GUARDED_BY(mu_) = 0.0;
+};
+
+class MethodAnnotatedQueue {
+ public:
+  void PushLocked(int v) DSWM_REQUIRES(queue_mu_);
+
+ private:
+  Mutex queue_mu_;
+};
+
+}  // namespace dswm

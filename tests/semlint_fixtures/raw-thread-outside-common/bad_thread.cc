@@ -1,0 +1,15 @@
+// semlint-fixture-path: src/stream/bad_thread.cc
+// Fixture: std::thread / std::async outside src/common must be flagged.
+#include <future>
+#include <thread>
+
+namespace dswm {
+
+void SpawnDirectly() {
+  std::thread worker([] {});
+  worker.join();
+  auto fut = std::async([] { return 1; });
+  fut.get();
+}
+
+}  // namespace dswm

@@ -1,0 +1,15 @@
+// semlint-fixture-path: src/stream/ok_thread.cc
+// Fixture: std::this_thread is identity-only (no spawn) and a justified
+// suppression marker silences the rule on its line.
+#include <thread>
+
+namespace dswm {
+
+void ObserveIdentity() {
+  (void)std::this_thread::get_id();
+  // Fresh thread needed to test thread_local isolation:
+  std::thread probe([] {});  // dswm-semlint: allow(raw-thread-outside-common)
+  probe.join();
+}
+
+}  // namespace dswm

@@ -1,0 +1,12 @@
+// semlint-fixture-path: src/common/ok_thread_in_common.cc
+// Fixture: src/common is the sanctioned home for raw threads.
+#include <thread>
+
+namespace dswm {
+
+void PoolWorkerSpawn() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace dswm

@@ -1,0 +1,34 @@
+// semlint-fixture-path: src/core/bad_unordered.cc
+// Fixture: iteration over unordered containers in the bit-identity
+// dirs (src/core, src/window, src/sketch) must be flagged -- range-for,
+// structured bindings, explicit iterator loops, and aliased types.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dswm {
+
+using SiteIndex = std::unordered_map<int, double>;
+
+class Accumulator {
+ public:
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [site, weight] : weights_) {  // range-for, bindings
+      sum += weight;
+    }
+    for (auto it = members_.begin(); it != members_.end(); ++it) {
+      sum += static_cast<double>(*it);  // iterator traversal
+    }
+    for (const auto& kv : index_) {  // iteration via type alias
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, double> weights_;
+  std::unordered_set<int> members_;
+  SiteIndex index_;
+};
+
+}  // namespace dswm

@@ -1,0 +1,31 @@
+// semlint-fixture-path: src/core/ok_unordered_lookup.cc
+// Fixture: point lookups into unordered containers are order-free and
+// stay legal in the bit-identity dirs; ordered containers iterate freely.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace dswm {
+
+class Lookup {
+ public:
+  double At(int site) const {
+    auto it = cache_.find(site);
+    if (it != cache_.end()) return it->second;
+    return 0.0;
+  }
+
+  double OrderedSum() const {
+    double sum = 0.0;
+    for (const auto& [site, weight] : sorted_) sum += weight;  // std::map
+    for (double v : values_) sum += v;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, double> cache_;
+  std::map<int, double> sorted_;
+  std::vector<double> values_;
+};
+
+}  // namespace dswm

@@ -1,0 +1,15 @@
+// semlint-fixture-path: src/analytics/ok_unordered_out_of_scope.cc
+// Fixture: the rule is scoped to src/core, src/window, src/sketch --
+// iteration elsewhere (diagnostics, tooling) is not flagged.
+#include <unordered_map>
+
+namespace dswm {
+
+double DiagnosticSum(const std::unordered_map<int, double>& histogram) {
+  std::unordered_map<int, double> local = histogram;
+  double sum = 0.0;
+  for (const auto& kv : local) sum += kv.second;
+  return sum;
+}
+
+}  // namespace dswm

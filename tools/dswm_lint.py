@@ -20,19 +20,12 @@ beyond what the compiler and clang-tidy check:
                             carry rounding, so tests must state a tolerance
                             (EXPECT_NEAR) or an exactness claim
                             (EXPECT_DOUBLE_EQ).
-  R5 raw-thread-outside-common
-                            No std::thread/std::jthread/std::async outside
-                            src/common/. All parallelism flows through
-                            common/thread_pool.h so the deterministic
-                            partitioning and the single-threaded default
-                            (bit-identical kernels) hold everywhere.
-                            (std::this_thread is fine -- it spawns nothing.)
-  R6 comm-outside-net       No CommStats mutation (SendUp/SendDown/
-                            Broadcast calls) outside src/net/. Communication
-                            accounting is derived from the message ledger of
-                            the transport channel; protocol code must send
-                            typed wire messages (net/wire.h) through a
-                            net::Channel instead of hand-counting words.
+  R5 raw-thread-outside-common  (RETIRED here -- moved to the AST-level
+                            linter tools/dswm_semlint.py, which matches
+                            tokens instead of text and shares suppression
+                            markers with this tool.)
+  R6 comm-outside-net       (RETIRED here -- moved to tools/dswm_semlint.py,
+                            which requires a real member-call receiver.)
   R7 raw-timing-outside-obs No Stopwatch/std::chrono timing outside
                             src/common/ and src/obs/. Phase timing flows
                             through obs::Span (obs/span.h) so wall-clock
@@ -50,30 +43,21 @@ import pathlib
 import re
 import sys
 
-LINT_DIRS = ("src", "tests", "bench", "examples", "tools")
+LINT_DIRS = ("src", "tests", "bench", "examples", "tools", "fuzz")
 CPP_SUFFIXES = (".h", ".cc", ".cpp")
+# Semlint fixtures deliberately violate rules; dswm_semlint_test.py lints
+# them from a staged tree.
+EXCLUDED_PREFIXES = (("tests", "semlint_fixtures"),)
 
 RNG_ALLOWED = {pathlib.PurePosixPath("src/common/rng.h")}
 RNG_PATTERN = re.compile(
     r"std::random_device|std::mt19937|std::minstd_rand|std::ranlux"
     r"|(?<![\w:])s?rand\s*\(")
 EXCEPTION_PATTERN = re.compile(r"(?<![\w:])(throw|try|catch)(?![\w])")
-# std::this_thread deliberately does not match: `thread` must directly
-# follow `std::`.
-THREAD_PATTERN = re.compile(r"std::(thread|jthread|async)\b")
-THREAD_ALLOWED_PREFIX = ("src", "common")
 FLOAT_LITERAL = re.compile(
     r"^[-+]?(\d+\.\d*|\.\d+)(e[-+]?\d+)?[fl]?$|^[-+]?\d+e[-+]?\d+[fl]?$",
     re.IGNORECASE)
 EQ_MACRO = re.compile(r"\b(EXPECT_EQ|ASSERT_EQ)\s*\(")
-# CommStats mutation: a member call to SendUp/SendDown/Broadcast. Confined
-# to src/net/ (the ledger derives the counters there). Declaration and
-# definition in comm_stats.h do not match -- the pattern requires a `.` or
-# `->` receiver. Grandfather list: empty -- the transport refactor moved
-# every legacy call site; keep it empty.
-COMM_PATTERN = re.compile(r"(\.|->)\s*(SendUp|SendDown|Broadcast)\s*\(")
-COMM_ALLOWED_PREFIX = ("src", "net")
-COMM_GRANDFATHERED = set()
 # Raw timing primitives. Confined to src/common/ (Stopwatch's home) and
 # src/obs/ (the Span implementation). Grandfather list: empty -- the obs
 # refactor routed every timing site through Span; keep it empty.
@@ -190,32 +174,6 @@ def check_exceptions(path, stripped, lines, rep):
                    "-- return Status/StatusOr or DSWM_CHECK")
 
 
-def check_raw_thread(path, stripped, lines, rep):
-    if path.parts[:2] == THREAD_ALLOWED_PREFIX:
-        return
-    for m in THREAD_PATTERN.finditer(stripped):
-        ln = line_of(stripped, m.start())
-        if allowed(lines, ln, "raw-thread-outside-common"):
-            continue
-        rep.report(path, ln, "raw-thread-outside-common",
-                   f"'{m.group(0)}' outside src/common/; route parallelism "
-                   "through dswm::ThreadPool (common/thread_pool.h) so the "
-                   "deterministic single-threaded default holds")
-
-
-def check_comm_mutation(path, stripped, lines, rep):
-    if path.parts[:2] == COMM_ALLOWED_PREFIX or path in COMM_GRANDFATHERED:
-        return
-    for m in COMM_PATTERN.finditer(stripped):
-        ln = line_of(stripped, m.start())
-        if allowed(lines, ln, "comm-outside-net"):
-            continue
-        rep.report(path, ln, "comm-outside-net",
-                   f"'{m.group(2)}(...)' mutates CommStats outside src/net/; "
-                   "send a typed wire message through a net::Channel -- the "
-                   "ledger derives the counters")
-
-
 def check_raw_timing(path, stripped, lines, rep):
     if path.parts[:2] in TIMING_ALLOWED_PREFIXES or path in TIMING_GRANDFATHERED:
         return
@@ -284,10 +242,7 @@ def lint_file(root, rel, rep):
     stripped = strip_comments_and_strings(text)
     check_rng(rel, stripped, lines, rep)
     check_exceptions(rel, stripped, lines, rep)
-    check_raw_thread(rel, stripped, lines, rep)
     check_raw_timing(rel, stripped, lines, rep)
-    if rel.parts[0] == "src":
-        check_comm_mutation(rel, stripped, lines, rep)
     if rel.suffix == ".h":
         check_header_guard(rel, text, lines, rep)
     if rel.parts[0] == "tests":
@@ -313,7 +268,10 @@ def main():
             continue
         for p in sorted(base.rglob("*")):
             if p.suffix in CPP_SUFFIXES and p.is_file():
-                files.append(p.relative_to(root))
+                rel = p.relative_to(root)
+                if any(rel.parts[:len(e)] == e for e in EXCLUDED_PREFIXES):
+                    continue
+                files.append(rel)
     for rel in files:
         lint_file(root, pathlib.PurePosixPath(rel.as_posix()), rep)
 

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
 # One-command correctness gate for the dswm repo.
 #
-# Builds and tests three trees:
-#   build-release/  Release, -Werror             (the shipping configuration)
-#   build-asan/     ASan+UBSan, -Werror, DCHECKs (the tripwired configuration)
-#   build-tsan/     TSan, -Werror, DCHECKs       (thread-pool + threaded
+# Builds and tests up to five trees:
+#   build-release/       Release, -Werror        (the shipping configuration)
+#   build-asan/          ASan+UBSan, -Werror, DCHECKs (the tripwired tree)
+#   build-tsan/          TSan, -Werror, DCHECKs  (thread-pool + threaded
 #                                                 kernel tests only)
-# then smoke-tests the benchmark JSON emitter, runs the repo-invariant
-# linter (tools/dswm_lint.py) and, when the binaries exist on PATH, a
-# clang-format --dry-run check and clang-tidy.
+#   build-threadsafety/  clang -Wthread-safety -Werror=thread-safety over
+#                        the capability annotations (clang only; skipped
+#                        with a notice when no clang++ is on PATH)
+#   build-fuzz/          DSWM_FUZZ=ON + ASan+UBSan: corpus-replay ctests
+#                        plus a bounded mutation smoke of both harnesses
+# then smoke-tests the benchmark JSON emitter, runs both repo linters
+# (tools/dswm_lint.py textual, tools/dswm_semlint.py AST-level, with the
+# fixture selftest and an empty-grandfather gate) and, when the binaries
+# exist on PATH, a clang-format --dry-run check and clang-tidy --
+# enforced (warnings-as-errors) on src/obs and src/net, budgeted
+# elsewhere (tools/tidy_budget.txt, a ratchet that may only decrease).
 #
 # Usage: tools/run_checks.sh [--skip-release] [--skip-asan] [--skip-tsan]
-#                            [--skip-bench] [--jobs N]
+#                            [--skip-fuzz] [--skip-bench] [--jobs N]
 # Exits nonzero on the first failing stage.
 
 set -euo pipefail
@@ -22,6 +30,11 @@ SKIP_RELEASE=0
 SKIP_ASAN=0
 SKIP_TSAN=0
 SKIP_BENCH=0
+SKIP_FUZZ=0
+# Mutation counts sized to keep the whole fuzz stage near a minute on a
+# typical container; the corpus replay part is always exhaustive.
+FUZZ_WIRE_RUNS=20000
+FUZZ_CSV_RUNS=8000
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -29,6 +42,7 @@ while [[ $# -gt 0 ]]; do
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-bench) SKIP_BENCH=1 ;;
+    --skip-fuzz) SKIP_FUZZ=1 ;;
     --jobs) JOBS="$2"; shift ;;
     *) echo "run_checks.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
@@ -85,6 +99,43 @@ if [[ "${SKIP_TSAN}" -eq 0 ]]; then
   log "ctest -L obs (build-tsan)"
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
     -L obs
+fi
+
+# Thread-safety analysis: the capability annotations in
+# common/thread_annotations.h are only checked by clang; GCC compiles
+# them away. A compile of the full tree IS the test (DSWM_WERROR plus
+# -Werror=thread-safety from the option), so no ctest run here.
+if command -v clang++ >/dev/null 2>&1; then
+  log "configure build-threadsafety (clang -Wthread-safety)"
+  cmake -B "${ROOT}/build-threadsafety" -S "${ROOT}" \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_BUILD_TYPE=Release \
+    -DDSWM_WERROR=ON -DDSWM_THREAD_SAFETY=ON
+  log "build build-threadsafety (-j${JOBS})"
+  cmake --build "${ROOT}/build-threadsafety" -j "${JOBS}"
+else
+  log "clang++ not found; skipping thread-safety analysis build"
+fi
+
+if [[ "${SKIP_FUZZ}" -eq 0 ]]; then
+  # Fuzz tree: harnesses under ASan+UBSan. Two layers run here: the
+  # committed corpus replays as ordinary ctests (every past finding and
+  # structured near-miss stays fixed), then a bounded deterministic
+  # mutation smoke hammers both parsers. Long coverage-guided runs are a
+  # manual activity (clang/libFuzzer, same harnesses).
+  log "configure build-fuzz (DSWM_FUZZ + ASan/UBSan)"
+  cmake -B "${ROOT}/build-fuzz" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Debug \
+    -DDSWM_WERROR=ON -DDSWM_FUZZ=ON -DDSWM_SANITIZE="address;undefined"
+  log "build build-fuzz (-j${JOBS})"
+  cmake --build "${ROOT}/build-fuzz" -j "${JOBS}" \
+    --target fuzz_wire_parse fuzz_csv_parse
+  log "ctest -L fuzz (corpus replay)"
+  ctest --test-dir "${ROOT}/build-fuzz" --output-on-failure -j "${JOBS}" \
+    -L fuzz
+  log "fuzz smoke (${FUZZ_WIRE_RUNS} wire + ${FUZZ_CSV_RUNS} csv mutations)"
+  "${ROOT}/build-fuzz/fuzz/fuzz_wire_parse" -runs="${FUZZ_WIRE_RUNS}" \
+    -seed=1 "${ROOT}/fuzz/corpus/wire"
+  "${ROOT}/build-fuzz/fuzz/fuzz_csv_parse" -runs="${FUZZ_CSV_RUNS}" \
+    -seed=1 "${ROOT}/fuzz/corpus/csv"
 fi
 
 if [[ "${SKIP_BENCH}" -eq 0 ]]; then
@@ -180,6 +231,34 @@ fi
 log "dswm_lint"
 python3 "${ROOT}/tools/dswm_lint.py" --root "${ROOT}"
 
+log "dswm_semlint (AST-level rules)"
+SEMLINT_DB=""
+for dir in "${ROOT}"/build-release "${ROOT}"/build "${ROOT}"/build-fuzz; do
+  if [[ -f "${dir}/compile_commands.json" ]]; then
+    SEMLINT_DB="${dir}/compile_commands.json"
+    break
+  fi
+done
+python3 "${ROOT}/tools/dswm_semlint.py" --root "${ROOT}" \
+  ${SEMLINT_DB:+--compile-commands "${SEMLINT_DB}"}
+
+log "dswm_semlint selftest (rule fixtures)"
+python3 "${ROOT}/tools/dswm_semlint_test.py" --root "${ROOT}"
+
+log "grandfather gate"
+# The semantic linter started life with empty grandfather lists and they
+# must stay empty: new code meets the rules or carries a per-line,
+# justified allow marker. Any entry in the GRANDFATHERED block fails here.
+python3 - "${ROOT}/tools/dswm_semlint.py" <<'PY'
+import re, sys
+src = open(sys.argv[1]).read()
+block = re.search(r"GRANDFATHERED = \{(.*?)\n\}", src, re.S)
+assert block, "GRANDFATHERED block missing from dswm_semlint.py"
+entries = re.findall(r":\s*\{\s*\"", block.group(1))
+assert not entries, f"{len(entries)} grandfather list(s) are non-empty"
+print("grandfather lists empty")
+PY
+
 if command -v clang-format >/dev/null 2>&1; then
   log "clang-format --dry-run"
   # shellcheck disable=SC2046
@@ -193,10 +272,32 @@ fi
 
 if command -v run-clang-tidy >/dev/null 2>&1 && \
    command -v clang-tidy >/dev/null 2>&1; then
-  log "clang-tidy (src/)"
-  cmake -B "${ROOT}/build-release" -S "${ROOT}" \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  run-clang-tidy -quiet -p "${ROOT}/build-release" "${ROOT}/src/.*"
+  TIDY_DB="$("${ROOT}/tools/compiledb.sh")"
+  TIDY_DIR="$(dirname "${TIDY_DB}")"
+
+  # Enforced zone: src/obs and src/net were written tidy-clean (they are
+  # the youngest subsystems), so any diagnostic there is an error.
+  log "clang-tidy (src/obs + src/net, warnings-as-errors)"
+  run-clang-tidy -quiet -p "${TIDY_DIR}" \
+    -warnings-as-errors='*' "${ROOT}/src/(obs|net)/.*"
+
+  # Budgeted zone: the rest of src/ carries a warning-count ratchet.
+  # tools/tidy_budget.txt holds the ceiling; lower it as warnings are
+  # burned down, never raise it.
+  TIDY_BUDGET="$(grep -v '^#' "${ROOT}/tools/tidy_budget.txt" | head -1)"
+  log "clang-tidy (src/ excluding obs+net, budget ${TIDY_BUDGET})"
+  TIDY_LOG="$(mktemp /tmp/dswm_tidy.XXXXXX.log)"
+  run-clang-tidy -quiet -p "${TIDY_DIR}" \
+    "${ROOT}/src/(?!obs/|net/).*" >"${TIDY_LOG}" 2>&1 || true
+  TIDY_COUNT="$(grep -c 'warning:' "${TIDY_LOG}" || true)"
+  if [[ "${TIDY_COUNT}" -gt "${TIDY_BUDGET}" ]]; then
+    cat "${TIDY_LOG}"
+    echo "clang-tidy: ${TIDY_COUNT} warnings exceed budget ${TIDY_BUDGET}" >&2
+    rm -f "${TIDY_LOG}"
+    exit 1
+  fi
+  echo "clang-tidy budget OK (${TIDY_COUNT}/${TIDY_BUDGET} warnings)"
+  rm -f "${TIDY_LOG}"
 else
   log "clang-tidy not found; skipping tidy check"
 fi
