@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analytics/anomaly_scorer.h"
+#include "core/covariance_estimate.h"
 #include "core/tracker_factory.h"
 #include "stream/pamap_like.h"
 #include "window/exact_window.h"
@@ -64,7 +65,10 @@ int main() {
     }
   }
 
-  const auto sketch_scorer = AnomalyScorer::FromSketch(tracker.Query().Rows());
+  // FromEstimate shares the snapshot's cached eigendecomposition with any
+  // other consumer (e.g. a Rows() conversion) instead of recomputing it.
+  const CovarianceEstimate estimate = tracker.Query();
+  const auto sketch_scorer = AnomalyScorer::FromEstimate(estimate);
   const auto exact_scorer = AnomalyScorer::FromCovariance(exact.Covariance());
   if (!sketch_scorer.ok() || !exact_scorer.ok()) {
     std::fprintf(stderr, "scorer construction failed\n");

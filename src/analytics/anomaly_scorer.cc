@@ -1,6 +1,9 @@
 #include "analytics/anomaly_scorer.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "core/covariance_estimate.h"
 
 namespace dswm {
 
@@ -11,18 +14,34 @@ StatusOr<AnomalyScorer> AnomalyScorer::Build(const Matrix& covariance,
   }
   const int d = covariance.rows();
   if (d == 0) return Status::InvalidArgument("empty covariance");
+  return BuildFromEigen(covariance, SymmetricEigen(covariance),
+                        lambda_fraction);
+}
 
+StatusOr<AnomalyScorer> AnomalyScorer::BuildFromEigen(const Matrix& covariance,
+                                                      EigenResult eig,
+                                                      double lambda_fraction) {
+  const int d = covariance.rows();
   double trace = 0.0;
   for (int j = 0; j < d; ++j) trace += std::max(covariance(j, j), 0.0);
   AnomalyScorer scorer;
   scorer.lambda_ = std::max(lambda_fraction * trace / d, 1e-300);
-  scorer.eig_ = SymmetricEigen(covariance);
+  scorer.eig_ = std::move(eig);
   scorer.inverse_eigenvalues_.resize(d);
   for (int i = 0; i < d; ++i) {
     scorer.inverse_eigenvalues_[i] =
         1.0 / (std::max(scorer.eig_.values[i], 0.0) + scorer.lambda_);
   }
   return scorer;
+}
+
+StatusOr<AnomalyScorer> AnomalyScorer::FromEstimate(
+    const CovarianceEstimate& est, double lambda_fraction) {
+  if (lambda_fraction <= 0.0) {
+    return Status::InvalidArgument("lambda_fraction must be > 0");
+  }
+  if (est.Dim() == 0) return Status::InvalidArgument("empty estimate");
+  return BuildFromEigen(est.Covariance(), est.Eigen(), lambda_fraction);
 }
 
 StatusOr<AnomalyScorer> AnomalyScorer::FromCovariance(

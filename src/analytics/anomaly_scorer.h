@@ -17,6 +17,8 @@
 
 namespace dswm {
 
+class CovarianceEstimate;
+
 /// Precomputed scorer; rebuild when the sketch is refreshed.
 class AnomalyScorer {
  public:
@@ -31,6 +33,12 @@ class AnomalyScorer {
   static StatusOr<AnomalyScorer> FromCovariance(const Matrix& covariance,
                                                 double lambda_fraction = 0.01);
 
+  /// From a tracker query result, reusing the estimate's cached
+  /// eigendecomposition (CovarianceEstimate::Eigen): one SymmetricEigen
+  /// per snapshot is shared between scoring and the PsdSqrt conversion.
+  static StatusOr<AnomalyScorer> FromEstimate(const CovarianceEstimate& est,
+                                              double lambda_fraction = 0.01);
+
   /// score(x) = x^T (C + lambda I)^{-1} x; O(d^2).
   double Score(const double* x) const;
 
@@ -42,6 +50,9 @@ class AnomalyScorer {
   AnomalyScorer() = default;
   static StatusOr<AnomalyScorer> Build(const Matrix& covariance,
                                        double lambda_fraction);
+  static StatusOr<AnomalyScorer> BuildFromEigen(const Matrix& covariance,
+                                                EigenResult eig,
+                                                double lambda_fraction);
 
   EigenResult eig_;
   std::vector<double> inverse_eigenvalues_;

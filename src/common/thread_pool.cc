@@ -7,11 +7,19 @@
 namespace dswm {
 
 namespace {
-// True on pool worker threads. Nested ParallelFor calls from inside a task
-// run inline instead of re-entering the queue (which could deadlock when
-// every worker blocks in WaitIdle).
+// True on pool worker threads and inside a NestedInlineScope. Nested
+// ParallelFor calls from inside a task run inline instead of re-entering
+// the queue (which could deadlock when every worker blocks in WaitIdle).
 thread_local bool tls_in_worker = false;
 }  // namespace
+
+ThreadPool::NestedInlineScope::NestedInlineScope() : previous_(tls_in_worker) {
+  tls_in_worker = true;
+}
+
+ThreadPool::NestedInlineScope::~NestedInlineScope() {
+  tls_in_worker = previous_;
+}
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   DSWM_CHECK_GE(num_threads, 1);

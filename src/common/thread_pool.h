@@ -68,6 +68,25 @@ class ThreadPool {
   /// while work is in flight. n < 1 is clamped to 1.
   static void SetGlobalThreads(int n);
 
+  /// RAII: marks the current thread as inside a parallel region, so any
+  /// nested ParallelFor runs inline instead of re-entering the queue.
+  /// Worker threads carry this mark implicitly; the caller's chunk-0
+  /// execution does not, which would let kernels invoked from inside a
+  /// ParallelFor body submit a second round of tasks. The batched engine
+  /// (linalg/batched.h) wraps each chunk body in this scope to guarantee
+  /// exactly one pool dispatch per batch. Restores the previous state on
+  /// destruction, so scopes nest.
+  class NestedInlineScope {
+   public:
+    NestedInlineScope();
+    ~NestedInlineScope();
+    NestedInlineScope(const NestedInlineScope&) = delete;
+    NestedInlineScope& operator=(const NestedInlineScope&) = delete;
+
+   private:
+    bool previous_;
+  };
+
  private:
   void WorkerLoop() DSWM_EXCLUDES(mu_);
 

@@ -25,9 +25,17 @@ CovarianceEstimate CovarianceEstimate::FromCovariance(Matrix covariance) {
 const Matrix& CovarianceEstimate::Rows() const {
   if (!rows_.has_value()) {
     obs::Span span("query.psd_sqrt");
-    rows_ = PsdSqrt(*covariance_);
+    rows_ = PsdSqrtFromEigen(Eigen());
   }
   return *rows_;
+}
+
+const EigenResult& CovarianceEstimate::Eigen() const {
+  if (!eigen_.has_value()) {
+    obs::Span span("query.eigen");
+    eigen_ = SymmetricEigen(Covariance());
+  }
+  return *eigen_;
 }
 
 const Matrix& CovarianceEstimate::Covariance() const {

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
 
 namespace dswm {
 
@@ -50,6 +51,12 @@ class CovarianceEstimate {
   /// cached when the native form is rows.
   [[nodiscard]] const Matrix& Covariance() const;
 
+  /// Eigendecomposition of Covariance(), computed once per estimate and
+  /// cached. Every consumer of the same snapshot (the Rows() conversion,
+  /// anomaly scoring) shares this single SymmetricEigen instead of each
+  /// recomputing it.
+  [[nodiscard]] const EigenResult& Eigen() const;
+
   /// Row dimension d (0 for an empty estimate).
   [[nodiscard]] int Dim() const;
 
@@ -57,6 +64,7 @@ class CovarianceEstimate {
   bool is_rows_;
   mutable std::optional<Matrix> rows_;
   mutable std::optional<Matrix> covariance_;
+  mutable std::optional<EigenResult> eigen_;
 };
 
 }  // namespace dswm

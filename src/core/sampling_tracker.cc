@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "sampling/scaled_rows.h"
 
 namespace dswm {
 
@@ -295,24 +296,22 @@ CovarianceEstimate SamplingTracker::Query() const {
     fnorm2 = std::max(fnorm_tracker_->Estimate(), 0.0);
   }
 
-  for (int i = 0; i < k; ++i) {
-    const TimedRow& row = samples[i]->row;
-    const double w = row.NormSquared();
-    double scale = 1.0;  // multiplier c_i so that ||c_i a_i||^2 = v_i
-    if (exact_mode) {
-      scale = 1.0;
-    } else if (scheme_ == SamplingScheme::kPriority) {
-      // v_i = max(w_i, tau_k). (The paper's in-line formula omits the
-      // square root; the unbiased B^T B estimator needs c_i^2 w_i = v_i.)
-      const double v = std::max(w, tau_k);
-      scale = std::sqrt(v / w);
-    } else {
-      scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
-    }
-    double* dst = sketch_rows.Row(i);
-    const double* src = row.values.data();
-    for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
-  }
+  std::vector<const TimedRow*> picked(k);
+  for (int i = 0; i < k; ++i) picked[i] = &samples[i]->row;
+  const SamplingScheme scheme = scheme_;
+  sketch_rows = MaterializeScaledRows(
+      picked, config_.dim,
+      // Returns the multiplier c_i so that ||c_i a_i||^2 = v_i.
+      [exact_mode, scheme, tau_k, fnorm2, k](int /*i*/, double w) {
+        if (exact_mode) return 1.0;
+        if (scheme == SamplingScheme::kPriority) {
+          // v_i = max(w_i, tau_k). (The paper's in-line formula omits the
+          // square root; the unbiased B^T B estimator needs c_i^2 w_i =
+          // v_i.)
+          return std::sqrt(std::max(w, tau_k) / w);
+        }
+        return std::sqrt(fnorm2 / (static_cast<double>(k) * w));
+      });
   return CovarianceEstimate::FromRows(std::move(sketch_rows));
 }
 

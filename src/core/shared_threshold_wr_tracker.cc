@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "sampling/scaled_rows.h"
 
 namespace dswm {
 
@@ -231,15 +232,12 @@ CovarianceEstimate SharedThresholdWrTracker::Query() const {
     if (best != nullptr) picks.push_back(best);
   }
   const int k = static_cast<int>(picks.size());
-  Matrix sketch_rows(k, config_.dim);
-  for (int i = 0; i < k; ++i) {
-    const TimedRow& row = *picks[i]->row;
-    const double w = row.NormSquared();
-    const double scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
-    const double* src = row.values.data();
-    double* dst = sketch_rows.Row(i);
-    for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
-  }
+  std::vector<const TimedRow*> picked(k);
+  for (int i = 0; i < k; ++i) picked[i] = picks[i]->row.get();
+  Matrix sketch_rows = MaterializeScaledRows(
+      picked, config_.dim, [fnorm2, k](int /*i*/, double w) {
+        return std::sqrt(fnorm2 / (static_cast<double>(k) * w));
+      });
   return CovarianceEstimate::FromRows(std::move(sketch_rows));
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "sampling/scaled_rows.h"
+
 namespace dswm {
 
 WithReplacementTracker::WithReplacementTracker(const TrackerConfig& config,
@@ -57,17 +59,14 @@ CovarianceEstimate WithReplacementTracker::Query() const {
     if (!top.empty()) picks.push_back(top.front());
   }
   const int k = static_cast<int>(picks.size());
-  Matrix sketch_rows(k, config_.dim);
-  for (int i = 0; i < k; ++i) {
-    const TimedRow& row = picks[i]->row;
-    const double w = row.NormSquared();
-    // Standard WR estimator: each draw has P(row) ~ w / F^2, so the
-    // contribution is rescaled to squared norm F^2 / k.
-    const double scale = std::sqrt(fnorm2 / (static_cast<double>(k) * w));
-    const double* src = row.values.data();
-    double* dst = sketch_rows.Row(i);
-    for (int j = 0; j < config_.dim; ++j) dst[j] = scale * src[j];
-  }
+  std::vector<const TimedRow*> picked(k);
+  for (int i = 0; i < k; ++i) picked[i] = &picks[i]->row;
+  // Standard WR estimator: each draw has P(row) ~ w / F^2, so the
+  // contribution is rescaled to squared norm F^2 / k.
+  Matrix sketch_rows = MaterializeScaledRows(
+      picked, config_.dim, [fnorm2, k](int /*i*/, double w) {
+        return std::sqrt(fnorm2 / (static_cast<double>(k) * w));
+      });
   return CovarianceEstimate::FromRows(std::move(sketch_rows));
 }
 

@@ -142,6 +142,30 @@ constexpr long kParallelMulAddThreshold = 1L << 16;
   return pool->num_threads() > 1 && mul_adds >= kParallelMulAddThreshold;
 }
 
+// One multiply-accumulate step of an accumulator chain. The default build
+// keeps a separate per-lane IEEE multiply and add so results stay
+// bit-identical across the AVX / SSE2 / scalar bodies; a DSWM_FAST_MATH
+// build compiles this file with -mfma and fuses the pair -- one rounding
+// per step instead of two -- trading the memcmp oracle for a relative
+// tolerance against the IEEE build (tests/linalg_fastmath_test.cc).
+#if defined(__AVX__)
+inline __m256d MulAdd(__m256d acc, __m256d a, __m256d b) {
+#if defined(DSWM_FAST_MATH) && defined(__FMA__)
+  return _mm256_fmadd_pd(a, b, acc);
+#else
+  return _mm256_add_pd(acc, _mm256_mul_pd(a, b));
+#endif
+}
+#elif defined(__SSE2__)
+inline __m128d MulAdd(__m128d acc, __m128d a, __m128d b) {
+#if defined(DSWM_FAST_MATH) && defined(__FMA__)
+  return _mm_fmadd_pd(a, b, acc);
+#else
+  return _mm_add_pd(acc, _mm_mul_pd(a, b));
+#endif
+}
+#endif
+
 // C[i0:i0+kMr) x [j0:j0+kNr) += A[i0:i0+kMr, k0:k1) * B[k0:k1, j0:j0+kNr)
 // with the partial sums held in registers (interior tiles only). `first`
 // starts the accumulator chains at zero; later k blocks reload the exact
@@ -183,17 +207,17 @@ inline void MatMulTileFull(const Matrix& a, const double* bp, Matrix* c,
     const __m256d b0 = _mm256_loadu_pd(bk);
     const __m256d b1 = _mm256_loadu_pd(bk + 4);
     __m256d av = _mm256_broadcast_sd(a0 + k);
-    c00 = _mm256_add_pd(c00, _mm256_mul_pd(av, b0));
-    c01 = _mm256_add_pd(c01, _mm256_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm256_broadcast_sd(a1 + k);
-    c10 = _mm256_add_pd(c10, _mm256_mul_pd(av, b0));
-    c11 = _mm256_add_pd(c11, _mm256_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm256_broadcast_sd(a2 + k);
-    c20 = _mm256_add_pd(c20, _mm256_mul_pd(av, b0));
-    c21 = _mm256_add_pd(c21, _mm256_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm256_broadcast_sd(a3 + k);
-    c30 = _mm256_add_pd(c30, _mm256_mul_pd(av, b0));
-    c31 = _mm256_add_pd(c31, _mm256_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
     bk += kNr;
   }
   double* o0 = c->Row(i0) + j0;
@@ -245,49 +269,49 @@ inline void MatMulTileFull(const Matrix& a, const double* bp, Matrix* c,
     __m128d b0 = _mm_loadu_pd(bk);
     __m128d b1 = _mm_loadu_pd(bk + 2);
     __m128d av = _mm_set1_pd(a0[k]);
-    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
-    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm_set1_pd(a1[k]);
-    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
-    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm_set1_pd(a2[k]);
-    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
-    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm_set1_pd(a3[k]);
-    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
-    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
     bk += kNr;
     b0 = _mm_loadu_pd(bk);
     b1 = _mm_loadu_pd(bk + 2);
     av = _mm_set1_pd(a0[k + 1]);
-    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
-    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm_set1_pd(a1[k + 1]);
-    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
-    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm_set1_pd(a2[k + 1]);
-    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
-    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm_set1_pd(a3[k + 1]);
-    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
-    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
     bk += kNr;
   }
   for (; k < len; ++k) {
     const __m128d b0 = _mm_loadu_pd(bk);
     const __m128d b1 = _mm_loadu_pd(bk + 2);
     __m128d av = _mm_set1_pd(a0[k]);
-    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
-    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm_set1_pd(a1[k]);
-    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
-    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm_set1_pd(a2[k]);
-    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
-    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm_set1_pd(a3[k]);
-    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
-    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
     bk += kNr;
   }
   double* o0 = c->Row(i0) + j0;
@@ -394,17 +418,17 @@ inline void SyrkTileFull(const Matrix& a, int r0, int r1, Matrix* g, int i0,
     const __m256d b1 = _mm256_loadu_pd(ar + j0 + 4);
     const double* ai = ar + i0;
     __m256d av = _mm256_broadcast_sd(ai);
-    c00 = _mm256_add_pd(c00, _mm256_mul_pd(av, b0));
-    c01 = _mm256_add_pd(c01, _mm256_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm256_broadcast_sd(ai + 1);
-    c10 = _mm256_add_pd(c10, _mm256_mul_pd(av, b0));
-    c11 = _mm256_add_pd(c11, _mm256_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm256_broadcast_sd(ai + 2);
-    c20 = _mm256_add_pd(c20, _mm256_mul_pd(av, b0));
-    c21 = _mm256_add_pd(c21, _mm256_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm256_broadcast_sd(ai + 3);
-    c30 = _mm256_add_pd(c30, _mm256_mul_pd(av, b0));
-    c31 = _mm256_add_pd(c31, _mm256_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
   }
   _mm256_storeu_pd(o0, c00);
   _mm256_storeu_pd(o0 + 4, c01);
@@ -436,17 +460,17 @@ inline void SyrkTileFull(const Matrix& a, int r0, int r1, Matrix* g, int i0,
     const __m128d b1 = _mm_loadu_pd(ar + j0 + 2);
     const double* ai = ar + i0;
     __m128d av = _mm_set1_pd(ai[0]);
-    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
-    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm_set1_pd(ai[1]);
-    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
-    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm_set1_pd(ai[2]);
-    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
-    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm_set1_pd(ai[3]);
-    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
-    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
   }
   _mm_storeu_pd(o0, c00);
   _mm_storeu_pd(o0 + 2, c01);
@@ -513,17 +537,17 @@ inline void GramTileFull(const Matrix& a, Matrix* g, int i0, int j0) {
     const __m256d b0 = _mm256_set_pd(aj3[k], aj2[k], aj1[k], aj0[k]);
     const __m256d b1 = _mm256_set_pd(aj7[k], aj6[k], aj5[k], aj4[k]);
     __m256d av = _mm256_broadcast_sd(ai0 + k);
-    c00 = _mm256_add_pd(c00, _mm256_mul_pd(av, b0));
-    c01 = _mm256_add_pd(c01, _mm256_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm256_broadcast_sd(ai1 + k);
-    c10 = _mm256_add_pd(c10, _mm256_mul_pd(av, b0));
-    c11 = _mm256_add_pd(c11, _mm256_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm256_broadcast_sd(ai2 + k);
-    c20 = _mm256_add_pd(c20, _mm256_mul_pd(av, b0));
-    c21 = _mm256_add_pd(c21, _mm256_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm256_broadcast_sd(ai3 + k);
-    c30 = _mm256_add_pd(c30, _mm256_mul_pd(av, b0));
-    c31 = _mm256_add_pd(c31, _mm256_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
   }
   double* o0 = g->Row(i0) + j0;
   double* o1 = g->Row(i0 + 1) + j0;
@@ -561,17 +585,17 @@ inline void GramTileFull(const Matrix& a, Matrix* g, int i0, int j0) {
     const __m128d b0 = _mm_set_pd(aj1[k], aj0[k]);
     const __m128d b1 = _mm_set_pd(aj3[k], aj2[k]);
     __m128d av = _mm_set1_pd(ai0[k]);
-    c00 = _mm_add_pd(c00, _mm_mul_pd(av, b0));
-    c01 = _mm_add_pd(c01, _mm_mul_pd(av, b1));
+    c00 = MulAdd(c00, av, b0);
+    c01 = MulAdd(c01, av, b1);
     av = _mm_set1_pd(ai1[k]);
-    c10 = _mm_add_pd(c10, _mm_mul_pd(av, b0));
-    c11 = _mm_add_pd(c11, _mm_mul_pd(av, b1));
+    c10 = MulAdd(c10, av, b0);
+    c11 = MulAdd(c11, av, b1);
     av = _mm_set1_pd(ai2[k]);
-    c20 = _mm_add_pd(c20, _mm_mul_pd(av, b0));
-    c21 = _mm_add_pd(c21, _mm_mul_pd(av, b1));
+    c20 = MulAdd(c20, av, b0);
+    c21 = MulAdd(c21, av, b1);
     av = _mm_set1_pd(ai3[k]);
-    c30 = _mm_add_pd(c30, _mm_mul_pd(av, b0));
-    c31 = _mm_add_pd(c31, _mm_mul_pd(av, b1));
+    c30 = MulAdd(c30, av, b0);
+    c31 = MulAdd(c31, av, b1);
   }
   double* o0 = g->Row(i0) + j0;
   double* o1 = g->Row(i0 + 1) + j0;

@@ -9,9 +9,12 @@ namespace dswm {
 
 Matrix PsdSqrt(const Matrix& c, double rel_tol) {
   DSWM_CHECK_EQ(c.rows(), c.cols());
-  const int d = c.rows();
+  return PsdSqrtFromEigen(SymmetricEigen(c), rel_tol);
+}
+
+Matrix PsdSqrtFromEigen(const EigenResult& eig, double rel_tol) {
+  const int d = eig.vectors.rows();
   DSWM_OBS_COUNT("linalg.psd_sqrt.calls", 1);
-  const EigenResult eig = SymmetricEigen(c);
   const double lead = eig.values.empty() ? 0.0 : std::max(eig.values[0], 0.0);
   const double cutoff = lead * rel_tol;
 

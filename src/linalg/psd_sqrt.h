@@ -9,6 +9,7 @@
 #define DSWM_LINALG_PSD_SQRT_H_
 
 #include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
 
 namespace dswm {
 
@@ -16,6 +17,13 @@ namespace dswm {
 /// symmetric matrix `c` (negative eigenvalues clamped). Rows with
 /// eigenvalue <= rel_tol * lambda_max are dropped, so r <= d.
 [[nodiscard]] Matrix PsdSqrt(const Matrix& c, double rel_tol = 1e-12);
+
+/// As PsdSqrt, from an already computed eigendecomposition of `c`.
+/// PsdSqrt(c) == PsdSqrtFromEigen(SymmetricEigen(c)) bitwise; callers that
+/// cache the decomposition (CovarianceEstimate::Eigen) share one
+/// SymmetricEigen across every consumer of the same snapshot.
+[[nodiscard]] Matrix PsdSqrtFromEigen(const EigenResult& eig,
+                                      double rel_tol = 1e-12);
 
 }  // namespace dswm
 

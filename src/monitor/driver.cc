@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <deque>
 #include <utility>
+#include <vector>
 
 #include "common/rng.h"
-#include "common/thread_pool.h"
+#include "linalg/batched.h"
 #include "net/channel.h"
 #include "obs/span.h"
 #include "sketch/covariance.h"
@@ -114,24 +114,18 @@ StatusOr<RunResult> RunTracker(DistributedTracker* tracker,
   double tracker_seconds = 0.0;
 
   // Query-point error evaluations are independent of the stream replay
-  // (they act on a snapshot of exact + approximate state), so with a
-  // multi-threaded pool they run concurrently with subsequent tracker
-  // updates. Results are written into deque slots (stable addresses) and
-  // folded in query order below, so avg/max/trace are identical to the
-  // single-threaded run.
-  ThreadPool* pool = ThreadPool::Global();
-  const bool async_eval = pool->num_threads() > 1;
-  std::deque<double> errs;
-
-  // Every submitted eval task writes through a pointer into `errs`, so no
-  // path may unwind this frame while tasks are in flight. The error
-  // return inside the replay loop below used to do exactly that --
-  // destroying `errs` (and the exact-window snapshots) under a running
-  // worker. Declared after `errs` so it quiesces the pool first.
-  struct PoolQuiescer {
-    ThreadPool* pool;
-    ~PoolQuiescer() { pool->WaitIdle(); }
-  } quiesce{pool};
+  // (each acts on a snapshot of exact + approximate state), so the replay
+  // loop only collects the snapshots; the whole fan-out runs afterwards
+  // as one batch through the batched engine. Slot q belongs to query q
+  // and results fold in query order, so avg/max/trace are identical at
+  // any thread count. Nothing is in flight during replay, so an error
+  // return mid-loop unwinds safely.
+  struct EvalJob {
+    Matrix cov;
+    double fnorm2;
+    CovarianceEstimate estimate;
+  };
+  std::vector<EvalJob> jobs;
 
   for (int i = 0; i < n; ++i) {
     const TimedRow& row = rows[i];
@@ -154,21 +148,19 @@ StatusOr<RunResult> RunTracker(DistributedTracker* tracker,
       result.trace.push_back(TraceEntry{row.timestamp, 0.0,
                                         tracker->Comm().TotalWords(),
                                         site_space});
-      errs.push_back(0.0);
-      double* out = &errs.back();
-      if (async_eval) {
-        pool->Submit([cov = exact.Covariance(),
-                      fnorm2 = exact.FrobeniusSquared(),
-                      snapshot = std::move(estimate), out] {
-          *out = EvalError(cov, snapshot, fnorm2);
-        });
-      } else {
-        *out = EvalError(exact.Covariance(), estimate,
-                         exact.FrobeniusSquared());
-      }
+      jobs.push_back(EvalJob{exact.Covariance(), exact.FrobeniusSquared(),
+                             std::move(estimate)});
     }
   }
-  pool->WaitIdle();
+
+  std::vector<double> errs(jobs.size());
+  {
+    obs::Span span("driver.eval");
+    BatchedDispatch(static_cast<int>(jobs.size()), [&jobs, &errs](int q) {
+      errs[q] = EvalError(jobs[q].cov, jobs[q].estimate, jobs[q].fnorm2);
+    });
+  }
+  jobs.clear();
 
   double err_sum = 0.0;
   for (size_t q = 0; q < errs.size(); ++q) {

@@ -1,0 +1,22 @@
+#include "sampling/scaled_rows.h"
+
+#include "linalg/batched.h"
+
+namespace dswm {
+
+Matrix MaterializeScaledRows(
+    const std::vector<const TimedRow*>& rows, int dim,
+    const std::function<double(int, double)>& scale_of) {
+  const int k = static_cast<int>(rows.size());
+  Matrix sketch_rows(k, dim);
+  BatchedDispatch(k, [&rows, &scale_of, &sketch_rows, dim](int i) {
+    const TimedRow& row = *rows[i];
+    const double scale = scale_of(i, row.NormSquared());
+    const double* src = row.values.data();
+    double* dst = sketch_rows.Row(i);
+    for (int j = 0; j < dim; ++j) dst[j] = scale * src[j];
+  });
+  return sketch_rows;
+}
+
+}  // namespace dswm

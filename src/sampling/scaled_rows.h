@@ -1,0 +1,31 @@
+// Batched materialization of a coordinator sample into sketch rows.
+//
+// Every sampling tracker's Query() ends the same way: walk the k picked
+// rows, compute a per-row rescale from the row's squared norm, and write
+// scale * row into a k x d sketch. At d >= 256 that loop is the refill
+// hot path, so it runs through the batched engine (linalg/batched.h):
+// one pool dispatch for the whole refill, each output row owned by
+// exactly one batch index, bit-identical to the sequential loop at any
+// thread count.
+
+#ifndef DSWM_SAMPLING_SCALED_ROWS_H_
+#define DSWM_SAMPLING_SCALED_ROWS_H_
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+/// Returns the k x dim sketch whose row i is scale_of(i, w_i) * rows[i],
+/// where w_i = rows[i]->NormSquared(). scale_of must be pure arithmetic
+/// (it is called concurrently from pool workers).
+[[nodiscard]] Matrix MaterializeScaledRows(
+    const std::vector<const TimedRow*>& rows, int dim,
+    const std::function<double(int, double)>& scale_of);
+
+}  // namespace dswm
+
+#endif  // DSWM_SAMPLING_SCALED_ROWS_H_

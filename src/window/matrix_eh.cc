@@ -1,8 +1,11 @@
 #include "window/matrix_eh.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "linalg/batched.h"
 #include "obs/metrics.h"
 
 namespace dswm {
@@ -57,25 +60,76 @@ void MatrixExpHistogram::Advance(Timestamp t_now,
 
 void MatrixExpHistogram::Compress() {
   if (buckets_.size() < 2) return;
-  double prefix = 0.0;
-  size_t i = 0;
-  while (i + 1 < buckets_.size()) {
-    const double pair = buckets_[i].mass + buckets_[i + 1].mass;
-    const double suffix = total_mass_ - prefix - pair;
-    if (pair <= eps_bucket_ * suffix) {
-      DSWM_OBS_COUNT("window.meh.merges", 1);
-      Bucket& dst = buckets_[i];
-      Bucket& src = buckets_[i + 1];
-      dst.fd.Merge(src.fd);
-      dst.mass = pair;
-      dst.t_newest = src.t_newest;
-      dst.merged = true;
-      buckets_.erase(buckets_.begin() + static_cast<long>(i) + 1);
-    } else {
-      prefix += buckets_[i].mass;
-      ++i;
+  // Plan first, execute second. Each merge decision reads only bucket
+  // masses (prefix/suffix arithmetic), never sketch contents, so the
+  // sequential decision loop can run to completion before any FD work
+  // happens. A chained merge stays at the same destination, so every
+  // group is one destination bucket absorbing the consecutive run of
+  // source buckets [dst + 1, src_end).
+  struct MergeGroup {
+    size_t dst;
+    size_t src_end;
+    double mass;
+  };
+  std::vector<MergeGroup> groups;
+  {
+    std::vector<std::pair<size_t, double>> live;  // (original index, mass)
+    live.reserve(buckets_.size());
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      live.emplace_back(b, buckets_[b].mass);
+    }
+    double prefix = 0.0;
+    size_t i = 0;
+    while (i + 1 < live.size()) {
+      const double pair = live[i].second + live[i + 1].second;
+      const double suffix = total_mass_ - prefix - pair;
+      if (pair <= eps_bucket_ * suffix) {
+        DSWM_OBS_COUNT("window.meh.merges", 1);
+        if (!groups.empty() && groups.back().dst == live[i].first) {
+          groups.back().src_end = live[i + 1].first + 1;
+          groups.back().mass = pair;
+        } else {
+          groups.push_back({live[i].first, live[i + 1].first + 1, pair});
+        }
+        live[i].second = pair;
+        live.erase(live.begin() + static_cast<long>(i) + 1);
+      } else {
+        prefix += live[i].second;
+        ++i;
+      }
     }
   }
+  if (groups.empty()) return;
+
+  // All merge chains due this tick run as one batch (one pool dispatch).
+  // Each job replays its chain's Merge sequence in order -- the embedded
+  // shrink schedule is per-destination, so the batch is bit-identical to
+  // the sequential loop at any thread count.
+  std::vector<FdShrinkJob> jobs(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    jobs[g].fd = &buckets_[groups[g].dst].fd;
+    for (size_t s = groups[g].dst + 1; s < groups[g].src_end; ++s) {
+      jobs[g].sources.push_back(&buckets_[s].fd);
+    }
+  }
+  BatchedFdShrink(jobs.data(), static_cast<int>(jobs.size()));
+
+  for (const MergeGroup& g : groups) {
+    Bucket& dst = buckets_[g.dst];
+    dst.mass = g.mass;
+    dst.t_newest = buckets_[g.src_end - 1].t_newest;
+    dst.merged = true;
+  }
+  // Drop the absorbed source buckets in one pass, preserving order.
+  std::deque<Bucket> kept;
+  size_t g = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    while (g < groups.size() && b >= groups[g].src_end) ++g;
+    const bool is_source =
+        g < groups.size() && b > groups[g].dst && b < groups[g].src_end;
+    if (!is_source) kept.push_back(std::move(buckets_[b]));
+  }
+  buckets_ = std::move(kept);
 }
 
 Matrix MatrixExpHistogram::QueryRows() const {

@@ -1,0 +1,118 @@
+// Tolerance suite for the DSWM_FAST_MATH build mode.
+//
+// Under DSWM_FAST_MATH the matmul/Gram tiles contract each accumulate
+// step to a fused multiply-add: one rounding per step instead of two, so
+// each output element may differ from the per-lane IEEE build by
+// O(k * machine_eps) relative. These tests bound that drift against the
+// naive *Reference oracles (which never contract in either mode). They
+// pass in BOTH modes -- exactly equal in the default build, within
+// tolerance under FAST_MATH -- so tools/run_checks.sh runs them as the
+// acceptance gate of the -DDSWM_FAST_MATH=ON tree (ctest -R FastMath).
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "linalg/matrix.h"
+
+namespace dswm {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+double MaxAbsEntry(const Matrix& m) {
+  double s = 0.0;
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) s = std::max(s, std::fabs(m(i, j)));
+  }
+  return s;
+}
+
+// Contraction changes each length-k accumulator chain by at most ~k
+// roundings; 1e-11 relative to the largest reference entry leaves two
+// orders of margin at the k <= 513 shapes below.
+::testing::AssertionResult WithinContractionTolerance(const Matrix& got,
+                                                      const Matrix& ref) {
+  if (got.rows() != ref.rows() || got.cols() != ref.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << got.rows() << "x" << got.cols() << " vs "
+           << ref.rows() << "x" << ref.cols();
+  }
+  const double tol = 1e-11 * std::max(1.0, MaxAbsEntry(ref));
+  const double diff = MaxAbsDiff(got, ref);
+  if (diff > tol) {
+    return ::testing::AssertionFailure()
+           << "MaxAbsDiff=" << diff << " exceeds tol=" << tol;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(FastMathTolerance, MatMulMatchesReference) {
+  for (const auto& [m, k, p] : {std::array<int, 3>{64, 300, 48},
+                                std::array<int, 3>{128, 37, 129},
+                                std::array<int, 3>{13, 513, 12}}) {
+    const Matrix a = RandomMatrix(m, k, 100 + static_cast<uint64_t>(k));
+    const Matrix b = RandomMatrix(k, p, 200 + static_cast<uint64_t>(p));
+    EXPECT_TRUE(WithinContractionTolerance(MatMul(a, b), MatMulReference(a, b)))
+        << m << "x" << k << "x" << p;
+  }
+}
+
+TEST(FastMathTolerance, GramKernelsMatchReference) {
+  for (const auto& [rows, cols] : {std::array<int, 2>{40, 43},
+                                   std::array<int, 2>{300, 24},
+                                   std::array<int, 2>{24, 300}}) {
+    const Matrix a =
+        RandomMatrix(rows, cols, 300 + static_cast<uint64_t>(rows));
+    EXPECT_TRUE(WithinContractionTolerance(Gram(a), GramReference(a)))
+        << rows << "x" << cols;
+    EXPECT_TRUE(
+        WithinContractionTolerance(GramTranspose(a), GramTransposeReference(a)))
+        << rows << "x" << cols;
+  }
+}
+
+::testing::AssertionResult BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  for (int i = 0; i < a.rows(); ++i) {
+    if (std::memcmp(a.Row(i), b.Row(i),
+                    sizeof(double) * static_cast<size_t>(a.cols())) != 0) {
+      return ::testing::AssertionFailure() << "row " << i << " differs";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Contraction must not break the thread-count invariance: the chunk
+// partition never splits an accumulator chain, fused or not.
+TEST(FastMathTolerance, ThreadedStillBitIdenticalToSingle) {
+  const Matrix a = RandomMatrix(96, 280, 400);
+  const Matrix b = RandomMatrix(280, 64, 500);
+  const Matrix single_mm = MatMul(a, b);
+  const Matrix single_gt = GramTranspose(a);
+  ThreadPool::SetGlobalThreads(4);
+  const Matrix threaded_mm = MatMul(a, b);
+  const Matrix threaded_gt = GramTranspose(a);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_TRUE(BitIdentical(single_mm, threaded_mm));
+  EXPECT_TRUE(BitIdentical(single_gt, threaded_gt));
+}
+
+}  // namespace
+}  // namespace dswm

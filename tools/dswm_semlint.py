@@ -10,7 +10,10 @@ R6 started life as regex rules in dswm_lint.py and were migrated here.
   R5  raw-thread-outside-common
           No std::thread / std::jthread / std::async outside src/common/.
           All parallelism flows through common/thread_pool.h so the
-          deterministic single-threaded default holds. (Migrated.)
+          deterministic single-threaded default holds. This includes
+          batched fan-out: batches of small-matrix problems go through
+          linalg/batched.h (one ThreadPool dispatch per batch), never a
+          hand-rolled thread-per-problem loop. (Migrated.)
   R6  comm-outside-net
           No CommStats mutation (member SendUp/SendDown/Broadcast calls)
           in src/ outside src/net/: comm accounting is derived from the

@@ -11,6 +11,9 @@
 #                        with a notice when no clang++ is on PATH)
 #   build-fuzz/          DSWM_FUZZ=ON + ASan+UBSan: corpus-replay ctests
 #                        plus a bounded mutation smoke of both harnesses
+#   build-fastmath/      Release + -DDSWM_FAST_MATH=ON: the FMA-contracted
+#                        kernels against the FastMath tolerance suite (the
+#                        bitwise-vs-Reference oracles self-skip there)
 # then smoke-tests the benchmark JSON emitter, runs both repo linters
 # (tools/dswm_lint.py textual, tools/dswm_semlint.py AST-level, with the
 # fixture selftest and an empty-grandfather gate) and, when the binaries
@@ -19,7 +22,8 @@
 # elsewhere (tools/tidy_budget.txt, a ratchet that may only decrease).
 #
 # Usage: tools/run_checks.sh [--skip-release] [--skip-asan] [--skip-tsan]
-#                            [--skip-fuzz] [--skip-bench] [--jobs N]
+#                            [--skip-fuzz] [--skip-fastmath] [--skip-bench]
+#                            [--jobs N]
 # Exits nonzero on the first failing stage.
 
 set -euo pipefail
@@ -31,6 +35,7 @@ SKIP_ASAN=0
 SKIP_TSAN=0
 SKIP_BENCH=0
 SKIP_FUZZ=0
+SKIP_FASTMATH=0
 # Mutation counts sized to keep the whole fuzz stage near a minute on a
 # typical container; the corpus replay part is always exhaustive.
 FUZZ_WIRE_RUNS=20000
@@ -43,6 +48,7 @@ while [[ $# -gt 0 ]]; do
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-bench) SKIP_BENCH=1 ;;
     --skip-fuzz) SKIP_FUZZ=1 ;;
+    --skip-fastmath) SKIP_FASTMATH=1 ;;
     --jobs) JOBS="$2"; shift ;;
     *) echo "run_checks.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
@@ -138,6 +144,17 @@ if [[ "${SKIP_FUZZ}" -eq 0 ]]; then
     -seed=1 "${ROOT}/fuzz/corpus/csv"
 fi
 
+if [[ "${SKIP_FASTMATH}" -eq 0 ]]; then
+  # FMA-contracted kernel mode. Not bit-exact with the default build (by
+  # design -- one rounding per accumulate step instead of two), so its
+  # acceptance gate is the FastMath tolerance suite, not the memcmp
+  # oracles; those self-skip under DSWM_FAST_MATH. The filter also pulls
+  # in the Threaded/batched bit-identity tests, which must still hold:
+  # contraction never changes the accumulation partition.
+  build_and_test build-fastmath 'FastMath|Threaded|ThreadPool' \
+    -DCMAKE_BUILD_TYPE=Release -DDSWM_FAST_MATH=ON
+fi
+
 if [[ "${SKIP_BENCH}" -eq 0 ]]; then
   log "bench smoke (JSON emitter)"
   if [[ ! -f "${ROOT}/build-release/CMakeCache.txt" ]]; then
@@ -158,6 +175,27 @@ assert doc.get("benchmarks"), "DSWM_BENCH_JSON produced no benchmark entries"
 print(f"bench JSON OK ({len(doc['benchmarks'])} entries)")
 PY
   rm -f "${BENCH_JSON_TMP}"
+
+  log "bench smoke (batched window cells)"
+  # One fast cell from each batched-engine benchmark: proves the binary
+  # runs, the JSON emitter fires, and SetGlobalThreads inside a benchmark
+  # body restores the pool (the process would hang teardown otherwise).
+  cmake --build "${ROOT}/build-release" -j "${JOBS}" --target bench_micro_window
+  WIN_JSON_TMP="$(mktemp /tmp/dswm_bench_window.XXXXXX.json)"
+  DSWM_BENCH_JSON="${WIN_JSON_TMP}" \
+    "${ROOT}/build-release/bench/bench_micro_window" \
+    --benchmark_filter='BM_SamplerRefill/256' --benchmark_min_time=0.01 \
+    >/dev/null
+  python3 - "${WIN_JSON_TMP}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+names = [b["name"] for b in doc.get("benchmarks", [])]
+assert any("/1" in n for n in names) and any("/4" in n for n in names), (
+    f"expected 1- and 4-thread sampler-refill cells, got {names}")
+print(f"window bench JSON OK ({len(names)} cells)")
+PY
+  rm -f "${WIN_JSON_TMP}"
 
   log "metrics overhead smoke (micro-sketch, enabled vs disabled)"
   # The observability contract says instrumentation is near-zero overhead:
