@@ -1,0 +1,161 @@
+// Scale-out bench: the same DA2 stream driven through the three
+// runtimes (lockstep oracle, event-driven scheduler, multi-process
+// socket backend) at m in {4, 8}.
+//
+// Reported per cell: end-to-end wall time, ingested rows/sec, and
+// per-window latency (wall time divided by the windows the stream
+// spans). The error/comm metrics are printed too as a cross-runtime
+// sanity check -- the equivalence suite proves them bit-identical, so
+// any visible difference here means a broken build.
+//
+// Caveat, documented in BENCH_runtime_scaleout.json as well: everything
+// runs on one machine, and the process backend performs one synchronous
+// socket round trip per message, so these numbers measure the *cost* of
+// crossing real process boundaries, not a speedup. True scale-out (m
+// machines working concurrently) needs an asynchronous delivery order
+// and is out of scope for the deterministic replay contract.
+//
+// Regenerate the committed baseline with:
+//   DSWM_BENCH_JSON=bench/BENCH_runtime_scaleout.json
+//     build-release/bench/bench_runtime_scaleout  (one command line)
+// then restore the _comment/_command fields (timings are informational;
+// nothing compares them with tolerance).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "harness.h"
+#include "monitor/runtime.h"
+#include "obs/span.h"
+#include "runtime/runtime.h"
+
+namespace dswm::bench {
+namespace {
+
+struct Cell {
+  std::string runtime;
+  int num_sites = 0;
+  double elapsed_sec = 0.0;
+  double rows_per_sec = 0.0;
+  double window_latency_ms = 0.0;
+  RunResult result;
+};
+
+Cell RunScaleoutCell(runtime::RuntimeKind kind, const Workload& workload,
+                     int num_sites) {
+  runtime::RuntimeOptions options;
+  options.kind = kind;
+  std::unique_ptr<Runtime> rt = runtime::MakeRuntime(options);
+
+  TrackerConfig config;
+  config.dim = workload.dim;
+  config.num_sites = num_sites;
+  config.window = workload.window;
+  config.epsilon = 0.2;
+  config.seed = 1;
+  config.channel_backend = rt->backend();
+  auto tracker = MakeTracker(Algorithm::kDa2, config);
+  DSWM_CHECK(tracker.ok());
+
+  DriverOptions driver_options;
+  driver_options.seed = 20;
+
+  double elapsed_sec = 0.0;
+  StatusOr<RunResult> run = Status::Internal("not run");
+  {
+    // External-accumulator Span: always measures, even with metrics off.
+    obs::Span timer("bench.scaleout.run", &elapsed_sec);
+    run = rt->Run(tracker.value().get(), workload.rows, num_sites,
+                  workload.window, driver_options);
+  }
+  DSWM_CHECK(run.ok());
+
+  Cell cell;
+  cell.runtime = rt->name();
+  cell.num_sites = num_sites;
+  cell.elapsed_sec = elapsed_sec;
+  cell.result = std::move(run).value();
+  cell.rows_per_sec = cell.result.rows / cell.elapsed_sec;
+  const double windows = cell.result.windows_spanned > 0.0
+                             ? cell.result.windows_spanned
+                             : 1.0;
+  cell.window_latency_ms = 1e3 * cell.elapsed_sec / windows;
+  return cell;
+}
+
+void WriteJson(const char* path, const Workload& workload,
+               const std::vector<Cell>& cells) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_runtime_scaleout: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"workload\": \"%s\",\n  \"algorithm\": \"DA2\",\n",
+               workload.name.c_str());
+  std::fprintf(f, "  \"rows\": %zu,\n  \"dim\": %d,\n", workload.rows.size(),
+               workload.dim);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"runtime\": \"%s\", \"sites\": %d, \"elapsed_sec\": %.4f, "
+        "\"rows_per_sec\": %.0f, \"window_latency_ms\": %.2f, "
+        "\"avg_err\": %.6f, \"total_words\": %ld, "
+        "\"wire_transmissions\": %ld}%s\n",
+        c.runtime.c_str(), c.num_sites, c.elapsed_sec, c.rows_per_sec,
+        c.window_latency_ms, c.result.avg_err, c.result.total_words,
+        c.result.wire_transmissions, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main() {
+  // A quarter of the synthetic bench stream keeps the process backend's
+  // per-message round trips in seconds, while still spanning several
+  // windows of steady state.
+  const Workload workload = Truncate(MakeSyntheticWorkload(), 0.25);
+  std::printf("workload %s: %zu rows, dim %d, window %lld\n",
+              workload.name.c_str(), workload.rows.size(), workload.dim,
+              static_cast<long long>(workload.window));
+
+  const runtime::RuntimeKind kinds[] = {runtime::RuntimeKind::kLockstep,
+                                        runtime::RuntimeKind::kEvents,
+                                        runtime::RuntimeKind::kProcess};
+  std::vector<Cell> cells;
+  std::printf("%-10s %4s %12s %12s %18s %12s %14s\n", "runtime", "m",
+              "elapsed(s)", "rows/s", "window_lat(ms)", "avg_err",
+              "transmissions");
+  for (int m : {4, 8}) {
+    for (runtime::RuntimeKind kind : kinds) {
+      Cell c = RunScaleoutCell(kind, workload, m);
+      std::printf("%-10s %4d %12.3f %12.0f %18.2f %12.6f %14ld\n",
+                  c.runtime.c_str(), c.num_sites, c.elapsed_sec,
+                  c.rows_per_sec, c.window_latency_ms, c.result.avg_err,
+                  c.result.wire_transmissions);
+      std::fflush(stdout);
+      cells.push_back(std::move(c));
+    }
+    // Cross-runtime sanity: the equivalence suite proves bit-identity;
+    // here we at least refuse to publish numbers from diverging runs.
+    const size_t base = cells.size() - 3;
+    for (size_t i = base + 1; i < cells.size(); ++i) {
+      DSWM_CHECK(cells[i].result.total_words == cells[base].result.total_words);
+      DSWM_CHECK(cells[i].result.avg_err == cells[base].result.avg_err);
+    }
+  }
+
+  const char* path = BenchJsonPath();
+  if (path != nullptr) WriteJson(path, workload, cells);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dswm::bench
+
+int main() { return dswm::bench::Main(); }

@@ -102,6 +102,25 @@ int main(int argc, char** argv) {
                   inflated)) {
     ++failures;
   }
+  std::vector<uint8_t> wrong_version = frame;
+  wrong_version[2] = static_cast<uint8_t>(kWireFormatVersion + 1);
+  if (!WriteBytes((root / "wire" / "wrong_version.bin").string(),
+                  wrong_version)) {
+    ++failures;
+  }
+  std::vector<uint8_t> version_zero = frame;
+  version_zero[2] = 0;  // the pre-versioning layout's reserved bytes
+  version_zero[3] = 0;
+  if (!WriteBytes((root / "wire" / "version_zero.bin").string(),
+                  version_zero)) {
+    ++failures;
+  }
+  // A frame with every sequence byte set: the parser must treat the
+  // transport sequence as opaque payload, never as structure.
+  SerializeMessage(AckMsg{77}, &frame, ~0ULL);
+  if (!WriteBytes((root / "wire" / "sequenced_ack.bin").string(), frame)) {
+    ++failures;
+  }
   if (!WriteBytes((root / "wire" / "empty.bin").string(), {})) ++failures;
 
   // CSV seeds: first byte = option selector (see fuzz_csv_parse.cc).

@@ -7,7 +7,7 @@ namespace dswm {
 CentralizedTracker::CentralizedTracker(const TrackerConfig& config)
     : config_(config),
       meh_(config.dim, config.epsilon, config.window),
-      channel_(net::MakeChannel(config.net, config.num_sites, 0)) {
+      channel_(MakeTrackerChannel(config, 0)) {
   DSWM_CHECK(config.Validate().ok());
   channel_->SetHandler([this](net::Delivery d) {
     if (const auto* m = std::get_if<net::RowUploadMsg>(&d.msg)) {

@@ -14,7 +14,7 @@ Da1Tracker::Da1Tracker(const TrackerConfig& config)
       eps_threshold_(config.epsilon / 2.0),
       coordinator_c_hat_(config.dim, config.dim),
       now_(std::numeric_limits<Timestamp>::min() / 2),
-      channel_(net::MakeChannel(config.net, config.num_sites, 0)) {
+      channel_(MakeTrackerChannel(config, 0)) {
   DSWM_CHECK(config.Validate().ok());
   // Coordinator side: delivered eigenpairs rank-1-update C_hat. The site
   // side commits its own copy at send time; under loss the two diverge by

@@ -11,7 +11,7 @@ Da2Tracker::Da2Tracker(const TrackerConfig& config)
       eps_threshold_(config.epsilon / 2.0),
       ell_fd_(static_cast<int>(std::ceil(2.0 / config.epsilon))),
       now_(std::numeric_limits<Timestamp>::min() / 2),
-      channel_(net::MakeChannel(config.net, config.num_sites, 0)) {
+      channel_(MakeTrackerChannel(config, 0)) {
   DSWM_CHECK(config.Validate().ok());
   // Coordinator side: a delivered direction updates this site's forward
   // (flag +1) or expiring (flag -1) accumulation.

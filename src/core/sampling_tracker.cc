@@ -31,7 +31,7 @@ SamplingTracker::SamplingTracker(const TrackerConfig& config,
       name_(MakeName(scheme, use_all_samples)),
       tau_(LowestThreshold(scheme)),
       now_(std::numeric_limits<Timestamp>::min() / 2),
-      channel_(net::MakeChannel(config.net, config.num_sites,
+      channel_(MakeTrackerChannel(config,
                                 2 * channel_salt)) {
   DSWM_CHECK(config.Validate().ok());
   channel_->SetHandler([this](net::Delivery d) { OnDelivery(std::move(d)); });
@@ -45,7 +45,7 @@ SamplingTracker::SamplingTracker(const TrackerConfig& config,
     // communication is charged to this protocol through comm().
     fnorm_tracker_ = std::make_unique<SumTracker>(
         config.num_sites, config.window, config.epsilon / 2.0,
-        net::MakeChannel(config.net, config.num_sites, 2 * channel_salt + 1));
+        MakeTrackerChannel(config, 2 * channel_salt + 1));
   }
 }
 

@@ -18,9 +18,9 @@ SharedThresholdWrTracker::SharedThresholdWrTracker(
       ell_(config.SampleSize()),
       tau_(LowestThreshold(scheme)),
       now_(std::numeric_limits<Timestamp>::min() / 2),
-      channel_(net::MakeChannel(config.net, config.num_sites, 0)),
+      channel_(MakeTrackerChannel(config, 0)),
       fnorm_tracker_(config.num_sites, config.window, config.epsilon / 2.0,
-                     net::MakeChannel(config.net, config.num_sites, 1)) {
+                     MakeTrackerChannel(config, 1)) {
   DSWM_CHECK(config.Validate().ok());
   channel_->SetHandler([this](net::Delivery d) { OnDelivery(std::move(d)); });
   sites_.reserve(config.num_sites);

@@ -2,7 +2,13 @@
 
 #include <string>
 
+#include "net/channel.h"
+
 namespace dswm {
+
+void DistributedTracker::PumpChannels(Timestamp t) {
+  for (net::Channel* channel : Channels()) channel->AdvanceTime(t);
+}
 
 Status DistributedTracker::ValidateObserve(int site, int num_sites,
                                            Timestamp t) {

@@ -59,6 +59,17 @@ class DistributedTracker {
     return {};
   }
 
+  /// Transport delivery pump: flushes every channel this tracker owns up
+  /// to time `t` (delayed frames, retransmissions) without running any
+  /// protocol maintenance. The lockstep driver never calls it -- trackers
+  /// reach the same flush synchronously inside Observe/AdvanceTime -- but
+  /// an event-driven runtime invokes it at transport due times
+  /// (FaultyChannel::NextDueTime) so deliveries need not wait for the
+  /// next row event. Flushing early is order-preserving: the channels
+  /// deliver in (due-time, enqueue-order) regardless of how the clock
+  /// advances, so the state the next Observe sees is identical.
+  virtual void PumpChannels(Timestamp t);
+
   /// Current space usage, in words, of the most loaded site.
   [[nodiscard]] virtual long MaxSiteSpaceWords() const = 0;
 

@@ -56,6 +56,13 @@ struct TrackerConfig {
   /// loopback channel; any fault knob selects the fault injector.
   net::NetProfile net;
 
+  /// Transport backend override, installed by a runtime (src/runtime)
+  /// before MakeTracker. Null keeps the default in-process selection
+  /// above. Every sub-protocol channel a tracker constructs goes through
+  /// this hook, so a single assignment moves the whole protocol onto an
+  /// event-queued or cross-process transport.
+  net::ChannelBackendFn channel_backend;
+
   /// Derived sample-set size.
   int SampleSize() const {
     if (ell_override > 0) return ell_override;
@@ -76,6 +83,19 @@ struct TrackerConfig {
     return Status::OK();
   }
 };
+
+/// Builds the transport for one (sub-)protocol channel of a tracker:
+/// the configured backend when one is installed, MakeChannel's default
+/// loopback/faulty selection otherwise. `salt` decorrelates sub-protocol
+/// fault RNGs; trackers pass the same salts they always have, so a
+/// backend swap never changes a seeded fault sequence.
+inline std::unique_ptr<net::Channel> MakeTrackerChannel(
+    const TrackerConfig& config, uint64_t salt) {
+  if (config.channel_backend) {
+    return config.channel_backend(config.net, config.num_sites, salt);
+  }
+  return net::MakeChannel(config.net, config.num_sites, salt);
+}
 
 }  // namespace dswm
 

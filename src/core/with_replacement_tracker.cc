@@ -14,7 +14,7 @@ WithReplacementTracker::WithReplacementTracker(const TrackerConfig& config,
       scheme_(scheme),
       name_(scheme == SamplingScheme::kPriority ? "PWR" : "ESWR"),
       fnorm_tracker_(config.num_sites, config.window, config.epsilon / 2.0,
-                     net::MakeChannel(config.net, config.num_sites, 1)) {
+                     MakeTrackerChannel(config, 1)) {
   DSWM_CHECK(config.Validate().ok());
   const int ell = config.SampleSize();
   samplers_.reserve(ell);

@@ -1,74 +1,11 @@
 #include "monitor/driver.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <utility>
-#include <vector>
+#include <string>
 
-#include "common/rng.h"
-#include "linalg/batched.h"
-#include "net/channel.h"
-#include "obs/span.h"
-#include "sketch/covariance.h"
-#include "window/exact_window.h"
+#include "monitor/replay.h"
+#include "monitor/runtime.h"
 
 namespace dswm {
-
-namespace {
-
-double EvalError(const Matrix& cov_exact, const CovarianceEstimate& estimate,
-                 double fnorm2) {
-  // Dispatch on the native form so evaluation never pays a lazy
-  // conversion (PsdSqrt / GramTranspose) inside the measurement loop.
-  return estimate.NativeIsRows()
-             ? CovarianceErrorOfSketch(cov_exact, estimate.Rows(), fnorm2)
-             : CovarianceErrorOfCovariance(cov_exact, estimate.Covariance(),
-                                           fnorm2);
-}
-
-Status WriteTextFile(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IoError("cannot open trace file: " + path);
-  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != text.size() || close_rc != 0) {
-    return Status::IoError("short write to trace file: " + path);
-  }
-  return Status::OK();
-}
-
-Status ValidateRun(const DistributedTracker* tracker,
-                   const std::vector<TimedRow>& rows, int num_sites,
-                   Timestamp window, const DriverOptions& options) {
-  if (tracker == nullptr) {
-    return Status::InvalidArgument("RunTracker: tracker is null");
-  }
-  if (num_sites < 1) {
-    return Status::InvalidArgument("RunTracker: num_sites must be >= 1, got " +
-                                   std::to_string(num_sites));
-  }
-  if (window < 1) {
-    return Status::InvalidArgument("RunTracker: window must be >= 1, got " +
-                                   std::to_string(window));
-  }
-  DSWM_RETURN_NOT_OK(options.Validate());
-  const int d = tracker->Dim();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (static_cast<int>(rows[i].values.size()) != d) {
-      return Status::InvalidArgument(
-          "RunTracker: row " + std::to_string(i) + " has dimension " +
-          std::to_string(rows[i].values.size()) + ", tracker expects " +
-          std::to_string(d));
-    }
-    if (i > 0 && rows[i].timestamp < rows[i - 1].timestamp) {
-      return Status::InvalidArgument(
-          "RunTracker: rows out of time order at index " + std::to_string(i));
-    }
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Status DriverOptions::Validate() const {
   if (query_points < 0) {
@@ -84,138 +21,24 @@ Status DriverOptions::Validate() const {
   return Status::OK();
 }
 
+StatusOr<RunResult> LockstepRuntime::Run(DistributedTracker* tracker,
+                                         const std::vector<TimedRow>& rows,
+                                         int num_sites, Timestamp window,
+                                         const DriverOptions& options) {
+  ReplayHarness replay(tracker, rows, num_sites, window, options);
+  DSWM_RETURN_NOT_OK(replay.Plan());
+  for (int i = 0; i < replay.rows(); ++i) {
+    DSWM_RETURN_NOT_OK(replay.Step(i));
+  }
+  return replay.Finish();
+}
+
 StatusOr<RunResult> RunTracker(DistributedTracker* tracker,
                                const std::vector<TimedRow>& rows,
                                int num_sites, Timestamp window,
                                const DriverOptions& options) {
-  DSWM_RETURN_NOT_OK(
-      ValidateRun(tracker, rows, num_sites, window, options));
-
-  RunResult result;
-  result.rows = static_cast<int>(rows.size());
-  if (rows.empty()) return result;
-
-  const bool metrics_on = obs::Enabled();
-  const obs::MetricsSnapshot metrics_base =
-      metrics_on ? obs::Registry().Snapshot() : obs::MetricsSnapshot();
-
-  Rng rng(options.seed);
-  const int n = result.rows;
-
-  // Pick query-point row indices in the steady-state region.
-  const int first = std::min(
-      n - 1, static_cast<int>(options.warmup_fraction * n));
-  std::vector<bool> is_query(n, false);
-  for (int q = 0; q < options.query_points; ++q) {
-    is_query[first + static_cast<int>(rng.NextBelow(n - first))] = true;
-  }
-
-  ExactWindow exact(tracker->Dim(), window);
-  double tracker_seconds = 0.0;
-
-  // Query-point error evaluations are independent of the stream replay
-  // (each acts on a snapshot of exact + approximate state), so the replay
-  // loop only collects the snapshots; the whole fan-out runs afterwards
-  // as one batch through the batched engine. Slot q belongs to query q
-  // and results fold in query order, so avg/max/trace are identical at
-  // any thread count. Nothing is in flight during replay, so an error
-  // return mid-loop unwinds safely.
-  struct EvalJob {
-    Matrix cov;
-    double fnorm2;
-    CovarianceEstimate estimate;
-  };
-  std::vector<EvalJob> jobs;
-
-  for (int i = 0; i < n; ++i) {
-    const TimedRow& row = rows[i];
-    const int site = static_cast<int>(rng.NextBelow(num_sites));
-
-    {
-      obs::Span span("driver.observe", &tracker_seconds);
-      DSWM_RETURN_NOT_OK(tracker->Observe(site, row));
-    }
-
-    exact.Add(row);
-    exact.Advance(row.timestamp);
-
-    if (is_query[i]) {
-      obs::Span span("driver.query");
-      CovarianceEstimate estimate = tracker->Query();
-      const long site_space = tracker->MaxSiteSpaceWords();
-      result.max_site_space_words =
-          std::max(result.max_site_space_words, site_space);
-      result.trace.push_back(TraceEntry{row.timestamp, 0.0,
-                                        tracker->Comm().TotalWords(),
-                                        site_space});
-      jobs.push_back(EvalJob{exact.Covariance(), exact.FrobeniusSquared(),
-                             std::move(estimate)});
-    }
-  }
-
-  std::vector<double> errs(jobs.size());
-  {
-    obs::Span span("driver.eval");
-    BatchedDispatch(static_cast<int>(jobs.size()), [&jobs, &errs](int q) {
-      errs[q] = EvalError(jobs[q].cov, jobs[q].estimate, jobs[q].fnorm2);
-    });
-  }
-  jobs.clear();
-
-  double err_sum = 0.0;
-  for (size_t q = 0; q < errs.size(); ++q) {
-    result.trace[q].err = errs[q];
-    err_sum += errs[q];
-    result.max_err = std::max(result.max_err, errs[q]);
-  }
-  result.avg_err = errs.empty() ? 0.0 : err_sum / static_cast<double>(errs.size());
-
-  const CommStats& comm = tracker->Comm();
-  result.total_words = comm.TotalWords();
-  result.messages = comm.messages;
-  result.broadcasts = comm.broadcasts;
-  result.rows_sent = comm.rows_sent;
-
-  // Wire-level accounting and (optionally) the merged transmission trace,
-  // aggregated over every channel the tracker owns.
-  std::string trace_text;
-  for (net::Channel* c : tracker->Channels()) {
-    result.wire_payload_bytes += c->ledger().TotalPayloadBytes();
-    result.wire_frame_bytes += c->ledger().TotalFrameBytes();
-    result.wire_transmissions += static_cast<long>(c->ledger().entries().size());
-    if (!options.trace_jsonl.empty()) c->ledger().AppendJsonl(&trace_text);
-  }
-  if (!options.trace_jsonl.empty()) {
-    result.trace_status = WriteTextFile(options.trace_jsonl, trace_text);
-  }
-
-  const Timestamp span =
-      rows.back().timestamp - rows.front().timestamp + 1;
-  result.windows_spanned =
-      static_cast<double>(span) / static_cast<double>(window);
-  result.words_per_window =
-      result.windows_spanned > 0
-          ? static_cast<double>(result.total_words) / result.windows_spanned
-          : static_cast<double>(result.total_words);
-  result.update_rows_per_sec =
-      tracker_seconds > 0 ? n / tracker_seconds : 0.0;
-
-  if (metrics_on) {
-    // Export the ledger-derived comm/space totals as gauges so one
-    // snapshot covers comm + compute + space, then scope the cumulative
-    // registry to this run.
-    obs::MetricRegistry& reg = obs::Registry();
-    reg.GetGauge("comm.total_words")->Set(result.total_words);
-    reg.GetGauge("comm.messages")->Set(result.messages);
-    reg.GetGauge("comm.broadcasts")->Set(result.broadcasts);
-    reg.GetGauge("comm.rows_sent")->Set(result.rows_sent);
-    reg.GetGauge("comm.wire_payload_bytes")->Set(result.wire_payload_bytes);
-    reg.GetGauge("comm.wire_frame_bytes")->Set(result.wire_frame_bytes);
-    reg.GetGauge("comm.wire_transmissions")->Set(result.wire_transmissions);
-    reg.GetGauge("space.max_site_words")->Set(result.max_site_space_words);
-    result.metrics = reg.Snapshot().DeltaSince(metrics_base);
-  }
-  return result;
+  LockstepRuntime runtime;
+  return runtime.Run(tracker, rows, num_sites, window, options);
 }
 
 }  // namespace dswm

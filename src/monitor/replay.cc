@@ -1,0 +1,226 @@
+#include "monitor/replay.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/batched.h"
+#include "net/channel.h"
+#include "obs/span.h"
+#include "sketch/covariance.h"
+
+namespace dswm {
+
+namespace {
+
+double EvalError(const Matrix& cov_exact, const CovarianceEstimate& estimate,
+                 double fnorm2) {
+  // Dispatch on the native form so evaluation never pays a lazy
+  // conversion (PsdSqrt / GramTranspose) inside the measurement loop.
+  return estimate.NativeIsRows()
+             ? CovarianceErrorOfSketch(cov_exact, estimate.Rows(), fnorm2)
+             : CovarianceErrorOfCovariance(cov_exact, estimate.Covariance(),
+                                           fnorm2);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open trace file: " + path);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+Status ValidateRun(const DistributedTracker* tracker,
+                   const std::vector<TimedRow>& rows, int num_sites,
+                   Timestamp window, const DriverOptions& options) {
+  if (tracker == nullptr) {
+    return Status::InvalidArgument("RunTracker: tracker is null");
+  }
+  if (num_sites < 1) {
+    return Status::InvalidArgument("RunTracker: num_sites must be >= 1, got " +
+                                   std::to_string(num_sites));
+  }
+  if (window < 1) {
+    return Status::InvalidArgument("RunTracker: window must be >= 1, got " +
+                                   std::to_string(window));
+  }
+  DSWM_RETURN_NOT_OK(options.Validate());
+  const int d = tracker->Dim();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (static_cast<int>(rows[i].values.size()) != d) {
+      return Status::InvalidArgument(
+          "RunTracker: row " + std::to_string(i) + " has dimension " +
+          std::to_string(rows[i].values.size()) + ", tracker expects " +
+          std::to_string(d));
+    }
+    if (i > 0 && rows[i].timestamp < rows[i - 1].timestamp) {
+      return Status::InvalidArgument(
+          "RunTracker: rows out of time order at index " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ReplayHarness::ReplayHarness(DistributedTracker* tracker,
+                             const std::vector<TimedRow>& rows, int num_sites,
+                             Timestamp window, const DriverOptions& options)
+    : tracker_(tracker),
+      rows_(rows),
+      num_sites_(num_sites),
+      window_(window),
+      options_(options) {}
+
+Status ReplayHarness::Plan() {
+  DSWM_RETURN_NOT_OK(
+      ValidateRun(tracker_, rows_, num_sites_, window_, options_));
+  n_ = static_cast<int>(rows_.size());
+  result_.rows = n_;
+  planned_ = true;
+  if (n_ == 0) return Status::OK();
+
+  metrics_on_ = obs::Enabled();
+  if (metrics_on_) metrics_base_ = obs::Registry().Snapshot();
+
+  // Historical draw order (bit-compatibility with every seeded
+  // experiment): all query points first, then one site draw per row. The
+  // in-loop driver interleaved the site draws with observes, but nothing
+  // between draws touched this RNG, so precomputing is draw-for-draw
+  // identical.
+  Rng rng(options_.seed);
+  const int first = std::min(
+      n_ - 1, static_cast<int>(options_.warmup_fraction * n_));
+  is_query_.assign(static_cast<size_t>(n_), false);
+  for (int q = 0; q < options_.query_points; ++q) {
+    is_query_[static_cast<size_t>(
+        first + static_cast<int>(rng.NextBelow(n_ - first)))] = true;
+  }
+  sites_.resize(static_cast<size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    sites_[static_cast<size_t>(i)] =
+        static_cast<int>(rng.NextBelow(num_sites_));
+  }
+
+  exact_.emplace(tracker_->Dim(), window_);
+  return Status::OK();
+}
+
+Status ReplayHarness::Step(int i) {
+  DSWM_CHECK(planned_);
+  DSWM_CHECK(i == next_step_);
+  ++next_step_;
+  const TimedRow& row = rows_[static_cast<size_t>(i)];
+
+  {
+    obs::Span span("driver.observe", &tracker_seconds_);
+    DSWM_RETURN_NOT_OK(tracker_->Observe(site_of(i), row));
+  }
+
+  exact_->Add(row);
+  exact_->Advance(row.timestamp);
+
+  if (query_at(i)) {
+    obs::Span span("driver.query");
+    CovarianceEstimate estimate = tracker_->Query();
+    const long site_space = tracker_->MaxSiteSpaceWords();
+    result_.max_site_space_words =
+        std::max(result_.max_site_space_words, site_space);
+    result_.trace.push_back(TraceEntry{row.timestamp, 0.0,
+                                       tracker_->Comm().TotalWords(),
+                                       site_space});
+    jobs_.push_back(EvalJob{exact_->Covariance(), exact_->FrobeniusSquared(),
+                            std::move(estimate)});
+  }
+  return Status::OK();
+}
+
+StatusOr<RunResult> ReplayHarness::Finish() {
+  DSWM_CHECK(planned_);
+  if (n_ == 0) return std::move(result_);
+  DSWM_CHECK(next_step_ == n_);
+
+  // Query-point error evaluations are independent of the stream replay
+  // (each acts on a snapshot of exact + approximate state), so the replay
+  // only collects the snapshots; the whole fan-out runs afterwards as one
+  // batch through the batched engine. Slot q belongs to query q and
+  // results fold in query order, so avg/max/trace are identical at any
+  // thread count.
+  std::vector<double> errs(jobs_.size());
+  {
+    obs::Span span("driver.eval");
+    BatchedDispatch(static_cast<int>(jobs_.size()), [this, &errs](int q) {
+      errs[static_cast<size_t>(q)] =
+          EvalError(jobs_[static_cast<size_t>(q)].cov,
+                    jobs_[static_cast<size_t>(q)].estimate,
+                    jobs_[static_cast<size_t>(q)].fnorm2);
+    });
+  }
+  jobs_.clear();
+
+  double err_sum = 0.0;
+  for (size_t q = 0; q < errs.size(); ++q) {
+    result_.trace[q].err = errs[q];
+    err_sum += errs[q];
+    result_.max_err = std::max(result_.max_err, errs[q]);
+  }
+  result_.avg_err =
+      errs.empty() ? 0.0 : err_sum / static_cast<double>(errs.size());
+
+  const CommStats& comm = tracker_->Comm();
+  result_.total_words = comm.TotalWords();
+  result_.messages = comm.messages;
+  result_.broadcasts = comm.broadcasts;
+  result_.rows_sent = comm.rows_sent;
+
+  // Wire-level accounting and (optionally) the merged transmission trace,
+  // aggregated over every channel the tracker owns.
+  std::string trace_text;
+  for (net::Channel* c : tracker_->Channels()) {
+    result_.wire_payload_bytes += c->ledger().TotalPayloadBytes();
+    result_.wire_frame_bytes += c->ledger().TotalFrameBytes();
+    result_.wire_transmissions +=
+        static_cast<long>(c->ledger().entries().size());
+    if (!options_.trace_jsonl.empty()) c->ledger().AppendJsonl(&trace_text);
+  }
+  if (!options_.trace_jsonl.empty()) {
+    result_.trace_status = WriteTextFile(options_.trace_jsonl, trace_text);
+  }
+
+  const Timestamp span =
+      rows_.back().timestamp - rows_.front().timestamp + 1;
+  result_.windows_spanned =
+      static_cast<double>(span) / static_cast<double>(window_);
+  result_.words_per_window =
+      result_.windows_spanned > 0
+          ? static_cast<double>(result_.total_words) / result_.windows_spanned
+          : static_cast<double>(result_.total_words);
+  result_.update_rows_per_sec =
+      tracker_seconds_ > 0 ? n_ / tracker_seconds_ : 0.0;
+
+  if (metrics_on_) {
+    // Export the ledger-derived comm/space totals as gauges so one
+    // snapshot covers comm + compute + space, then scope the cumulative
+    // registry to this run.
+    obs::MetricRegistry& reg = obs::Registry();
+    reg.GetGauge("comm.total_words")->Set(result_.total_words);
+    reg.GetGauge("comm.messages")->Set(result_.messages);
+    reg.GetGauge("comm.broadcasts")->Set(result_.broadcasts);
+    reg.GetGauge("comm.rows_sent")->Set(result_.rows_sent);
+    reg.GetGauge("comm.wire_payload_bytes")->Set(result_.wire_payload_bytes);
+    reg.GetGauge("comm.wire_frame_bytes")->Set(result_.wire_frame_bytes);
+    reg.GetGauge("comm.wire_transmissions")->Set(result_.wire_transmissions);
+    reg.GetGauge("space.max_site_words")->Set(result_.max_site_space_words);
+    result_.metrics = reg.Snapshot().DeltaSince(metrics_base_);
+  }
+  return std::move(result_);
+}
+
+}  // namespace dswm

@@ -1,0 +1,91 @@
+// The stream-replay core shared by every runtime.
+//
+// RunTracker's historical behavior is split into three phases so the
+// lockstep driver and the src/runtime schedulers (event-driven,
+// multi-process) can drive the identical measurement harness:
+//
+//   Plan()   -- validate inputs and precompute the per-row site
+//               assignment and query-point selection, drawing from the
+//               seeded RNG in the driver's historical order (query points
+//               first, then one site draw per row) so every runtime sees
+//               the same plan bit for bit;
+//   Step(i)  -- feed row i: Observe at its planned site, exact-window
+//               upkeep, and (at query points) snapshot the state for
+//               batched error evaluation;
+//   Finish() -- run the evaluation fan-out, aggregate ledgers and wire
+//               accounting, and assemble the RunResult.
+//
+// Rows must be stepped exactly once each, in index order; *when* a step
+// runs (lockstep loop vs. popped from an event queue) is the runtime's
+// business and does not change any reported metric except wall-clock.
+
+#ifndef DSWM_MONITOR_REPLAY_H_
+#define DSWM_MONITOR_REPLAY_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tracker.h"
+#include "linalg/matrix.h"
+#include "monitor/driver.h"
+#include "obs/metrics.h"
+#include "stream/timed_row.h"
+#include "window/exact_window.h"
+
+namespace dswm {
+
+class ReplayHarness {
+ public:
+  /// Borrows `tracker` and `rows`; both must outlive the harness.
+  ReplayHarness(DistributedTracker* tracker, const std::vector<TimedRow>& rows,
+                int num_sites, Timestamp window, const DriverOptions& options);
+
+  [[nodiscard]] Status Plan();
+
+  /// Row count (valid after Plan).
+  [[nodiscard]] int rows() const { return n_; }
+  /// Planned site for row i.
+  [[nodiscard]] int site_of(int i) const { return sites_[static_cast<size_t>(i)]; }
+  /// Whether row i is a query point.
+  [[nodiscard]] bool query_at(int i) const {
+    return is_query_[static_cast<size_t>(i)];
+  }
+  /// Arrival timestamp of row i.
+  [[nodiscard]] Timestamp time_of(int i) const {
+    return rows_[static_cast<size_t>(i)].timestamp;
+  }
+
+  [[nodiscard]] Status Step(int i);
+
+  [[nodiscard]] StatusOr<RunResult> Finish();
+
+ private:
+  struct EvalJob {
+    Matrix cov;
+    double fnorm2;
+    CovarianceEstimate estimate;
+  };
+
+  DistributedTracker* tracker_;
+  const std::vector<TimedRow>& rows_;
+  int num_sites_;
+  Timestamp window_;
+  DriverOptions options_;
+
+  int n_ = 0;
+  bool planned_ = false;
+  int next_step_ = 0;
+  std::vector<int> sites_;
+  std::vector<bool> is_query_;
+  std::optional<ExactWindow> exact_;
+  std::vector<EvalJob> jobs_;
+  RunResult result_;
+  double tracker_seconds_ = 0.0;
+  bool metrics_on_ = false;
+  obs::MetricsSnapshot metrics_base_;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_MONITOR_REPLAY_H_

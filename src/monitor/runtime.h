@@ -1,0 +1,62 @@
+// The Runtime interface: how a materialized stream is driven through a
+// tracker.
+//
+// A Runtime owns two decisions: which transport backend the tracker's
+// channels use (backend(), installed into TrackerConfig::channel_backend
+// before MakeTracker), and in what order the replay's rows, queries, and
+// transport deliveries execute (Run()). The lockstep runtime below is the
+// bit-exact oracle -- RunTracker delegates to it unchanged -- while the
+// event-driven and multi-process runtimes live in src/runtime and are
+// built through MakeRuntime (runtime/runtime.h). Every runtime drives the
+// same ReplayHarness, so results are comparable metric for metric.
+
+#ifndef DSWM_MONITOR_RUNTIME_H_
+#define DSWM_MONITOR_RUNTIME_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/tracker.h"
+#include "monitor/driver.h"
+#include "net/channel.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Display name ("lockstep", "events", "process").
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// The channel backend trackers must be constructed with under this
+  /// runtime; null keeps the default in-process loopback/faulty
+  /// selection. Callers assign it to TrackerConfig::channel_backend
+  /// before MakeTracker.
+  [[nodiscard]] virtual net::ChannelBackendFn backend() const {
+    return nullptr;
+  }
+
+  /// Replays `rows` through `tracker` and reports the run's metrics.
+  /// Same validation and semantics contract as RunTracker (driver.h).
+  [[nodiscard]] virtual StatusOr<RunResult> Run(
+      DistributedTracker* tracker, const std::vector<TimedRow>& rows,
+      int num_sites, Timestamp window, const DriverOptions& options) = 0;
+};
+
+/// The lockstep single-machine simulation: rows stepped in stream order,
+/// channels drained synchronously inside each Send. The bit-exact oracle
+/// every other runtime is verified against.
+class LockstepRuntime final : public Runtime {
+ public:
+  [[nodiscard]] const char* name() const override { return "lockstep"; }
+  [[nodiscard]] StatusOr<RunResult> Run(DistributedTracker* tracker,
+                                        const std::vector<TimedRow>& rows,
+                                        int num_sites, Timestamp window,
+                                        const DriverOptions& options) override;
+};
+
+}  // namespace dswm
+
+#endif  // DSWM_MONITOR_RUNTIME_H_

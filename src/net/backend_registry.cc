@@ -1,0 +1,92 @@
+#include "net/backend_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/mutex.h"
+
+namespace dswm::net {
+
+namespace {
+
+struct Registry {
+  Mutex mu;
+  std::map<std::string, ChannelBackendFn> backends DSWM_GUARDED_BY(mu);
+};
+
+Registry& GlobalRegistry() {
+  // Leaked singleton: backends registered from any translation unit must
+  // outlive every tracker, including ones torn down during static
+  // destruction.
+  static Registry* registry = new Registry();
+  // Built-in in-process backends, installed on first touch.
+  static const bool bootstrapped = [] {
+    Registry& r = *registry;
+    MutexLock lock(r.mu);
+    r.backends["default"] = [](const NetProfile& profile, int num_sites,
+                               uint64_t salt) {
+      return MakeChannel(profile, num_sites, salt);
+    };
+    r.backends["loopback"] = [](const NetProfile& profile, int num_sites,
+                                uint64_t salt) -> std::unique_ptr<Channel> {
+      (void)profile;
+      (void)salt;
+      return std::make_unique<LoopbackChannel>(num_sites);
+    };
+    r.backends["faulty"] = [](const NetProfile& profile, int num_sites,
+                              uint64_t salt) -> std::unique_ptr<Channel> {
+      // Mirror MakeChannel's salting so sub-protocols stay decorrelated
+      // even when a profile with no fault knobs is forced through here.
+      NetProfile salted = profile;
+      salted.seed = MixChannelSeed(profile.seed, salt);
+      return std::make_unique<FaultyChannel>(num_sites, salted);
+    };
+    return true;
+  }();
+  (void)bootstrapped;
+  return *registry;
+}
+
+}  // namespace
+
+Status RegisterChannelBackend(const std::string& name,
+                              ChannelBackendFn factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("channel backend name must be non-empty");
+  }
+  if (!factory) {
+    return Status::InvalidArgument("channel backend factory must be non-null");
+  }
+  Registry& r = GlobalRegistry();
+  MutexLock lock(r.mu);
+  r.backends[name] = std::move(factory);
+  return Status::OK();
+}
+
+StatusOr<ChannelBackendFn> FindChannelBackend(const std::string& name) {
+  Registry& r = GlobalRegistry();
+  MutexLock lock(r.mu);
+  auto it = r.backends.find(name);
+  if (it == r.backends.end()) {
+    std::string known;
+    for (const auto& [known_name, fn] : r.backends) {
+      if (!known.empty()) known += ", ";
+      known += known_name;
+    }
+    return Status::NotFound("no channel backend named '" + name +
+                            "' (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ChannelBackendNames() {
+  Registry& r = GlobalRegistry();
+  MutexLock lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.backends.size());
+  for (const auto& [name, fn] : r.backends) names.push_back(name);
+  return names;
+}
+
+}  // namespace dswm::net

@@ -1,0 +1,38 @@
+// Named channel-backend registry.
+//
+// A backend is a ChannelBackendFn: given a NetProfile, site count, and
+// sub-protocol salt it builds the transport one protocol channel sends
+// through. src/net registers the two in-process backends ("loopback",
+// "faulty" -- MakeChannel's automatic selection is registered as
+// "default"); src/runtime registers the asynchronous ones ("events",
+// "process") when a runtime is constructed. The registry exists so CLIs
+// and experiments can select a transport by name without linking against
+// the backend's headers.
+
+#ifndef DSWM_NET_BACKEND_REGISTRY_H_
+#define DSWM_NET_BACKEND_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/channel.h"
+
+namespace dswm::net {
+
+/// Registers `factory` under `name`. Re-registering a name replaces the
+/// previous factory (runtimes re-register on each construction).
+/// InvalidArgument on an empty name or null factory.
+[[nodiscard]] Status RegisterChannelBackend(const std::string& name,
+                                            ChannelBackendFn factory);
+
+/// Looks up a backend by name. NotFound when it was never registered.
+[[nodiscard]] StatusOr<ChannelBackendFn> FindChannelBackend(
+    const std::string& name);
+
+/// Registered backend names, sorted (for error messages and --help).
+[[nodiscard]] std::vector<std::string> ChannelBackendNames();
+
+}  // namespace dswm::net
+
+#endif  // DSWM_NET_BACKEND_REGISTRY_H_

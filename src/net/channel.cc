@@ -4,25 +4,17 @@
 
 namespace dswm::net {
 
-namespace {
-
-/// Data-plane kinds are the ones whose loss perturbs the coordinator's
-/// estimate; only these are subject to fault injection.
-bool IsDataPlane(MessageKind kind) {
+bool IsDataPlaneKind(MessageKind kind) {
   return kind == MessageKind::kRowUpload || kind == MessageKind::kEigenpair ||
          kind == MessageKind::kDa2Delta || kind == MessageKind::kSumDelta;
 }
 
-/// splitmix64 finalizer; decorrelates sub-protocol channels that share
-/// one user-facing seed.
-uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+uint64_t MixChannelSeed(uint64_t seed, uint64_t salt) {
   uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-
-}  // namespace
 
 Status NetProfile::Validate() const {
   if (!(drop >= 0.0 && drop < 1.0)) {
@@ -47,33 +39,45 @@ Channel::Channel(int num_sites) : num_sites_(num_sites) {
 }
 
 void Channel::Send(Direction dir, int site, const WireMessage& msg) {
+  if (closed_) {
+    DSWM_OBS_COUNT("net.send_after_close", 1);
+    return;
+  }
   DSWM_OBS_COUNT("net.sends", 1);
   DSWM_OBS_HISTOGRAM("net.payload_words",
                      (std::vector<long>{1, 4, 16, 64, 256, 1024, 4096}),
                      static_cast<long>(PayloadWords(msg)));
   FrameInfo frame;
   Delivery delivery;
+  // Steal the scratch buffer under the lock (reusing its capacity), then
+  // serialize into the now-local buffer with the lock released so Dispatch
+  // -- and any handler it reaches, which may legally reenter Send -- never
+  // runs under mu_.
+  std::vector<uint8_t> buf;
   {
-    // Serialization uses the shared scratch buffer; everything read out of
-    // it happens under the lock, which is released before Dispatch so a
-    // handler may legally reenter Send.
     MutexLock lock(mu_);
-    SerializeMessage(msg, &scratch_);
-    // Deliver the parsed frame, not the original object: the receiving
-    // side only ever sees what survived serialization. The two must agree
-    // by construction; a parse failure here is a wire-format bug.
-    StatusOr<WireMessage> parsed =
-        ParseMessage(scratch_.data(), scratch_.size());
-    DSWM_CHECK(parsed.ok());
-    frame.kind = KindOf(msg);
-    frame.payload_words = static_cast<uint32_t>(PayloadWords(msg));
-    frame.frame_bytes = static_cast<uint32_t>(scratch_.size());
-    delivery.dir = dir;
-    delivery.site = dir == Direction::kBroadcast ? -1 : site;
-    delivery.sent_at = now_;
-    delivery.msg = std::move(parsed).value();
+    buf = std::move(scratch_);
+    delivery.sequence = ++wire_sequence_;
   }
-  Dispatch(std::move(delivery), frame);
+  SerializeMessage(msg, &buf, delivery.sequence);
+  // Deliver the parsed frame, not the original object: the receiving
+  // side only ever sees what survived serialization. The two must agree
+  // by construction; a parse failure here is a wire-format bug.
+  StatusOr<ParsedFrame> parsed = ParseFrame(buf.data(), buf.size());
+  DSWM_CHECK(parsed.ok());
+  DSWM_CHECK(parsed.value().sequence == delivery.sequence);
+  frame.kind = KindOf(msg);
+  frame.payload_words = static_cast<uint32_t>(PayloadWords(msg));
+  frame.frame_bytes = static_cast<uint32_t>(buf.size());
+  delivery.dir = dir;
+  delivery.site = dir == Direction::kBroadcast ? -1 : site;
+  delivery.sent_at = now_;
+  delivery.msg = std::move(parsed).value().msg;
+  Dispatch(std::move(delivery), frame, buf);
+  {
+    MutexLock lock(mu_);
+    scratch_ = std::move(buf);
+  }
 }
 
 void Channel::Record(const Delivery& delivery, const FrameInfo& frame,
@@ -96,7 +100,9 @@ void Channel::Record(const Delivery& delivery, const FrameInfo& frame,
   ledger_.Record(entry);
 }
 
-void LoopbackChannel::Dispatch(Delivery delivery, const FrameInfo& frame) {
+void LoopbackChannel::Dispatch(Delivery delivery, const FrameInfo& frame,
+                               const std::vector<uint8_t>& bytes) {
+  (void)bytes;  // in-process: the parsed delivery already is the frame
   Record(delivery, frame, /*dropped=*/false, /*retransmit=*/false,
          /*duplicate=*/false);
   Handle(std::move(delivery));
@@ -105,8 +111,10 @@ void LoopbackChannel::Dispatch(Delivery delivery, const FrameInfo& frame) {
 FaultyChannel::FaultyChannel(int num_sites, const NetProfile& profile)
     : Channel(num_sites), profile_(profile), rng_(profile.seed) {}
 
-void FaultyChannel::Dispatch(Delivery delivery, const FrameInfo& frame) {
-  if (!IsDataPlane(frame.kind)) {
+void FaultyChannel::Dispatch(Delivery delivery, const FrameInfo& frame,
+                             const std::vector<uint8_t>& bytes) {
+  (void)bytes;  // in-process: the parsed delivery already is the frame
+  if (!IsDataPlaneKind(frame.kind)) {
     // Control plane: the simulated negotiation reads shared state
     // synchronously, so these are always reliable and instant.
     Record(delivery, frame, false, false, false);
@@ -226,7 +234,7 @@ std::unique_ptr<Channel> MakeChannel(const NetProfile& profile, int num_sites,
     return std::make_unique<LoopbackChannel>(num_sites);
   }
   NetProfile salted = profile;
-  salted.seed = MixSeed(profile.seed, salt);
+  salted.seed = MixChannelSeed(profile.seed, salt);
   return std::make_unique<FaultyChannel>(num_sites, salted);
 }
 

@@ -36,6 +36,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -81,10 +82,23 @@ struct Delivery {
   int site = -1;
   /// Simulation clock when the frame was sent.
   Timestamp sent_at = 0;
+  /// The sender channel's per-channel transmission number (from the frame
+  /// header): 1, 2, ... in Send order. Receivers that do not share the
+  /// sender's address space use it to detect reordering and duplication.
+  uint64_t sequence = 0;
   WireMessage msg;
 };
 
+class Channel;
 class FaultyChannel;
+
+/// Factory for an alternative transport implementation: builds the channel
+/// one (sub-)protocol sends through. `salt` decorrelates sub-protocol
+/// fault RNGs exactly as in MakeChannel. Runtimes (src/runtime) install
+/// one of these into TrackerConfig::channel_backend before MakeTracker;
+/// null keeps MakeChannel's default loopback/faulty selection.
+using ChannelBackendFn = std::function<std::unique_ptr<Channel>(
+    const NetProfile& profile, int num_sites, uint64_t salt)>;
 
 /// Transport base: serializes, ledgers, and routes messages.
 class Channel {
@@ -113,6 +127,14 @@ class Channel {
   /// due deliveries and retransmissions here, in deterministic order.
   virtual void AdvanceTime(Timestamp t) { now_ = t > now_ ? t : now_; }
 
+  /// Closes the transport. Idempotent. After Close() every Send and every
+  /// late delivery (a delayed frame flushed by AdvanceTime) is discarded
+  /// and counted (net.send_after_close / net.drop_after_close) -- never a
+  /// crash, so teardown races in asynchronous runtimes are benign.
+  /// Implementations that own OS resources release them here.
+  virtual void Close() { closed_ = true; }
+  [[nodiscard]] bool closed() const { return closed_; }
+
   /// The transmission trace. The returned reference is only stable while
   /// no Send/AdvanceTime runs concurrently; callers read it after the run
   /// quiesces (the driver does so post-WaitIdle).
@@ -132,6 +154,12 @@ class Channel {
   /// Downcast hook so experiments can flip fault knobs mid-run.
   virtual FaultyChannel* AsFaulty() { return nullptr; }
 
+  /// Transport health. Always OK for the in-process channels; backends
+  /// that own OS resources (src/runtime) report their first
+  /// unrecoverable transport error here, and runtimes surface it after
+  /// the replay quiesces.
+  [[nodiscard]] virtual Status Health() const { return Status::OK(); }
+
  protected:
   struct FrameInfo {
     MessageKind kind = MessageKind::kRowUpload;
@@ -139,16 +167,26 @@ class Channel {
     uint32_t frame_bytes = 0;
   };
 
-  /// Implementation hook: decide the fate of one outgoing frame.
-  virtual void Dispatch(Delivery delivery, const FrameInfo& frame) = 0;
+  /// Implementation hook: decide the fate of one outgoing frame. `bytes`
+  /// is the serialized frame exactly as Record accounts for it; it is
+  /// valid only for the duration of the call (backends that cross a
+  /// process boundary write it out before returning; in-process backends
+  /// ignore it -- they already hold the parsed delivery).
+  virtual void Dispatch(Delivery delivery, const FrameInfo& frame,
+                        const std::vector<uint8_t>& bytes) = 0;
 
   /// Records one transmission attempt in the ledger.
   void Record(const Delivery& delivery, const FrameInfo& frame, bool dropped,
               bool retransmit, bool duplicate) DSWM_EXCLUDES(mu_);
 
   /// Invokes the handler (if any) with a delivered frame. Never called
-  /// with mu_ held: the handler may reenter Send.
+  /// with mu_ held: the handler may reenter Send. Deliveries that reach a
+  /// closed channel (late flushes during teardown) are discarded.
   void Handle(Delivery delivery) DSWM_EXCLUDES(mu_) {
+    if (closed_) {
+      DSWM_OBS_COUNT("net.drop_after_close", 1);
+      return;
+    }
     DSWM_OBS_COUNT("net.deliveries", 1);
     if (handler_) handler_(std::move(delivery));
   }
@@ -156,6 +194,8 @@ class Channel {
   /// Simulation clock. Mutated only by AdvanceTime/Send on the driving
   /// thread (the event loop owns time); not part of the mu_ domain.
   Timestamp now_ = std::numeric_limits<Timestamp>::min() / 2;
+  /// Lifecycle latch; same single-driving-thread domain as now_.
+  bool closed_ = false;
 
  private:
   int num_sites_;
@@ -163,11 +203,17 @@ class Channel {
   /// while messages flow (Handle reads it without mu_ by that contract).
   std::function<void(Delivery)> handler_;
   /// Guards the send/record path: the serialization scratch buffer, the
-  /// sequence counter, and the ledger they feed.
+  /// sequence counters, and the ledger they feed.
   mutable Mutex mu_;
   MessageLedger ledger_ DSWM_GUARDED_BY(mu_);
   std::vector<uint8_t> scratch_ DSWM_GUARDED_BY(mu_);
   uint64_t next_sequence_ DSWM_GUARDED_BY(mu_) = 0;
+  /// Per-channel wire sequence stamped into frame headers (1, 2, ...).
+  /// Distinct from next_sequence_: the ledger numbers every recorded
+  /// attempt (drops, duplicates, retransmissions included) while the wire
+  /// number identifies the logical Send, so a retransmitted frame carries
+  /// the same wire sequence it was first sent with.
+  uint64_t wire_sequence_ DSWM_GUARDED_BY(mu_) = 0;
 };
 
 /// Perfect in-process transport: synchronous FIFO delivery inside Send.
@@ -176,7 +222,8 @@ class LoopbackChannel final : public Channel {
   explicit LoopbackChannel(int num_sites) : Channel(num_sites) {}
 
  protected:
-  void Dispatch(Delivery delivery, const FrameInfo& frame) override;
+  void Dispatch(Delivery delivery, const FrameInfo& frame,
+                const std::vector<uint8_t>& bytes) override;
 };
 
 /// Seeded fault injection with optional ack-and-resend reliability.
@@ -198,8 +245,21 @@ class FaultyChannel final : public Channel {
     return static_cast<long>(queue_.size());
   }
 
+  /// Earliest queued due time, or nothing when no frame is in flight.
+  /// Event-driven schedulers sleep until this instant and then call
+  /// AdvanceTime(due) instead of polling the clock tick by tick; the
+  /// flush order is identical either way (the queue delivers in
+  /// (due, enqueue-order) regardless of how far the clock jumps).
+  [[nodiscard]] std::optional<Timestamp> NextDueTime() const
+      DSWM_EXCLUDES(fault_mu_) {
+    MutexLock lock(fault_mu_);
+    if (queue_.empty()) return std::nullopt;
+    return queue_.begin()->first.first;
+  }
+
  protected:
-  void Dispatch(Delivery delivery, const FrameInfo& frame) override;
+  void Dispatch(Delivery delivery, const FrameInfo& frame,
+                const std::vector<uint8_t>& bytes) override;
 
  private:
   struct Queued {
@@ -237,6 +297,17 @@ class FaultyChannel final : public Channel {
 /// they do not see correlated faults).
 std::unique_ptr<Channel> MakeChannel(const NetProfile& profile, int num_sites,
                                      uint64_t salt);
+
+/// The salt mix MakeChannel applies (splitmix64 finalizer). Exposed so
+/// alternative backends (net/backend_registry.h, src/runtime) seed their
+/// fault RNGs identically to the in-process channels.
+[[nodiscard]] uint64_t MixChannelSeed(uint64_t seed, uint64_t salt);
+
+/// Data-plane kinds are the ones whose loss perturbs the coordinator's
+/// estimate; only these are subject to fault injection. Control kinds
+/// (retrieve negotiation, threshold broadcasts, acks) are always
+/// synchronous and reliable on every backend.
+[[nodiscard]] bool IsDataPlaneKind(MessageKind kind);
 
 }  // namespace dswm::net
 

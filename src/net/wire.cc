@@ -177,7 +177,8 @@ long PayloadWords(const WireMessage& msg) {
   return std::visit(Visitor{}, msg);
 }
 
-void SerializeMessage(const WireMessage& msg, std::vector<uint8_t>* out) {
+void SerializeMessage(const WireMessage& msg, std::vector<uint8_t>* out,
+                      uint64_t sequence) {
   out->clear();
   const MessageKind kind = KindOf(msg);
   const long words = PayloadWords(msg);
@@ -191,9 +192,10 @@ void SerializeMessage(const WireMessage& msg, std::vector<uint8_t>* out) {
   out->reserve(kFrameHeaderBytes + 8 * static_cast<size_t>(words) + 4 * aux);
   PutU8(out, static_cast<uint8_t>(kind));
   PutU8(out, flags);
-  PutU16(out, 0);  // reserved
+  PutU16(out, kWireFormatVersion);
   PutU32(out, static_cast<uint32_t>(words));
   PutU32(out, aux);
+  PutU64(out, sequence);
 
   struct Visitor {
     std::vector<uint8_t>* out;
@@ -223,35 +225,10 @@ void SerializeMessage(const WireMessage& msg, std::vector<uint8_t>* out) {
   std::visit(Visitor{out}, msg);
 }
 
-StatusOr<WireMessage> ParseMessage(const uint8_t* data, size_t size) {
-  if (data == nullptr && size > 0) return BadFrame("null buffer");
-  Reader r(data, size);
-  uint8_t kind_raw = 0;
-  uint8_t flags = 0;
-  uint16_t reserved = 0;
-  uint32_t words = 0;
-  uint32_t aux = 0;
-  DSWM_RETURN_NOT_OK(r.ReadU8(&kind_raw));
-  DSWM_RETURN_NOT_OK(r.ReadU8(&flags));
-  DSWM_RETURN_NOT_OK(r.ReadU16(&reserved));
-  DSWM_RETURN_NOT_OK(r.ReadU32(&words));
-  DSWM_RETURN_NOT_OK(r.ReadU32(&aux));
-  if (kind_raw < kMinMessageKind || kind_raw > kMaxMessageKind) {
-    return BadFrame("unknown message kind " + std::to_string(kind_raw));
-  }
-  const MessageKind kind = static_cast<MessageKind>(kind_raw);
-  if (reserved != 0) return BadFrame("nonzero reserved header field");
-  if (kind != MessageKind::kRowUpload && (flags != 0 || aux != 0)) {
-    return BadFrame("flags/aux set on non-row message");
-  }
-  const uint64_t expect =
-      kFrameHeaderBytes + 8ull * words + 4ull * aux;
-  if (expect != size) {
-    return BadFrame("frame size mismatch (header says " +
-                    std::to_string(expect) + " bytes, buffer has " +
-                    std::to_string(size) + ")");
-  }
+namespace {
 
+StatusOr<WireMessage> ParseBody(Reader& r, MessageKind kind, uint8_t flags,
+                                uint32_t words, uint32_t aux) {
   switch (kind) {
     case MessageKind::kRowUpload: {
       RowUploadMsg m;
@@ -342,6 +319,56 @@ StatusOr<WireMessage> ParseMessage(const uint8_t* data, size_t size) {
     }
   }
   return BadFrame("unhandled message kind");
+}
+
+}  // namespace
+
+StatusOr<ParsedFrame> ParseFrame(const uint8_t* data, size_t size) {
+  if (data == nullptr && size > 0) return BadFrame("null buffer");
+  Reader r(data, size);
+  uint8_t kind_raw = 0;
+  uint8_t flags = 0;
+  uint16_t version = 0;
+  uint32_t words = 0;
+  uint32_t aux = 0;
+  uint64_t sequence = 0;
+  DSWM_RETURN_NOT_OK(r.ReadU8(&kind_raw));
+  DSWM_RETURN_NOT_OK(r.ReadU8(&flags));
+  DSWM_RETURN_NOT_OK(r.ReadU16(&version));
+  DSWM_RETURN_NOT_OK(r.ReadU32(&words));
+  DSWM_RETURN_NOT_OK(r.ReadU32(&aux));
+  DSWM_RETURN_NOT_OK(r.ReadU64(&sequence));
+  if (kind_raw < kMinMessageKind || kind_raw > kMaxMessageKind) {
+    return BadFrame("unknown message kind " + std::to_string(kind_raw));
+  }
+  const MessageKind kind = static_cast<MessageKind>(kind_raw);
+  if (version != kWireFormatVersion) {
+    return BadFrame("unsupported wire format version " +
+                    std::to_string(version) + " (expected " +
+                    std::to_string(kWireFormatVersion) + ")");
+  }
+  if (kind != MessageKind::kRowUpload && (flags != 0 || aux != 0)) {
+    return BadFrame("flags/aux set on non-row message");
+  }
+  const uint64_t expect =
+      kFrameHeaderBytes + 8ull * words + 4ull * aux;
+  if (expect != size) {
+    return BadFrame("frame size mismatch (header says " +
+                    std::to_string(expect) + " bytes, buffer has " +
+                    std::to_string(size) + ")");
+  }
+  StatusOr<WireMessage> body = ParseBody(r, kind, flags, words, aux);
+  if (!body.ok()) return body.status();
+  ParsedFrame frame;
+  frame.msg = std::move(body).value();
+  frame.sequence = sequence;
+  return frame;
+}
+
+StatusOr<WireMessage> ParseMessage(const uint8_t* data, size_t size) {
+  StatusOr<ParsedFrame> frame = ParseFrame(data, size);
+  if (!frame.ok()) return frame.status();
+  return std::move(frame).value().msg;
 }
 
 }  // namespace dswm::net

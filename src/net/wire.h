@@ -2,15 +2,24 @@
 // section 9).
 //
 // One struct per message kind the paper's protocols put on the wire. Each
-// serializes to an explicit little-endian frame:
+// serializes to an explicit little-endian frame (format version 1):
 //
-//   [kind u8][flags u8][reserved u16][payload_words u32][aux_count u32]
+//   [kind u8][flags u8][version u16][payload_words u32][aux_count u32]
+//   [sequence u64]
 //   payload_words x 8-byte words (doubles bit-cast to u64, or i64)
 //   aux_count x 4-byte i32 (RowUpload sparse-support indices only)
 //
+// `sequence` is the sender channel's monotonically increasing per-channel
+// transmission number (1, 2, ...). It lets an asynchronous transport --
+// the src/runtime socket backend, or any receiver that does not share the
+// sender's address space -- detect reordering, duplication, and loss from
+// the frame alone. Version 0 frames (the pre-sequence layout, where these
+// two bytes were a zero reserved field) are rejected with a version error,
+// not misparsed.
+//
 // The payload carries exactly the real numbers the paper's cost model
 // charges for (one word each, Section IV-A), so a frame's word cost is
-// payload bytes / 8. The 12-byte header and the sparse-support index list
+// payload bytes / 8. The 20-byte header and the sparse-support index list
 // are framing metadata: a production encoding would ship sparse rows as
 // (index, value) pairs and pay fewer words, but the paper's accounting --
 // and ours -- charges the dense d words per row. Doubles round-trip
@@ -130,17 +139,34 @@ MessageKind KindOf(const WireMessage& msg);
 /// number of 8-byte payload words it serializes to.
 [[nodiscard]] long PayloadWords(const WireMessage& msg);
 
-/// Serializes `msg` into `out` (cleared first). Total frame size is
-/// 12 + 8 * PayloadWords(msg) + 4 * support_count bytes.
-void SerializeMessage(const WireMessage& msg, std::vector<uint8_t>* out);
+/// Serializes `msg` into `out` (cleared first), stamping the sender's
+/// per-channel transmission number into the header. Total frame size is
+/// 20 + 8 * PayloadWords(msg) + 4 * support_count bytes.
+void SerializeMessage(const WireMessage& msg, std::vector<uint8_t>* out,
+                      uint64_t sequence = 0);
+
+/// A parsed frame: the typed message plus its header sequence number.
+struct ParsedFrame {
+  WireMessage msg;
+  uint64_t sequence = 0;
+};
 
 /// Parses a frame produced by SerializeMessage. Returns InvalidArgument
-/// on truncated, oversized, or structurally malformed input.
+/// on truncated, oversized, structurally malformed, or wrong-version
+/// input.
+[[nodiscard]] StatusOr<ParsedFrame> ParseFrame(const uint8_t* data,
+                                               size_t size);
+
+/// ParseFrame, discarding the transport sequence number (callers that
+/// only care about the protocol-level content).
 [[nodiscard]] StatusOr<WireMessage> ParseMessage(const uint8_t* data,
                                                  size_t size);
 
 /// Frame header size in bytes.
-inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kFrameHeaderBytes = 20;
+
+/// On-wire format version stamped into (and required of) every frame.
+inline constexpr uint16_t kWireFormatVersion = 1;
 
 }  // namespace dswm::net
 

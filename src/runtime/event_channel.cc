@@ -1,0 +1,50 @@
+#include "runtime/event_channel.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dswm::runtime {
+
+void EventChannel::Dispatch(net::Delivery delivery, const FrameInfo& frame,
+                            const std::vector<uint8_t>& bytes) {
+  (void)bytes;  // in-process: the parsed delivery already is the frame
+  Record(delivery, frame, /*dropped=*/false, /*retransmit=*/false,
+         /*duplicate=*/false);
+  if (in_handler_) {
+    // A handler sent during a delivery: splice the new arrival right
+    // behind the event being processed, after any siblings it already
+    // spawned (depth-first causal order, the order nested synchronous
+    // delivery would have produced).
+    pending_.insert(pending_.begin() + splice_pos_, std::move(delivery));
+    ++splice_pos_;
+  } else {
+    pending_.push_back(std::move(delivery));
+  }
+  if (!draining_) Drain();
+}
+
+void EventChannel::Drain() {
+  draining_ = true;
+  while (!pending_.empty()) {
+    net::Delivery next = std::move(pending_.front());
+    pending_.pop_front();
+    ++deliveries_;
+    DSWM_OBS_COUNT("runtime.events.message", 1);
+    if (next.sequence != expected_sequence_) {
+      ++seq_anomalies_;
+      DSWM_OBS_COUNT("runtime.seq_anomalies", 1);
+      // Resynchronize on the observed number so one anomaly is counted
+      // once, not once per subsequent frame.
+      expected_sequence_ = next.sequence;
+    }
+    ++expected_sequence_;
+    in_handler_ = true;
+    splice_pos_ = 0;
+    Handle(std::move(next));
+    in_handler_ = false;
+  }
+  draining_ = false;
+}
+
+}  // namespace dswm::runtime

@@ -1,0 +1,58 @@
+// Event-queued in-process transport.
+//
+// Each Send becomes a message-arrival event on the channel's delivery
+// queue instead of a nested synchronous handler call. The first
+// (outermost) Send drains the queue to empty before returning --
+// run-to-completion semantics -- so protocol code that reads coordinator
+// state immediately after a Send still observes the delivered result,
+// while nested Sends issued *by* a handler enqueue in causal (depth-
+// first) position rather than recursing. Because the repo's protocols
+// never send from a delivery handler, the drained order is provably
+// identical to LoopbackChannel's nested synchronous order, which is what
+// makes the event-driven runtime bit-exact against the lockstep oracle.
+//
+// The channel also verifies the wire-header sequence number of every
+// delivery (1, 2, ... per channel): a gap or regression -- impossible
+// in-process, the invariant the socket backend relies on -- increments
+// runtime.seq_anomalies instead of corrupting protocol state.
+
+#ifndef DSWM_RUNTIME_EVENT_CHANNEL_H_
+#define DSWM_RUNTIME_EVENT_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace dswm::runtime {
+
+class EventChannel final : public net::Channel {
+ public:
+  explicit EventChannel(int num_sites) : net::Channel(num_sites) {}
+
+  /// Sequence gaps/regressions observed across all deliveries.
+  [[nodiscard]] long seq_anomalies() const { return seq_anomalies_; }
+  /// Message-arrival events processed.
+  [[nodiscard]] long deliveries() const { return deliveries_; }
+
+ protected:
+  void Dispatch(net::Delivery delivery, const FrameInfo& frame,
+                const std::vector<uint8_t>& bytes) override;
+
+ private:
+  void Drain();
+
+  std::deque<net::Delivery> pending_;
+  bool draining_ = false;
+  bool in_handler_ = false;
+  /// Insertion cursor for arrivals spawned by the handler in flight.
+  std::deque<net::Delivery>::difference_type splice_pos_ = 0;
+  uint64_t expected_sequence_ = 1;
+  long seq_anomalies_ = 0;
+  long deliveries_ = 0;
+};
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_EVENT_CHANNEL_H_

@@ -1,0 +1,44 @@
+#include "runtime/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dswm::runtime {
+
+EventQueue::EventQueue(int num_sites) {
+  DSWM_CHECK_GE(num_sites, 1);
+  queues_.resize(static_cast<size_t>(num_sites) + 1);
+}
+
+void EventQueue::Push(Event e) {
+  DSWM_CHECK(e.queue >= 0 &&
+             e.queue < static_cast<int>(queues_.size()));
+  std::deque<Event>& q = queues_[static_cast<size_t>(e.queue)];
+  // FIFO-by-key within a queue: the merge invariant the heap relies on.
+  if (!q.empty()) DSWM_CHECK(!(KeyOf(q.back()) > KeyOf(e)));
+  const bool was_empty = q.empty();
+  q.push_back(std::move(e));
+  if (was_empty) heads_.push(KeyOf(q.back()));
+  ++size_;
+}
+
+const Event& EventQueue::PeekMin() const {
+  DSWM_CHECK(size_ > 0);
+  const HeapKey& top = heads_.top();
+  return queues_[static_cast<size_t>(top.queue)].front();
+}
+
+Event EventQueue::PopMin() {
+  DSWM_CHECK(size_ > 0);
+  const HeapKey top = heads_.top();
+  heads_.pop();
+  std::deque<Event>& q = queues_[static_cast<size_t>(top.queue)];
+  Event e = std::move(q.front());
+  q.pop_front();
+  if (!q.empty()) heads_.push(KeyOf(q.front()));
+  --size_;
+  return e;
+}
+
+}  // namespace dswm::runtime

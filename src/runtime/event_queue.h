@@ -1,0 +1,91 @@
+// Deterministic per-site event queues with a merged global order.
+//
+// Every schedulable occurrence in the event-driven runtime is an Event
+// keyed by (time, kind, seq): simulation time first, then the event class
+// (transport wakeups flush before the row that arrives at the same
+// instant, matching the lockstep order where a tracker drains its
+// channels before protocol maintenance), then a global arrival number as
+// the final seeded tie-break. Events live in one FIFO queue per site
+// (queue 0 is the control/transport queue), and PopMin merges the queue
+// heads through a min-heap -- there is no global lockstep scan, and two
+// sites with disjoint event times never serialize against each other's
+// clocks.
+//
+// Per-queue pushes must be key-ordered (streams are time-ordered and seq
+// is monotone, so this holds by construction); the class checks it.
+
+#ifndef DSWM_RUNTIME_EVENT_QUEUE_H_
+#define DSWM_RUNTIME_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "stream/timed_row.h"
+
+namespace dswm::runtime {
+
+struct Event {
+  /// Event classes, in tie-break order at equal time.
+  enum class Kind : uint8_t {
+    /// Flush transports up to `time` (delayed frames, retransmissions).
+    kChannelWakeup = 0,
+    /// One stream row arrives at its planned site (message-arrival events
+    /// then fire inside the channel layer as the protocol reacts).
+    kRow = 1,
+  };
+
+  Timestamp time = 0;
+  Kind kind = Kind::kRow;
+  /// Global arrival number: the deterministic final tie-break.
+  uint64_t seq = 0;
+  /// Owning queue: 0 = control/transport, 1 + site otherwise.
+  int queue = 0;
+  /// Row index for kRow events.
+  int row_index = -1;
+};
+
+class EventQueue {
+ public:
+  /// One control queue plus `num_sites` site queues.
+  explicit EventQueue(int num_sites);
+
+  /// Appends `e` to its queue. Keys must be non-decreasing per queue.
+  void Push(Event e);
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_t size() const { return size_; }
+
+  /// The globally smallest event across all queues (empty() must be
+  /// false). PeekMin leaves it in place.
+  [[nodiscard]] const Event& PeekMin() const;
+  Event PopMin();
+
+ private:
+  struct HeapKey {
+    Timestamp time;
+    uint8_t kind;
+    uint64_t seq;
+    int queue;
+    [[nodiscard]] bool operator>(const HeapKey& o) const {
+      if (time != o.time) return time > o.time;
+      if (kind != o.kind) return kind > o.kind;
+      return seq > o.seq;
+    }
+  };
+
+  static HeapKey KeyOf(const Event& e) {
+    return HeapKey{e.time, static_cast<uint8_t>(e.kind), e.seq, e.queue};
+  }
+
+  std::vector<std::deque<Event>> queues_;
+  /// Min-heap over the head event of every non-empty queue.
+  std::priority_queue<HeapKey, std::vector<HeapKey>, std::greater<HeapKey>>
+      heads_;
+  size_t size_ = 0;
+};
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_EVENT_QUEUE_H_

@@ -1,0 +1,60 @@
+#include "runtime/frame_decoder.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "net/wire.h"
+
+namespace dswm::runtime {
+
+namespace {
+
+uint32_t ReadU32At(const std::vector<uint8_t>& b, size_t off) {
+  return static_cast<uint32_t>(b[off]) |
+         static_cast<uint32_t>(b[off + 1]) << 8 |
+         static_cast<uint32_t>(b[off + 2]) << 16 |
+         static_cast<uint32_t>(b[off + 3]) << 24;
+}
+
+}  // namespace
+
+size_t FrameDecoder::PendingFrameBytes() const {
+  if (buffer_.size() < net::kFrameHeaderBytes) return 0;
+  // Header layout (wire.h): payload_words u32 at offset 4, aux_count u32
+  // at offset 8, both little-endian.
+  const uint64_t words = ReadU32At(buffer_, 4);
+  const uint64_t aux = ReadU32At(buffer_, 8);
+  return static_cast<size_t>(net::kFrameHeaderBytes + 8 * words + 4 * aux);
+}
+
+Status FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  if (poisoned_) {
+    return Status::IoError("frame decoder: stream already desynchronized");
+  }
+  if (len > 0) {
+    DSWM_CHECK(data != nullptr);
+    buffer_.insert(buffer_.end(), data, data + len);
+  }
+  const size_t pending = PendingFrameBytes();
+  if (pending > kMaxFrameBytes) {
+    poisoned_ = true;
+    return Status::IoError("frame decoder: declared frame exceeds 16 MiB");
+  }
+  return Status::OK();
+}
+
+bool FrameDecoder::HasFrame() const {
+  const size_t pending = PendingFrameBytes();
+  return pending > 0 && buffer_.size() >= pending;
+}
+
+std::vector<uint8_t> FrameDecoder::NextFrame() {
+  DSWM_CHECK(HasFrame());
+  const size_t pending = PendingFrameBytes();
+  std::vector<uint8_t> frame(buffer_.begin(),
+                             buffer_.begin() + static_cast<long>(pending));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(pending));
+  return frame;
+}
+
+}  // namespace dswm::runtime

@@ -1,0 +1,54 @@
+// Incremental wire-frame framing.
+//
+// A stream socket delivers bytes, not frames: a read may return half a
+// header, three frames, or one byte. FrameDecoder re-frames the stream --
+// feed it arbitrary byte slices and take complete frames out as they
+// materialize. Framing only: the extracted bytes still go through
+// net::ParseFrame for semantic validation, so a corrupt length field is
+// caught here (bounded by kMaxFrameBytes) and corrupt content is caught
+// there.
+
+#ifndef DSWM_RUNTIME_FRAME_DECODER_H_
+#define DSWM_RUNTIME_FRAME_DECODER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dswm::runtime {
+
+class FrameDecoder {
+ public:
+  /// Upper bound on a single frame (header + payload + aux). Generously
+  /// above anything the protocols emit (d <= hundreds, so frames are
+  /// KB-scale); a declared length beyond it means a desynchronized or
+  /// corrupt stream and fails the feed instead of growing unbounded.
+  static constexpr size_t kMaxFrameBytes = 1u << 24;  // 16 MiB
+
+  /// Appends `len` bytes from the stream. Fails (permanently) when a
+  /// frame header declares an oversized frame.
+  [[nodiscard]] Status Feed(const uint8_t* data, size_t len);
+
+  /// True when at least one complete frame is buffered.
+  [[nodiscard]] bool HasFrame() const;
+
+  /// Moves the next complete frame out. Requires HasFrame().
+  [[nodiscard]] std::vector<uint8_t> NextFrame();
+
+  /// Bytes buffered but not yet consumed as frames.
+  [[nodiscard]] size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  /// Frame length declared by the (complete) header at buffer_[0], or 0
+  /// when fewer than kFrameHeaderBytes are buffered.
+  [[nodiscard]] size_t PendingFrameBytes() const;
+
+  std::vector<uint8_t> buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_FRAME_DECODER_H_

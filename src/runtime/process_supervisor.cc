@@ -1,0 +1,103 @@
+#include "runtime/process_supervisor.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "runtime/site_worker.h"
+
+namespace dswm::runtime {
+
+ProcessSupervisor::~ProcessSupervisor() {
+  // Destructor path: best effort; callers that care about worker exit
+  // codes call Shutdown() themselves first.
+  (void)Shutdown();  // dswm-semlint: allow(discarded-status)
+}
+
+Status ProcessSupervisor::Start(int num_sites) {
+  DSWM_CHECK(!started_);
+  DSWM_CHECK_GE(num_sites, 1);
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(num_sites));
+  for (int site = 0; site < num_sites; ++site) {
+    int fds[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      const std::string err = std::strerror(errno);
+      // Partial fleet: tear down what started; the real error follows.
+      (void)Shutdown();  // dswm-semlint: allow(discarded-status)
+      return Status::IoError("socketpair for site " + std::to_string(site) +
+                             ": " + err);
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      const std::string err = std::strerror(errno);
+      close(fds[0]);
+      close(fds[1]);
+      // Partial fleet: tear down what started; the real error follows.
+      (void)Shutdown();  // dswm-semlint: allow(discarded-status)
+      return Status::IoError("fork for site " + std::to_string(site) + ": " +
+                             err);
+    }
+    if (pid == 0) {
+      // Child: keep only our end. Close the parent end of this pair and
+      // the parent ends of every earlier pair we inherited, so a worker
+      // crash cannot hold a sibling's socket open.
+      close(fds[0]);
+      for (const Worker& w : workers_) close(w.fd);
+      _exit(SiteWorkerMain(fds[1], site));
+    }
+    close(fds[1]);
+    Worker w;
+    w.pid = pid;
+    w.fd = fds[0];
+    workers_.push_back(w);
+    DSWM_OBS_COUNT("runtime.process.workers_started", 1);
+  }
+  return Status::OK();
+}
+
+int ProcessSupervisor::fd(int site) const {
+  DSWM_CHECK(site >= 0 && site < static_cast<int>(workers_.size()));
+  return workers_[static_cast<size_t>(site)].fd;
+}
+
+Status ProcessSupervisor::Shutdown() {
+  Status result = Status::OK();
+  for (Worker& w : workers_) {
+    if (w.fd >= 0) {
+      WorkerEnvelope bye;
+      bye.type = WorkerEnvelope::kShutdown;
+      bye.frame_len = 0;
+      uint8_t buf[WorkerEnvelope::kEncodedBytes];
+      bye.EncodeTo(buf);
+      // Best effort: a dead worker means the write fails and waitpid
+      // below still reaps it.
+      (void)WriteFull(w.fd, buf, sizeof(buf));  // dswm-semlint: allow(discarded-status)
+      close(w.fd);
+      w.fd = -1;
+    }
+    if (w.pid > 0) {
+      int wstatus = 0;
+      pid_t reaped;
+      do {
+        reaped = waitpid(w.pid, &wstatus, 0);
+      } while (reaped < 0 && errno == EINTR);
+      if (reaped == w.pid && result.ok() &&
+          !(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)) {
+        result = Status::IoError(
+            "site worker pid " + std::to_string(static_cast<long>(w.pid)) +
+            " exited abnormally (wstatus=" + std::to_string(wstatus) + ")");
+      }
+      w.pid = -1;
+    }
+  }
+  return result;
+}
+
+}  // namespace dswm::runtime

@@ -1,0 +1,62 @@
+// Lifecycle of the per-site worker processes.
+//
+// Start() forks one child per site connected by an AF_UNIX stream
+// socketpair; each child runs SiteWorkerMain on its end and _exits.
+// Shutdown() sends every live worker a kShutdown envelope, closes the
+// sockets, and reaps with waitpid -- idempotent, and also run by the
+// destructor so a failed construction path never leaks children.
+//
+// Fork without exec: the child reuses the parent's address space (the
+// worker loop touches only its socket), so no binary path or argv
+// plumbing is needed and the backend works from any test or tool that
+// links the library. The global thread pool defaults to one thread and
+// the child takes no locks before _exit, keeping the fork safe.
+
+#ifndef DSWM_RUNTIME_PROCESS_SUPERVISOR_H_
+#define DSWM_RUNTIME_PROCESS_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace dswm::runtime {
+
+class ProcessSupervisor {
+ public:
+  ProcessSupervisor() = default;
+  ~ProcessSupervisor();
+  ProcessSupervisor(const ProcessSupervisor&) = delete;
+  ProcessSupervisor& operator=(const ProcessSupervisor&) = delete;
+
+  /// Forks `num_sites` workers. Fails (and cleans up the partial fleet)
+  /// if any socketpair or fork fails. At most one Start per supervisor.
+  [[nodiscard]] Status Start(int num_sites);
+
+  /// Coordinator-side socket fd for `site`, or -1 after Shutdown.
+  [[nodiscard]] int fd(int site) const;
+
+  [[nodiscard]] int num_workers() const {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] bool started() const { return started_; }
+
+  /// Stops the fleet: shutdown envelope, close, waitpid. Idempotent.
+  /// Returns the first worker's abnormal exit as an error (after still
+  /// reaping the rest).
+  Status Shutdown();
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+  };
+
+  std::vector<Worker> workers_;
+  bool started_ = false;
+};
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_PROCESS_SUPERVISOR_H_

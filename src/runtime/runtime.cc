@@ -1,0 +1,138 @@
+#include "runtime/runtime.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "monitor/replay.h"
+#include "net/backend_registry.h"
+#include "runtime/event_channel.h"
+#include "runtime/scheduler.h"
+#include "runtime/socket_channel.h"
+
+namespace dswm::runtime {
+
+namespace {
+
+std::unique_ptr<net::Channel> MakeEventBackendChannel(
+    const net::NetProfile& profile, int num_sites, uint64_t salt) {
+  if (profile.faulty()) {
+    // Fault injection stays in FaultyChannel (its queue + dice are the
+    // reference semantics); the event scheduler drives it via
+    // NextDueTime instead of polling.
+    return net::MakeChannel(profile, num_sites, salt);
+  }
+  return std::make_unique<EventChannel>(num_sites);
+}
+
+std::unique_ptr<net::Channel> MakeProcessBackendChannel(
+    const net::NetProfile& profile, int num_sites, uint64_t salt) {
+  net::NetProfile salted = profile;
+  salted.seed = net::MixChannelSeed(profile.seed, salt);
+  return std::make_unique<ProcessChannel>(salted, num_sites);
+}
+
+/// Shared Run body for the scheduler-driven runtimes: plan, drain the
+/// event queue, finish -- then surface any transport health error before
+/// the results are trusted.
+StatusOr<RunResult> RunScheduled(DistributedTracker* tracker,
+                                 const std::vector<TimedRow>& rows,
+                                 int num_sites, Timestamp window,
+                                 const DriverOptions& options,
+                                 bool wall_clock) {
+  ReplayHarness replay(tracker, rows, num_sites, window, options);
+  DSWM_RETURN_NOT_OK(replay.Plan());
+  EventScheduler::Options sched_options;
+  sched_options.wall_clock = wall_clock;
+  EventScheduler scheduler(tracker, &replay, sched_options);
+  DSWM_RETURN_NOT_OK(scheduler.Run());
+  StatusOr<RunResult> result = replay.Finish();
+  for (net::Channel* channel : tracker->Channels()) {
+    DSWM_RETURN_NOT_OK(channel->Health());
+  }
+  return result;
+}
+
+class EventRuntime final : public Runtime {
+ public:
+  explicit EventRuntime(bool wall_clock) : wall_clock_(wall_clock) {}
+
+  [[nodiscard]] const char* name() const override { return "events"; }
+
+  [[nodiscard]] net::ChannelBackendFn backend() const override {
+    return MakeEventBackendChannel;
+  }
+
+  [[nodiscard]] StatusOr<RunResult> Run(
+      DistributedTracker* tracker, const std::vector<TimedRow>& rows,
+      int num_sites, Timestamp window, const DriverOptions& options) override {
+    return RunScheduled(tracker, rows, num_sites, window, options,
+                        wall_clock_);
+  }
+
+ private:
+  bool wall_clock_;
+};
+
+class ProcessRuntime final : public Runtime {
+ public:
+  [[nodiscard]] const char* name() const override { return "process"; }
+
+  [[nodiscard]] net::ChannelBackendFn backend() const override {
+    return MakeProcessBackendChannel;
+  }
+
+  [[nodiscard]] StatusOr<RunResult> Run(
+      DistributedTracker* tracker, const std::vector<TimedRow>& rows,
+      int num_sites, Timestamp window, const DriverOptions& options) override {
+    // ProcessChannel has no FaultyChannel queue, so wall-clock wakeups
+    // never fire; retransmissions flush inside tracker AdvanceTime calls
+    // exactly as in lockstep.
+    return RunScheduled(tracker, rows, num_sites, window, options,
+                        /*wall_clock=*/false);
+  }
+};
+
+}  // namespace
+
+void RegisterRuntimeBackends() {
+  // Re-registration replaces, so repeated calls are harmless.
+  DSWM_CHECK(
+      net::RegisterChannelBackend("events", MakeEventBackendChannel).ok());
+  DSWM_CHECK(
+      net::RegisterChannelBackend("process", MakeProcessBackendChannel).ok());
+}
+
+StatusOr<RuntimeKind> ParseRuntimeKind(const std::string& name) {
+  if (name == "lockstep") return RuntimeKind::kLockstep;
+  if (name == "events") return RuntimeKind::kEvents;
+  if (name == "process") return RuntimeKind::kProcess;
+  return Status::InvalidArgument(
+      "unknown runtime '" + name + "' (expected lockstep, events, process)");
+}
+
+const char* RuntimeKindName(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kLockstep:
+      return "lockstep";
+    case RuntimeKind::kEvents:
+      return "events";
+    case RuntimeKind::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Runtime> MakeRuntime(const RuntimeOptions& options) {
+  RegisterRuntimeBackends();
+  switch (options.kind) {
+    case RuntimeKind::kLockstep:
+      return std::make_unique<LockstepRuntime>();
+    case RuntimeKind::kEvents:
+      return std::make_unique<EventRuntime>(options.wall_clock);
+    case RuntimeKind::kProcess:
+      return std::make_unique<ProcessRuntime>();
+  }
+  return nullptr;
+}
+
+}  // namespace dswm::runtime

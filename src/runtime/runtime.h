@@ -1,0 +1,61 @@
+// Runtime selection: lockstep oracle, event-driven scheduler, or
+// multi-process scale-out.
+//
+// MakeRuntime builds the Runtime implementation behind a --runtime flag
+// value and (as a side effect of linking this file) registers the
+// "events" and "process" channel backends in the net backend registry.
+// The contract each mode honors:
+//
+//   lockstep -- the bit-exact oracle (monitor/runtime.h): synchronous
+//               loopback/faulty channels, rows stepped in a plain loop.
+//   events   -- EventScheduler over EventChannel: per-site event queues,
+//               run-to-completion delivery. Deterministic mode (the
+//               default) is bit-identical to lockstep for all factory
+//               algorithms; wall_clock additionally pumps transports at
+//               their due times.
+//   process  -- EventScheduler over ProcessChannel: every frame round-
+//               trips through a forked per-site worker over an AF_UNIX
+//               socket. Bit-identical to lockstep when fault-free;
+//               drop/reliable faults match the documented determinism
+//               contract (coordinator-side dice, same seeds).
+
+#ifndef DSWM_RUNTIME_RUNTIME_H_
+#define DSWM_RUNTIME_RUNTIME_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "monitor/runtime.h"
+
+namespace dswm::runtime {
+
+enum class RuntimeKind {
+  kLockstep,
+  kEvents,
+  kProcess,
+};
+
+struct RuntimeOptions {
+  RuntimeKind kind = RuntimeKind::kLockstep;
+  /// Events mode only: pump transports at FaultyChannel::NextDueTime
+  /// instead of inside tracker calls (documented divergence from the
+  /// lockstep oracle under delay faults).
+  bool wall_clock = false;
+};
+
+/// Parses a --runtime flag value: "lockstep", "events", "process".
+[[nodiscard]] StatusOr<RuntimeKind> ParseRuntimeKind(const std::string& name);
+[[nodiscard]] const char* RuntimeKindName(RuntimeKind kind);
+
+/// Builds the selected runtime. Never fails for valid options.
+[[nodiscard]] std::unique_ptr<Runtime> MakeRuntime(const RuntimeOptions& options);
+
+/// Idempotently registers the "events" and "process" channel backends
+/// (net/backend_registry.h). MakeRuntime calls this; tests that reach the
+/// registry directly call it themselves.
+void RegisterRuntimeBackends();
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_RUNTIME_H_

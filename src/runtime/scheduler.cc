@@ -1,0 +1,84 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace dswm::runtime {
+
+EventScheduler::EventScheduler(DistributedTracker* tracker,
+                               ReplayHarness* replay, const Options& options)
+    : tracker_(tracker),
+      replay_(replay),
+      options_(options),
+      queue_(std::max(1, [replay] {
+        int max_site = 0;
+        for (int i = 0; i < replay->rows(); ++i) {
+          max_site = std::max(max_site, replay->site_of(i));
+        }
+        return max_site + 1;
+      }())),
+      next_seq_(static_cast<uint64_t>(replay->rows())) {
+  DSWM_CHECK(tracker_ != nullptr);
+  // Row-arrival events, one per planned row, on the owning site's queue.
+  // seq = stream index: the seeded global tie-break.
+  for (int i = 0; i < replay_->rows(); ++i) {
+    Event e;
+    e.time = replay_->time_of(i);
+    e.kind = Event::Kind::kRow;
+    e.seq = static_cast<uint64_t>(i);
+    e.queue = 1 + replay_->site_of(i);
+    e.row_index = i;
+    queue_.Push(e);
+  }
+}
+
+Status EventScheduler::Run() {
+  obs::Span run_span("runtime.events.run");
+  while (!queue_.empty()) {
+    Event e = queue_.PopMin();
+    ++events_processed_;
+    if (e.kind == Event::Kind::kRow) {
+      DSWM_RETURN_NOT_OK(replay_->Step(e.row_index));
+    } else {
+      ++wakeups_fired_;
+      DSWM_OBS_COUNT("runtime.events.wakeup", 1);
+      scheduled_wakeup_.reset();
+      tracker_->PumpChannels(e.time);
+    }
+    if (options_.wall_clock) MaybeScheduleWakeup();
+  }
+  return Status::OK();
+}
+
+void EventScheduler::MaybeScheduleWakeup() {
+  // Earliest transport due time across every channel the tracker owns.
+  std::optional<Timestamp> due;
+  for (net::Channel* c : tracker_->Channels()) {
+    net::FaultyChannel* faulty = c->AsFaulty();
+    if (faulty == nullptr) continue;
+    const std::optional<Timestamp> d = faulty->NextDueTime();
+    if (d && (!due || *d < *due)) due = d;
+  }
+  if (!due) return;
+  // Sleep-until semantics: fire only if the due instant precedes the next
+  // already-queued event (otherwise that event's own tracker call flushes
+  // the transport first, as in lockstep).
+  if (!queue_.empty()) {
+    const Event& next = queue_.PeekMin();
+    if (next.time <= *due) return;
+  }
+  if (scheduled_wakeup_ && *scheduled_wakeup_ <= *due) return;
+  Event e;
+  e.time = *due;
+  e.kind = Event::Kind::kChannelWakeup;
+  e.seq = next_seq_++;
+  e.queue = 0;
+  queue_.Push(e);
+  scheduled_wakeup_ = *due;
+}
+
+}  // namespace dswm::runtime

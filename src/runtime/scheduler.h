@@ -1,0 +1,66 @@
+// The event-driven replay scheduler.
+//
+// Replaces the lockstep driver loop with an EventQueue drain: every row
+// of the planned replay is a row-arrival event on its site's queue, and
+// (in wall-clock mode) transport due times surface as channel-wakeup
+// events on the control queue, discovered through
+// FaultyChannel::NextDueTime() -- the scheduler sleeps until the earliest
+// due instant instead of polling the clock tick by tick.
+//
+// Determinism contract (DESIGN.md section 12): in deterministic mode
+// (wall_clock = false) the popped order is exactly the key order
+// (time, kind, seq) of the planned events, which reproduces the lockstep
+// replay bit for bit -- logical clock, seeded tie-breaking, no wall-time
+// dependence. Wall-clock mode additionally pumps transports at their due
+// times, so delayed frames can arrive *between* rows; results under
+// delay faults then legitimately differ from the lockstep oracle (the
+// coordinator sees fresher state) and are compared statistically, not
+// bitwise.
+
+#ifndef DSWM_RUNTIME_SCHEDULER_H_
+#define DSWM_RUNTIME_SCHEDULER_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/tracker.h"
+#include "monitor/replay.h"
+#include "runtime/event_queue.h"
+
+namespace dswm::runtime {
+
+class EventScheduler {
+ public:
+  struct Options {
+    /// Pump transports at NextDueTime instead of waiting for the next
+    /// row event (the documented divergence from the lockstep oracle).
+    bool wall_clock = false;
+  };
+
+  /// `replay` must already be planned; both pointers are borrowed.
+  EventScheduler(DistributedTracker* tracker, ReplayHarness* replay,
+                 const Options& options);
+
+  /// Drains the event queue to empty, stepping the replay as row events
+  /// fire. Fails fast on the first tracker error.
+  [[nodiscard]] Status Run();
+
+  [[nodiscard]] long events_processed() const { return events_processed_; }
+  [[nodiscard]] long wakeups_fired() const { return wakeups_fired_; }
+
+ private:
+  void MaybeScheduleWakeup();
+
+  DistributedTracker* tracker_;
+  ReplayHarness* replay_;
+  Options options_;
+  EventQueue queue_;
+  uint64_t next_seq_;
+  std::optional<Timestamp> scheduled_wakeup_;
+  long events_processed_ = 0;
+  long wakeups_fired_ = 0;
+};
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,173 @@
+#include "runtime/site_worker.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "runtime/frame_decoder.h"
+
+namespace dswm::runtime {
+
+namespace {
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+void WorkerEnvelope::EncodeTo(uint8_t out[kEncodedBytes]) const {
+  PutU32(out, magic);
+  out[4] = type;
+  out[5] = dir;
+  out[6] = code;
+  out[7] = flags;
+  PutU32(out + 8, static_cast<uint32_t>(site));
+  PutU64(out + 12, static_cast<uint64_t>(sent_at));
+  PutU64(out + 20, sequence);
+  PutU32(out + 28, frame_len);
+}
+
+StatusOr<WorkerEnvelope> WorkerEnvelope::Decode(
+    const uint8_t in[kEncodedBytes]) {
+  WorkerEnvelope e;
+  e.magic = GetU32(in);
+  if (e.magic != kMagic) {
+    return Status::IoError("worker envelope: bad magic");
+  }
+  e.type = in[4];
+  if (e.type != kFrame && e.type != kReceipt && e.type != kShutdown) {
+    return Status::IoError("worker envelope: unknown type " +
+                           std::to_string(static_cast<int>(e.type)));
+  }
+  e.dir = in[5];
+  if (e.dir > 2) {
+    return Status::IoError("worker envelope: bad direction");
+  }
+  e.code = in[6];
+  e.flags = in[7];
+  e.site = static_cast<int32_t>(GetU32(in + 8));
+  e.sent_at = static_cast<int64_t>(GetU64(in + 12));
+  e.sequence = GetU64(in + 20);
+  e.frame_len = GetU32(in + 28);
+  return e;
+}
+
+Status ReadFull(int fd, uint8_t* buf, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = read(fd, buf + done, len - done);
+    if (n == 0) return Status::IoError("worker socket: EOF mid-message");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("worker socket read: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const uint8_t* buf, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = write(fd, buf + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("worker socket write: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+bool PollReadable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int r = poll(&pfd, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    return r > 0;
+  }
+}
+
+int SiteWorkerMain(int fd, int site) {
+  // Per-direction sequence cursors: the wire sequence is per sender
+  // channel, and up/down/broadcast streams come from distinct logical
+  // senders, so each direction advances independently.
+  uint64_t last_seq[3] = {0, 0, 0};
+  std::vector<uint8_t> frame;
+  uint8_t env_buf[WorkerEnvelope::kEncodedBytes];
+  for (;;) {
+    if (!ReadFull(fd, env_buf, sizeof(env_buf)).ok()) return 2;
+    StatusOr<WorkerEnvelope> env = WorkerEnvelope::Decode(env_buf);
+    if (!env.ok()) return 3;
+    if (env.value().type == WorkerEnvelope::kShutdown) return 0;
+    if (env.value().type != WorkerEnvelope::kFrame) return 3;
+    if (env.value().frame_len == 0 ||
+        env.value().frame_len > FrameDecoder::kMaxFrameBytes) {
+      return 3;
+    }
+    frame.resize(env.value().frame_len);
+    if (!ReadFull(fd, frame.data(), frame.size()).ok()) return 2;
+
+    WorkerEnvelope receipt = env.value();
+    receipt.type = WorkerEnvelope::kReceipt;
+    receipt.site = site;
+    receipt.code = WorkerEnvelope::kOk;
+
+    // Independent validation: re-parse what actually arrived.
+    StatusOr<net::ParsedFrame> parsed =
+        net::ParseFrame(frame.data(), frame.size());
+    const bool dropped = (env.value().flags & WorkerEnvelope::kFlagDrop) != 0;
+    const bool retransmit =
+        (env.value().flags & WorkerEnvelope::kFlagRetransmit) != 0;
+    if (!parsed.ok()) {
+      receipt.code = WorkerEnvelope::kParseError;
+    } else {
+      const size_t d = env.value().dir;  // validated by Decode: <= 2
+      if (!retransmit && parsed.value().sequence <= last_seq[d]) {
+        receipt.code = WorkerEnvelope::kDuplicate;
+      } else if (dropped) {
+        // Validated but lost in flight: the cursor stays put for this
+        // sequence, and the eventual retransmission arrives flagged.
+        receipt.code = WorkerEnvelope::kDropped;
+      } else if (parsed.value().sequence > last_seq[d]) {
+        last_seq[d] = parsed.value().sequence;
+      }
+    }
+
+    receipt.frame_len = static_cast<uint32_t>(frame.size());
+    receipt.EncodeTo(env_buf);
+    if (!WriteFull(fd, env_buf, sizeof(env_buf)).ok()) return 2;
+    if (!WriteFull(fd, frame.data(), frame.size()).ok()) return 2;
+  }
+}
+
+}  // namespace dswm::runtime

@@ -1,0 +1,92 @@
+// The per-site worker process and its coordinator <-> worker protocol.
+//
+// The process backend runs each site as a forked child connected by an
+// AF_UNIX stream socketpair. Traffic on that socket is wire frames
+// (net/wire.h) wrapped in a fixed 32-byte WorkerEnvelope that carries
+// what the frame itself cannot: routing (site, direction), transport
+// verdicts (parse error / duplicate / drop), and lifecycle (shutdown).
+//
+// Per Send, the coordinator writes one kFrame envelope + frame and
+// blocks for the worker's kReceipt envelope + echoed frame -- a
+// synchronous RPC round trip. The worker independently re-parses the
+// frame and checks per-direction sequence monotonicity, then echoes the
+// frame bytes verbatim; the coordinator delivers what came *back* over
+// the socket, so every delivered payload really crossed two process
+// boundaries, byte for byte. Injected drops are decided on the
+// coordinator (seeded dice, identical to FaultyChannel) and announced in
+// the envelope's drop flag: the worker validates but does not advance
+// its sequence cursor, so the later retransmission -- same wire sequence
+// -- is not misflagged as a duplicate.
+
+#ifndef DSWM_RUNTIME_SITE_WORKER_H_
+#define DSWM_RUNTIME_SITE_WORKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace dswm::runtime {
+
+/// Fixed-size little-endian envelope preceding every frame on the worker
+/// socket. sizeof-independent: encoded/decoded field by field.
+struct WorkerEnvelope {
+  enum Type : uint8_t {
+    kFrame = 1,     // coordinator -> worker: frame follows
+    kReceipt = 2,   // worker -> coordinator: verdict, frame echo follows
+    kShutdown = 3,  // coordinator -> worker: exit cleanly; no frame
+  };
+  enum Code : uint8_t {
+    kOk = 0,
+    kParseError = 1,  // frame failed net::ParseFrame on the worker
+    kDuplicate = 2,   // wire sequence did not advance (per direction)
+    kDropped = 3,     // drop-flagged frame: validated, not delivered
+  };
+  /// Flag bit: coordinator decided this frame is dropped in flight; the
+  /// worker must validate and echo but report kDropped.
+  static constexpr uint8_t kFlagDrop = 1u << 0;
+  /// Flag bit: this is the reliable shim resending an earlier wire
+  /// sequence. The worker must not apply the monotonicity check (later
+  /// frames may have advanced the cursor past the dropped sequence while
+  /// the retransmission was pending).
+  static constexpr uint8_t kFlagRetransmit = 1u << 1;
+
+  static constexpr uint32_t kMagic = 0x4d575344;  // "DSWM" little-endian
+  static constexpr size_t kEncodedBytes = 32;
+
+  uint32_t magic = kMagic;
+  uint8_t type = kFrame;
+  uint8_t dir = 0;  // net::Direction as uint8_t
+  uint8_t code = kOk;
+  uint8_t flags = 0;
+  int32_t site = -1;
+  int64_t sent_at = 0;
+  uint64_t sequence = 0;
+  /// Length of the frame that follows this envelope (0 for kShutdown).
+  uint32_t frame_len = 0;
+
+  void EncodeTo(uint8_t out[kEncodedBytes]) const;
+  [[nodiscard]] static StatusOr<WorkerEnvelope> Decode(
+      const uint8_t in[kEncodedBytes]);
+};
+
+/// read() until exactly `len` bytes arrive. IoError on EOF or errno;
+/// retries EINTR.
+[[nodiscard]] Status ReadFull(int fd, uint8_t* buf, size_t len);
+
+/// write() until all `len` bytes are out. IoError on errno; retries
+/// EINTR.
+[[nodiscard]] Status WriteFull(int fd, const uint8_t* buf, size_t len);
+
+/// Blocks until `fd` is readable or `timeout_ms` elapses. Returns true
+/// when readable; false on timeout. Negative timeout blocks forever.
+[[nodiscard]] bool PollReadable(int fd, int timeout_ms);
+
+/// The child-process entry point: serve envelopes on `fd` until a
+/// kShutdown envelope, EOF, or an unrecoverable socket error. Returns
+/// the process exit code (0 = clean shutdown).
+int SiteWorkerMain(int fd, int site);
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_SITE_WORKER_H_

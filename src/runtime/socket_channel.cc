@@ -1,0 +1,209 @@
+#include "runtime/socket_channel.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "runtime/frame_decoder.h"
+#include "runtime/site_worker.h"
+
+namespace dswm::runtime {
+
+ProcessChannel::ProcessChannel(const net::NetProfile& profile, int num_sites)
+    : net::Channel(num_sites), profile_(profile), rng_(profile.seed) {
+  if (profile.duplicate > 0.0 || profile.delay_max > 0) {
+    // No faithful synchronous-RPC analog: a duplicated or delayed frame
+    // would have to arrive outside the Send that produced it, which the
+    // round-trip design (deliberately) forbids.
+    health_ = Status::InvalidArgument(
+        "process backend supports drop/reliable faults only "
+        "(duplicate and delay require an asynchronous transport)");
+    return;
+  }
+  LatchHealth(supervisor_.Start(num_sites));
+}
+
+ProcessChannel::~ProcessChannel() { Close(); }
+
+void ProcessChannel::Close() {
+  if (closed()) return;
+  net::Channel::Close();
+  if (supervisor_.started()) LatchHealth(supervisor_.Shutdown());
+}
+
+void ProcessChannel::LatchHealth(Status s) {
+  if (health_.ok() && !s.ok()) health_ = std::move(s);
+}
+
+void ProcessChannel::Dispatch(net::Delivery delivery, const FrameInfo& frame,
+                              const std::vector<uint8_t>& bytes) {
+  if (!health_.ok()) return;  // transport already failed; run is invalid
+  Attempt(std::move(delivery), frame, bytes, /*retransmit=*/false);
+}
+
+void ProcessChannel::Attempt(net::Delivery delivery, const FrameInfo& frame,
+                             const std::vector<uint8_t>& bytes,
+                             bool retransmit) {
+  // Same die, same order as FaultyChannel::Attempt (duplicate/delay are
+  // knob-gated off by construction, so no extra draws happen there
+  // either): seeded ledgers line up bit for bit across backends.
+  const bool data_plane = net::IsDataPlaneKind(frame.kind);
+  const bool dropped =
+      data_plane && profile_.drop > 0.0 && rng_.NextDouble() < profile_.drop;
+
+  // The frame crosses the wire either way; a drop is announced in the
+  // envelope so the worker validates without delivering.
+  std::vector<uint8_t> echo;
+  if (delivery.dir == net::Direction::kBroadcast) {
+    // Control plane by construction (every broadcast kind is control, so
+    // `dropped` is false here): write to all workers, then collect
+    // receipts in site order -- deterministic fan-out.
+    for (int site = 0; site < supervisor_.num_workers(); ++site) {
+      Status s = RoundTrip(site, delivery, bytes, /*drop=*/false,
+                           /*retransmit=*/false, &echo);
+      if (!s.ok()) {
+        LatchHealth(std::move(s));
+        return;
+      }
+    }
+  } else {
+    Status s =
+        RoundTrip(delivery.site, delivery, bytes, dropped, retransmit, &echo);
+    if (!s.ok()) {
+      LatchHealth(std::move(s));
+      return;
+    }
+  }
+
+  if (dropped) {
+    ++drops_injected_;
+    DSWM_OBS_COUNT("runtime.process.drops", 1);
+    Record(delivery, frame, /*dropped=*/true, retransmit, false);
+    if (profile_.reliable) {
+      // Sender-side timeout and resend, same bytes -- the retransmission
+      // carries the original wire sequence, which is why the worker's
+      // cursor must not advance on drops.
+      Pending p;
+      p.delivery = std::move(delivery);
+      p.frame = frame;
+      p.bytes = bytes;
+      retry_queue_.emplace(std::make_pair(now_ + profile_.retry,
+                                          retry_counter_++),
+                           std::move(p));
+    }
+    return;
+  }
+
+  Record(delivery, frame, /*dropped=*/false, retransmit, false);
+  if (profile_.reliable) {
+    // Ack accounting identical to FaultyChannel: one word back the other
+    // way, transport-level only.
+    net::Delivery ack;
+    ack.dir = delivery.dir == net::Direction::kUp ? net::Direction::kDown
+                                                  : net::Direction::kUp;
+    ack.site = delivery.site;
+    ack.sent_at = now_;
+    FrameInfo ack_frame;
+    ack_frame.kind = net::MessageKind::kAck;
+    ack_frame.payload_words = 1;
+    ack_frame.frame_bytes = static_cast<uint32_t>(net::kFrameHeaderBytes + 8);
+    Record(ack, ack_frame, false, false, false);
+  }
+
+  // Deliver what came back over the socket, not what went out.
+  StatusOr<net::ParsedFrame> parsed = net::ParseFrame(echo.data(), echo.size());
+  if (!parsed.ok()) {
+    LatchHealth(Status::IoError("process backend: echoed frame unparseable: " +
+                                parsed.status().message()));
+    return;
+  }
+  delivery.msg = std::move(parsed).value().msg;
+  Handle(std::move(delivery));
+}
+
+Status ProcessChannel::RoundTrip(int worker_site,
+                                 const net::Delivery& delivery,
+                                 const std::vector<uint8_t>& bytes, bool drop,
+                                 bool retransmit, std::vector<uint8_t>* echo) {
+  if (worker_site < 0 || worker_site >= supervisor_.num_workers()) {
+    return Status::InvalidArgument("process backend: no worker for site " +
+                                   std::to_string(worker_site));
+  }
+  const int fd = supervisor_.fd(worker_site);
+
+  WorkerEnvelope env;
+  env.type = WorkerEnvelope::kFrame;
+  env.dir = static_cast<uint8_t>(delivery.dir);
+  env.flags = static_cast<uint8_t>((drop ? WorkerEnvelope::kFlagDrop : 0) |
+                                   (retransmit ? WorkerEnvelope::kFlagRetransmit
+                                               : 0));
+  env.site = worker_site;
+  env.sent_at = delivery.sent_at;
+  env.sequence = delivery.sequence;
+  env.frame_len = static_cast<uint32_t>(bytes.size());
+  uint8_t env_buf[WorkerEnvelope::kEncodedBytes];
+  env.EncodeTo(env_buf);
+  DSWM_RETURN_NOT_OK(WriteFull(fd, env_buf, sizeof(env_buf)));
+  DSWM_RETURN_NOT_OK(WriteFull(fd, bytes.data(), bytes.size()));
+
+  DSWM_RETURN_NOT_OK(ReadFull(fd, env_buf, sizeof(env_buf)));
+  StatusOr<WorkerEnvelope> receipt = WorkerEnvelope::Decode(env_buf);
+  DSWM_RETURN_NOT_OK(receipt.status());
+  if (receipt.value().type != WorkerEnvelope::kReceipt) {
+    return Status::IoError("process backend: expected receipt envelope");
+  }
+  if (receipt.value().frame_len != bytes.size()) {
+    return Status::IoError("process backend: echo length mismatch");
+  }
+
+  // The echo may arrive in pieces on a stream socket; re-frame it with
+  // the incremental decoder (which cross-checks the frame's own declared
+  // length against what the envelope promised).
+  echo->resize(receipt.value().frame_len);
+  DSWM_RETURN_NOT_OK(ReadFull(fd, echo->data(), echo->size()));
+  FrameDecoder decoder;
+  DSWM_RETURN_NOT_OK(decoder.Feed(echo->data(), echo->size()));
+  if (!decoder.HasFrame()) {
+    return Status::IoError("process backend: echo is not one whole frame");
+  }
+  *echo = decoder.NextFrame();
+  if (decoder.buffered_bytes() != 0) {
+    return Status::IoError("process backend: trailing bytes after echo");
+  }
+  if (*echo != bytes) {
+    return Status::IoError("process backend: worker echoed different bytes");
+  }
+
+  const uint8_t expected =
+      drop ? WorkerEnvelope::kDropped : WorkerEnvelope::kOk;
+  if (receipt.value().code != expected) {
+    return Status::IoError(
+        "process backend: worker verdict " +
+        std::to_string(static_cast<int>(receipt.value().code)) +
+        " (expected " + std::to_string(static_cast<int>(expected)) + ")");
+  }
+
+  ++round_trips_;
+  DSWM_OBS_COUNT("runtime.process.round_trips", 1);
+  return Status::OK();
+}
+
+void ProcessChannel::AdvanceTime(Timestamp t) {
+  net::Channel::AdvanceTime(t);
+  // Flush due retransmissions in (due, enqueue-order), like
+  // FaultyChannel::AdvanceTime. An attempt may re-enqueue (repeated
+  // loss); the map keeps iteration deterministic regardless.
+  while (!retry_queue_.empty() && retry_queue_.begin()->first.first <= now_) {
+    Pending p = std::move(retry_queue_.begin()->second);
+    retry_queue_.erase(retry_queue_.begin());
+    if (closed()) {
+      DSWM_OBS_COUNT("net.drop_after_close", 1);
+      continue;
+    }
+    ++retransmits_;
+    DSWM_OBS_COUNT("runtime.process.retransmits", 1);
+    Attempt(std::move(p.delivery), p.frame, p.bytes, /*retransmit=*/true);
+  }
+}
+
+}  // namespace dswm::runtime

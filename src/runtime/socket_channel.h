@@ -1,0 +1,115 @@
+// ProcessChannel: the cross-process transport backend.
+//
+// Every Send performs a synchronous RPC round trip through the target
+// site's worker process (process_supervisor.h): the serialized frame
+// goes out over an AF_UNIX stream socket, the worker independently
+// re-parses and sequence-checks it, and the coordinator delivers the
+// frame parsed from the *echoed* bytes -- so each delivered payload has
+// crossed two real process boundaries byte for byte. Because the round
+// trip completes inside Send, the delivery order is identical to
+// LoopbackChannel's nested synchronous order, which makes the fault-free
+// process runtime bit-exact against the lockstep oracle.
+//
+// Fault injection mirrors FaultyChannel where the semantics survive a
+// real transport: the drop dice live on the coordinator (same seeded Rng
+// and draw order, so ledgers line up bit for bit), a dropped frame still
+// makes the round trip flagged kFlagDrop (validated, not delivered, and
+// the worker's sequence cursor does not advance), and the reliable shim
+// retransmits the same bytes -- same wire sequence -- on AdvanceTime.
+// Duplicate and delay injection have no faithful synchronous-RPC analog
+// and are rejected via Health() (the runtime surfaces the error before
+// results are trusted).
+
+#ifndef DSWM_RUNTIME_SOCKET_CHANNEL_H_
+#define DSWM_RUNTIME_SOCKET_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/channel.h"
+#include "runtime/process_supervisor.h"
+
+namespace dswm::runtime {
+
+class ProcessChannel final : public net::Channel {
+ public:
+  /// `profile.seed` must already be salted (MixChannelSeed), exactly as
+  /// MakeChannel salts FaultyChannel -- the backend factory does this.
+  /// Forks the worker fleet; a failed Start latches Health().
+  ProcessChannel(const net::NetProfile& profile, int num_sites);
+  ~ProcessChannel() override;
+
+  /// Flushes due retransmissions (reliable shim), like FaultyChannel.
+  void AdvanceTime(Timestamp t) override;
+
+  /// Shuts the worker fleet down (shutdown envelope + waitpid) and
+  /// latches closed. Idempotent; also run by the destructor.
+  void Close() override;
+
+  /// First unrecoverable transport error (socket failure, worker verdict
+  /// mismatch, abnormal worker exit, unsupported fault knob), or OK.
+  [[nodiscard]] Status Health() const override { return health_; }
+
+  /// Live fault knobs, mirroring FaultyChannel::profile(): experiments
+  /// mutate drop/reliable mid-run (e.g. stop dropping to measure
+  /// recovery). duplicate/delay stay rejected at construction.
+  [[nodiscard]] net::NetProfile& profile() { return profile_; }
+  [[nodiscard]] const net::NetProfile& profile() const { return profile_; }
+
+  /// Completed coordinator -> worker -> coordinator round trips.
+  [[nodiscard]] long round_trips() const { return round_trips_; }
+  /// Data-plane frames the coordinator's dice dropped in flight.
+  [[nodiscard]] long drops_injected() const { return drops_injected_; }
+  /// Retransmission attempts performed by the reliable shim.
+  [[nodiscard]] long retransmits() const { return retransmits_; }
+  /// Retransmissions currently awaiting their due time.
+  [[nodiscard]] long in_flight() const {
+    return static_cast<long>(retry_queue_.size());
+  }
+
+ protected:
+  void Dispatch(net::Delivery delivery, const FrameInfo& frame,
+                const std::vector<uint8_t>& bytes) override;
+
+ private:
+  struct Pending {
+    net::Delivery delivery;
+    FrameInfo frame;
+    std::vector<uint8_t> bytes;  // the original serialized frame
+  };
+
+  /// One transmission attempt: rolls the drop die (data plane only) and
+  /// round-trips through the worker(s). Mirrors FaultyChannel::Attempt's
+  /// record/retry structure.
+  void Attempt(net::Delivery delivery, const FrameInfo& frame,
+               const std::vector<uint8_t>& bytes, bool retransmit);
+
+  /// Envelope + frame out, receipt + echo back, on one worker socket.
+  /// Fills `echo` with the returned frame bytes. Fails on socket errors,
+  /// mismatched echoes, or unexpected worker verdicts.
+  [[nodiscard]] Status RoundTrip(int worker_site, const net::Delivery& delivery,
+                                 const std::vector<uint8_t>& bytes, bool drop,
+                                 bool retransmit, std::vector<uint8_t>* echo);
+
+  void LatchHealth(Status s);
+
+  ProcessSupervisor supervisor_;
+  net::NetProfile profile_;
+  /// Coordinator-side fault dice: same seed and draw order as the
+  /// FaultyChannel this backend replaces, so ledgers match bit for bit.
+  Rng rng_;
+  Status health_ = Status::OK();
+  // (due time, enqueue order) -> pending retransmission.
+  std::map<std::pair<Timestamp, uint64_t>, Pending> retry_queue_;
+  uint64_t retry_counter_ = 0;
+  long round_trips_ = 0;
+  long drops_injected_ = 0;
+  long retransmits_ = 0;
+};
+
+}  // namespace dswm::runtime
+
+#endif  // DSWM_RUNTIME_SOCKET_CHANNEL_H_

@@ -186,7 +186,17 @@ TEST(Wire, StructurallyMalformedFramesAreRejected) {
   }
   {
     std::vector<uint8_t> frame = buf;
-    frame[2] = 1;  // nonzero reserved field
+    frame[2] = static_cast<uint8_t>(kWireFormatVersion + 1);  // future version
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[3] = 1;  // version high byte: 256 + current
+    EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
+  }
+  {
+    std::vector<uint8_t> frame = buf;
+    frame[2] = 0;  // version 0 (the pre-versioning layout) is not accepted
     EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
   }
   {
@@ -207,6 +217,37 @@ TEST(Wire, StructurallyMalformedFramesAreRejected) {
     frame.insert(frame.end(), 8, 0);
     EXPECT_FALSE(ParseMessage(frame.data(), frame.size()).ok());
   }
+}
+
+TEST(Wire, SequenceRoundTripsThroughTheHeader) {
+  const uint64_t seq = 0x0123456789abcdefULL;
+  std::vector<uint8_t> buf;
+  SerializeMessage(WireMessage(SumDeltaMsg{2.5}), &buf, seq);
+
+  // Header layout: version u16 at offset 2, sequence u64 little-endian at
+  // offset 12 -- the offsets the incremental decoder and the fuzz corpus
+  // rely on.
+  EXPECT_EQ(buf[2], static_cast<uint8_t>(kWireFormatVersion));
+  EXPECT_EQ(buf[3], static_cast<uint8_t>(kWireFormatVersion >> 8));
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf[12 + i], static_cast<uint8_t>(seq >> (8 * i))) << i;
+  }
+
+  const StatusOr<ParsedFrame> parsed = ParseFrame(buf.data(), buf.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().sequence, seq);
+  EXPECT_DOUBLE_EQ(std::get<SumDeltaMsg>(parsed.value().msg).delta, 2.5);
+
+  // ParseMessage is the sequence-agnostic view of the same frame.
+  EXPECT_TRUE(ParseMessage(buf.data(), buf.size()).ok());
+
+  // Default sequence is 0 (callers outside a channel's Send path).
+  std::vector<uint8_t> unsequenced;
+  SerializeMessage(WireMessage(SumDeltaMsg{2.5}), &unsequenced);
+  const StatusOr<ParsedFrame> p2 =
+      ParseFrame(unsequenced.data(), unsequenced.size());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2.value().sequence, 0u);
 }
 
 TEST(Wire, RowUploadRejectsBadSupportAndShortFixedFields) {

@@ -1,0 +1,260 @@
+// The runtime equivalence harness: the event-driven and multi-process
+// runtimes must reproduce the lockstep oracle.
+//
+// For every factory algorithm, the same dataset is replayed under
+// lockstep (LoopbackChannel, plain loop), events (EventChannel, event
+// queue), and process (ProcessChannel, forked per-site workers). The
+// deterministic contract demands bit-identical results: every RunResult
+// metric, the final Query() covariance byte for byte, and the per-kind
+// ledger counts/words across all channels. Fault injection (drop +
+// reliable) is additionally compared events-vs-lockstep -- the events
+// backend reuses FaultyChannel, and deterministic mode schedules no
+// wakeups, so even the fault dice line up draw for draw.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/tracker_factory.h"
+#include "linalg/matrix.h"
+#include "monitor/driver.h"
+#include "monitor/runtime.h"
+#include "net/ledger.h"
+#include "runtime/runtime.h"
+#include "stream/synthetic.h"
+
+namespace dswm {
+namespace {
+
+std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kPwor,      Algorithm::kPworAll, Algorithm::kEswor,
+          Algorithm::kEsworAll,  Algorithm::kDa1,     Algorithm::kDa2,
+          Algorithm::kPwr,       Algorithm::kEswr,    Algorithm::kPwrShared,
+          Algorithm::kEswrShared, Algorithm::kCentral};
+}
+
+std::vector<TimedRow> SmallStream(int rows) {
+  SyntheticConfig config;
+  config.rows = rows;
+  config.dim = 8;
+  config.seed = 3;
+  SyntheticGenerator gen(config);
+  return Materialize(&gen, config.rows);
+}
+
+struct RunOutput {
+  RunResult result;
+  Matrix covariance;
+  // (kind, count, words, dropped) per kind, summed over all channels.
+  std::map<int, std::tuple<long, long, long>> by_kind;
+};
+
+TrackerConfig BaseConfig(int dim, int sites, Timestamp window) {
+  TrackerConfig config;
+  config.dim = dim;
+  config.num_sites = sites;
+  config.window = window;
+  config.epsilon = 0.15;
+  config.seed = 11;
+  return config;
+}
+
+StatusOr<RunOutput> RunUnder(Runtime* rt, Algorithm algorithm,
+                             const std::vector<TimedRow>& rows,
+                             TrackerConfig config) {
+  config.channel_backend = rt->backend();
+  auto tracker = MakeTracker(algorithm, config);
+  DSWM_RETURN_NOT_OK(tracker.status());
+  DriverOptions options;
+  options.query_points = 6;
+  options.seed = 123;
+  RunOutput out;
+  auto run = rt->Run(tracker.value().get(), rows, config.num_sites,
+                     config.window, options);
+  DSWM_RETURN_NOT_OK(run.status());
+  out.result = std::move(run).value();
+  out.covariance = tracker.value()->Query().Covariance();
+  for (const net::Channel* channel : tracker.value()->Channels()) {
+    for (int k = static_cast<int>(net::kMinMessageKind);
+         k <= static_cast<int>(net::kMaxMessageKind); ++k) {
+      const net::KindStats& s =
+          channel->ledger().ByKind(static_cast<net::MessageKind>(k));
+      auto& agg = out.by_kind[k];
+      std::get<0>(agg) += s.count;
+      std::get<1>(agg) += s.words;
+      std::get<2>(agg) += s.dropped;
+    }
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const RunOutput& got, const RunOutput& want,
+                        const char* label) {
+  // Every reported metric, bitwise. Floating-point equality is the point:
+  // the runtimes execute the identical arithmetic in the identical order.
+  EXPECT_EQ(got.result.avg_err, want.result.avg_err) << label;
+  EXPECT_EQ(got.result.max_err, want.result.max_err) << label;
+  EXPECT_EQ(got.result.total_words, want.result.total_words) << label;
+  EXPECT_EQ(got.result.messages, want.result.messages) << label;
+  EXPECT_EQ(got.result.broadcasts, want.result.broadcasts) << label;
+  EXPECT_EQ(got.result.rows_sent, want.result.rows_sent) << label;
+  EXPECT_EQ(got.result.max_site_space_words, want.result.max_site_space_words)
+      << label;
+  EXPECT_EQ(got.result.wire_payload_bytes, want.result.wire_payload_bytes)
+      << label;
+  EXPECT_EQ(got.result.wire_frame_bytes, want.result.wire_frame_bytes)
+      << label;
+  EXPECT_EQ(got.result.wire_transmissions, want.result.wire_transmissions)
+      << label;
+  ASSERT_EQ(got.result.trace.size(), want.result.trace.size()) << label;
+  for (size_t i = 0; i < got.result.trace.size(); ++i) {
+    EXPECT_EQ(got.result.trace[i].timestamp, want.result.trace[i].timestamp)
+        << label << " trace " << i;
+    EXPECT_EQ(got.result.trace[i].err, want.result.trace[i].err)
+        << label << " trace " << i;
+    EXPECT_EQ(got.result.trace[i].words_so_far,
+              want.result.trace[i].words_so_far)
+        << label << " trace " << i;
+  }
+
+  // The final covariance estimate, byte for byte.
+  ASSERT_EQ(got.covariance.rows(), want.covariance.rows()) << label;
+  ASSERT_EQ(got.covariance.cols(), want.covariance.cols()) << label;
+  EXPECT_EQ(std::memcmp(got.covariance.data(), want.covariance.data(),
+                        sizeof(double) *
+                            static_cast<size_t>(got.covariance.rows()) *
+                            static_cast<size_t>(got.covariance.cols())),
+            0)
+      << label;
+
+  // Ledger-derived per-kind accounting.
+  EXPECT_EQ(got.by_kind, want.by_kind) << label;
+}
+
+TEST(RuntimeEquivalence, EventsMatchesLockstepForEveryAlgorithm) {
+  const std::vector<TimedRow> rows = SmallStream(900);
+  const Timestamp window =
+      (rows.back().timestamp - rows.front().timestamp + 1) / 3;
+  runtime::RuntimeOptions events_options;
+  events_options.kind = runtime::RuntimeKind::kEvents;
+  const auto events = runtime::MakeRuntime(events_options);
+  LockstepRuntime lockstep;
+  for (Algorithm a : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmName(a));
+    const TrackerConfig config = BaseConfig(8, 5, window);
+    auto want = RunUnder(&lockstep, a, rows, config);
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    auto got = RunUnder(events.get(), a, rows, config);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ExpectBitIdentical(got.value(), want.value(), AlgorithmName(a));
+  }
+}
+
+TEST(RuntimeEquivalence, ProcessMatchesLockstepForEveryAlgorithm) {
+  // Smaller stream: every frame round-trips through a forked worker.
+  const std::vector<TimedRow> rows = SmallStream(400);
+  const Timestamp window =
+      (rows.back().timestamp - rows.front().timestamp + 1) / 3;
+  runtime::RuntimeOptions process_options;
+  process_options.kind = runtime::RuntimeKind::kProcess;
+  const auto process = runtime::MakeRuntime(process_options);
+  LockstepRuntime lockstep;
+  for (Algorithm a : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmName(a));
+    const TrackerConfig config = BaseConfig(8, 3, window);
+    auto want = RunUnder(&lockstep, a, rows, config);
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    auto got = RunUnder(process.get(), a, rows, config);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ExpectBitIdentical(got.value(), want.value(), AlgorithmName(a));
+  }
+}
+
+TEST(RuntimeEquivalence, EventsMatchesLockstepUnderDropAndReliableFaults) {
+  // The events backend keeps FaultyChannel for faulty profiles and the
+  // deterministic scheduler fires no wakeups, so even seeded fault dice
+  // line up draw for draw.
+  const std::vector<TimedRow> rows = SmallStream(700);
+  const Timestamp window =
+      (rows.back().timestamp - rows.front().timestamp + 1) / 3;
+  runtime::RuntimeOptions events_options;
+  events_options.kind = runtime::RuntimeKind::kEvents;
+  const auto events = runtime::MakeRuntime(events_options);
+  LockstepRuntime lockstep;
+  // CENTRAL is excluded: the centralized mEH requires monotone add times,
+  // which a retransmitted row upload violates -- a (pre-existing)
+  // limitation of the protocol itself, identical under every runtime.
+  for (Algorithm a : {Algorithm::kPwor, Algorithm::kDa2, Algorithm::kEswor,
+                      Algorithm::kPwrShared}) {
+    SCOPED_TRACE(AlgorithmName(a));
+    TrackerConfig config = BaseConfig(8, 4, window);
+    config.net.drop = 0.15;
+    config.net.seed = 21;
+    config.net.reliable = true;
+    config.net.retry = 2;
+    auto want = RunUnder(&lockstep, a, rows, config);
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    auto got = RunUnder(events.get(), a, rows, config);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ExpectBitIdentical(got.value(), want.value(), AlgorithmName(a));
+  }
+}
+
+TEST(RuntimeEquivalence, ProcessMatchesLockstepUnderDropAndReliableFaults) {
+  // The process backend rolls the same coordinator-side dice as
+  // FaultyChannel (same MixChannelSeed salting, same draw order), so a
+  // drop+reliable profile is bit-identical too -- the documented
+  // determinism contract for the socket backend.
+  const std::vector<TimedRow> rows = SmallStream(400);
+  const Timestamp window =
+      (rows.back().timestamp - rows.front().timestamp + 1) / 3;
+  runtime::RuntimeOptions process_options;
+  process_options.kind = runtime::RuntimeKind::kProcess;
+  const auto process = runtime::MakeRuntime(process_options);
+  LockstepRuntime lockstep;
+  for (Algorithm a : {Algorithm::kPwor, Algorithm::kDa2}) {
+    SCOPED_TRACE(AlgorithmName(a));
+    TrackerConfig config = BaseConfig(8, 3, window);
+    config.net.drop = 0.2;
+    config.net.seed = 7;
+    config.net.reliable = true;
+    config.net.retry = 2;
+    auto want = RunUnder(&lockstep, a, rows, config);
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    auto got = RunUnder(process.get(), a, rows, config);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ExpectBitIdentical(got.value(), want.value(), AlgorithmName(a));
+  }
+}
+
+TEST(RuntimeEquivalence, ProcessRejectsUnsupportedFaultKnobs) {
+  const std::vector<TimedRow> rows = SmallStream(60);
+  runtime::RuntimeOptions process_options;
+  process_options.kind = runtime::RuntimeKind::kProcess;
+  const auto process = runtime::MakeRuntime(process_options);
+  TrackerConfig config = BaseConfig(8, 2, 50);
+  config.net.delay_max = 3;  // no synchronous-RPC analog
+  config.net.seed = 5;
+  auto got = RunUnder(process.get(), Algorithm::kPwor, rows, config);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument)
+      << got.status().message();
+}
+
+TEST(RuntimeEquivalence, ParseAndNameRoundTrip) {
+  for (runtime::RuntimeKind kind :
+       {runtime::RuntimeKind::kLockstep, runtime::RuntimeKind::kEvents,
+        runtime::RuntimeKind::kProcess}) {
+    auto parsed = runtime::ParseRuntimeKind(runtime::RuntimeKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(runtime::ParseRuntimeKind("threads").ok());
+}
+
+}  // namespace
+}  // namespace dswm

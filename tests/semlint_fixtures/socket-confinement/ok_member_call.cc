@@ -1,0 +1,23 @@
+// semlint-fixture-path: src/core/ok_member_call.cc
+// Fixture: member and namespace-qualified calls that merely share a name
+// with a socket primitive (x.poll(), registry::select()) are not raw
+// sockets and must not fire.
+
+namespace dswm {
+
+struct Sampler {
+  bool poll() { return true; }
+  int accept(int x) { return x; }
+};
+
+namespace registry {
+inline int select(int which) { return which; }
+}  // namespace registry
+
+int Drive(Sampler& s) {
+  if (!s.poll()) return -1;
+  int chosen = registry::select(2);
+  return s.accept(chosen);
+}
+
+}  // namespace dswm

@@ -1,0 +1,18 @@
+// semlint-fixture-path: src/runtime/ok_socket.cc
+// Fixture: src/runtime (like src/net) is a sanctioned home for the
+// socket layer -- the process backend lives here.
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace dswm {
+
+int OpenWorkerPair(int* fds) {
+  return socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+}
+
+bool WorkerReadable(int fd) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  return poll(&pfd, 1, -1) > 0;
+}
+
+}  // namespace dswm

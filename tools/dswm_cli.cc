@@ -9,6 +9,7 @@
 //   dswm_cli run ... --net-drop 0.01 --net-seed 7 [--net-dup P]
 //            [--net-delay D] [--net-reliable 1 --net-retry R]
 //   dswm_cli run ... --net-json 1        # wire/ledger metrics as JSON line
+//   dswm_cli run ... --runtime lockstep|events|process [--wall-clock 1]
 //   dswm_cli run ... --metrics-json -    # obs snapshot (spans + counters +
 //            comm gauges) as one JSON document to stdout, or to a file path
 //   dswm_cli sweep --dataset pamap --algorithms PWOR,DA2
@@ -20,6 +21,7 @@
 // covariance error, words per window, per-site space, update rate).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/flags.h"
@@ -28,6 +30,7 @@
 #include "linalg/matrix_io.h"
 #include "monitor/driver.h"
 #include "obs/metrics.h"
+#include "runtime/runtime.h"
 #include "stream/csv_loader.h"
 #include "stream/pamap_like.h"
 #include "stream/synthetic.h"
@@ -145,6 +148,15 @@ int CmdRun(const FlagSet& flags) {
   config.net.reliable = flags.GetInt("net-reliable", 0) != 0;
   config.net.retry = std::max<Timestamp>(1, flags.GetInt("net-retry", 1));
 
+  runtime::RuntimeOptions runtime_options;
+  auto runtime_kind =
+      runtime::ParseRuntimeKind(flags.GetString("runtime", "lockstep"));
+  if (!runtime_kind.ok()) return Fail(runtime_kind.status());
+  runtime_options.kind = runtime_kind.value();
+  runtime_options.wall_clock = flags.GetInt("wall-clock", 0) != 0;
+  std::unique_ptr<Runtime> runtime = runtime::MakeRuntime(runtime_options);
+  config.channel_backend = runtime->backend();
+
   auto tracker = MakeTracker(algorithm.value(), config);
   if (!tracker.ok()) return Fail(tracker.status());
 
@@ -158,13 +170,14 @@ int CmdRun(const FlagSet& flags) {
   const bool want_metrics = flags.Has("metrics-json");
   if (want_metrics) obs::SetEnabled(true);
 
-  const StatusOr<RunResult> run = RunTracker(
+  const StatusOr<RunResult> run = runtime->Run(
       tracker.value().get(), rows, config.num_sites, config.window, options);
   if (!run.ok()) return Fail(run.status());
   const RunResult& r = run.value();
   if (!r.trace_status.ok()) return Fail(r.trace_status);
 
   std::printf("algorithm        : %s\n", AlgorithmName(algorithm.value()));
+  std::printf("runtime          : %s\n", runtime->name());
   std::printf("rows x dim       : %d x %d\n", r.rows, config.dim);
   std::printf("sites m          : %d\n", config.num_sites);
   std::printf("window W         : %lld ticks (%.1f windows spanned)\n",
@@ -307,7 +320,8 @@ int main(int argc, char** argv) {
       "sites",   "window",  "rows",          "seed",      "queries",
       "ell",     "save-sketch", "trace",     "algorithms", "epsilons",
       "threads", "trace-jsonl", "net-drop",  "net-dup",   "net-delay",
-      "net-seed", "net-reliable", "net-retry", "net-json", "metrics-json"};
+      "net-seed", "net-reliable", "net-retry", "net-json", "metrics-json",
+      "runtime", "wall-clock"};
   auto flags = FlagSet::Parse(argc, argv, known);
   if (!flags.ok()) return Fail(flags.status());
 

@@ -43,6 +43,14 @@ R6 started life as regex rules in dswm_lint.py and were migrated here.
           No const_cast / reinterpret_cast outside src/net/ (wire framing
           is the one sanctioned place to reinterpret bytes; linalg binary
           I/O stages through memcpy instead).
+  R12 socket-confinement
+          No raw POSIX socket/poll/select calls (socket, socketpair,
+          accept, listen, poll, select, epoll_*, recvmsg, sendmsg, ...)
+          outside src/runtime/ + src/net/: transport I/O flows through
+          net::Channel backends and the runtime's framed worker protocol
+          (runtime/site_worker.h), never ad-hoc descriptors. Member and
+          qualified calls (x.poll(), ns::select()) are not raw sockets
+          and do not fire.
 
 Frontends: with the clang python bindings + libclang available the rules
 that benefit from real types (R8, R9) run over the actual AST using the
@@ -73,6 +81,7 @@ EXCLUDED_PARTS = {("tests", "semlint_fixtures")}
 THREAD_ALLOWED_PREFIX = ("src", "common")
 COMM_ALLOWED_PREFIX = ("src", "net")
 CAST_ALLOWED_PREFIX = ("src", "net")
+SOCKET_ALLOWED_PREFIXES = (("src", "runtime"), ("src", "net"))
 UNORDERED_SCOPED_PREFIXES = (("src", "core"), ("src", "window"),
                              ("src", "sketch"))
 STD_MUTEX_ALLOWED = {pathlib.PurePosixPath("src/common/mutex.h")}
@@ -86,6 +95,7 @@ GRANDFATHERED = {
     "unordered-iteration": set(),
     "mutex-without-capability": set(),
     "cast-confinement": set(),
+    "socket-confinement": set(),
 }
 
 # Legacy `dswm-lint:` markers stay honored for the migrated rules so the
@@ -100,6 +110,15 @@ MUTEX_STD_TYPES = {"mutex", "recursive_mutex", "timed_mutex",
 CAPABILITY_MACROS = {"DSWM_GUARDED_BY", "DSWM_PT_GUARDED_BY",
                      "DSWM_REQUIRES", "DSWM_ACQUIRE", "DSWM_RELEASE",
                      "DSWM_EXCLUDES", "DSWM_ASSERT_CAPABILITY"}
+# POSIX transport-layer entry points. Deliberately excludes read/write/
+# close (ubiquitous on ordinary fds) and bind/connect/shutdown/send/recv
+# (too commonly shadowed by member functions to flag reliably); the
+# remaining names only ever mean the socket layer when called unqualified.
+SOCKET_CALLS = {"socket", "socketpair", "accept", "accept4", "listen",
+                "poll", "ppoll", "select", "pselect", "epoll_create",
+                "epoll_create1", "epoll_ctl", "epoll_wait", "epoll_pwait",
+                "recvmsg", "recvfrom", "sendmsg", "sendto", "getsockopt",
+                "setsockopt"}
 
 
 # ---------------------------------------------------------------------------
@@ -730,6 +749,28 @@ def check_cast_confinement(u, rep):
                    "or redesign the API to avoid the cast")
 
 
+def check_socket_confinement(u, rep):
+    if any(under(u.rel, p) for p in SOCKET_ALLOWED_PREFIXES):
+        return
+    toks = u.toks
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text not in SOCKET_CALLS:
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue  # not a call
+        if i > 0 and toks[i - 1].text in (".", "->", "::"):
+            continue  # member or qualified call: not the POSIX entry point
+        if i > 0 and toks[i - 1].kind == "id" and \
+                toks[i - 1].text not in ("return", "co_return"):
+            continue  # `bool poll(...)`: a declaration, not a call
+        u.emit(rep, t.line, "socket-confinement",
+               f"raw socket-layer call '{t.text}(...)' outside "
+               "src/runtime/ + src/net/; transport I/O goes through a "
+               "net::Channel backend or the runtime worker protocol "
+               "(runtime/site_worker.h), never ad-hoc descriptors")
+
+
 # ---------------------------------------------------------------------------
 # libclang frontend (used when the bindings + library are importable)
 # ---------------------------------------------------------------------------
@@ -870,6 +911,7 @@ def main():
         check_raw_thread(u, rep)
         check_comm_mutation(u, rep)
         check_cast_confinement(u, rep)
+        check_socket_confinement(u, rep)
 
     frontend = "libclang" if ast_done else "builtin"
     if rep.count:
