@@ -6,6 +6,11 @@
 // small covariance error (analytics/anomaly_scorer.h). This example
 // tracks B with PWOR-ALL over 6 sites, injects outliers, and shows that
 // sketch-based scores separate them just like exact-window scores.
+//
+// Serving-tier flow: query results are published into a SnapshotStore as
+// immutable versions; a scorer is built from a pinned SnapshotRef and
+// shares the version's sealed eigendecomposition (computed exactly once
+// at publish time) with every other consumer of the same version.
 
 #include <cstdio>
 #include <vector>
@@ -13,6 +18,7 @@
 #include "analytics/anomaly_scorer.h"
 #include "core/covariance_estimate.h"
 #include "core/tracker_factory.h"
+#include "serve/snapshot_store.h"
 #include "stream/pamap_like.h"
 #include "window/exact_window.h"
 
@@ -43,6 +49,7 @@ int main() {
   std::vector<std::vector<double>> probes_anomalous;
 
   int i = 0;
+  Timestamp last_time = 0;
   while (auto row = generator.Next()) {
     ++i;
     const Status observed = tracker.Observe(
@@ -53,6 +60,7 @@ int main() {
     }
     exact.Add(*row);
     exact.Advance(row->timestamp);
+    last_time = row->timestamp;
 
     if (i > 15000 && i % 500 == 0) {
       probes_normal.push_back(row->values);  // in-distribution point
@@ -65,11 +73,27 @@ int main() {
     }
   }
 
-  // FromEstimate shares the snapshot's cached eigendecomposition with any
-  // other consumer (e.g. a Rows() conversion) instead of recomputing it.
-  const CovarianceEstimate estimate = tracker.Query();
-  const auto sketch_scorer = AnomalyScorer::FromEstimate(estimate);
-  const auto exact_scorer = AnomalyScorer::FromCovariance(exact.Covariance());
+  // Publish the tracked sketch and the exact window as snapshot versions.
+  // Publication seals each estimate (gram, eigenbasis, PSD root computed
+  // once); the scorers below borrow that shared cache via a pinned ref.
+  serve::SnapshotStore sketch_store;
+  serve::SnapshotStore exact_store;
+  const Status published_sketch =
+      sketch_store.Publish(tracker.Query(), last_time, config.window);
+  const Status published_exact = exact_store.Publish(
+      CovarianceEstimate::FromCovariance(exact.Covariance()), last_time,
+      config.window);
+  if (!published_sketch.ok() || !published_exact.ok()) {
+    std::fprintf(stderr, "publish failed\n");
+    return 1;
+  }
+
+  serve::SnapshotReader sketch_reader(&sketch_store);
+  serve::SnapshotReader exact_reader(&exact_store);
+  const serve::SnapshotRef sketch_ref = sketch_reader.Pin();
+  const serve::SnapshotRef exact_ref = exact_reader.Pin();
+  const auto sketch_scorer = AnomalyScorer::FromSnapshot(sketch_ref);
+  const auto exact_scorer = AnomalyScorer::FromSnapshot(exact_ref);
   if (!sketch_scorer.ok() || !exact_scorer.ok()) {
     std::fprintf(stderr, "scorer construction failed\n");
     return 1;

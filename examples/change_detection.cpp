@@ -1,17 +1,22 @@
 // Approximate-PCA change detection over a distributed sliding window
 // (the paper's motivating application 1, Section I).
 //
-// A reference PCA basis is frozen from the tracked covariance sketch
-// early in the stream; afterwards the current window's basis is compared
-// to it (analytics/change_detector.h). The SYNTHETIC generator rotates
-// its signal subspace between segments, so the subspace distance must
-// spike at the segment boundaries -- which is what this example prints.
+// A reference PCA basis is frozen from an early published snapshot
+// version; afterwards the current window's version is compared to it
+// (analytics/change_detector.h). The SYNTHETIC generator rotates its
+// signal subspace between segments, so the subspace distance must spike
+// at the segment boundaries -- which is what this example prints.
+//
+// Serving-tier flow: the tracker's query results are published into a
+// SnapshotStore as immutable versions; the detector is constructed from
+// a pinned reference version and updated with later pinned versions.
 
 #include <algorithm>
 #include <cstdio>
 
 #include "analytics/change_detector.h"
 #include "core/tracker_factory.h"
+#include "serve/snapshot_store.h"
 #include "stream/synthetic.h"
 
 int main() {
@@ -37,6 +42,11 @@ int main() {
   }
   DistributedTracker& tracker = *tracker_or.value();
 
+  serve::StoreOptions store_options;
+  store_options.pca_components = 8;
+  serve::SnapshotStore store(store_options);
+  serve::SnapshotReader reader(&store);
+
   ChangeDetectorOptions options;
   options.components = 8;
   options.calibration_updates = 3;
@@ -55,15 +65,23 @@ int main() {
     }
     ++i;
     if (i == 6000) {  // freeze the reference basis inside segment 1
-      detector =
-          ChangeDetector::FromReference(tracker.Query().Rows(), options);
+      const Status published =
+          store.Publish(tracker.Query(), row->timestamp, config.window);
+      if (!published.ok()) {
+        std::fprintf(stderr, "%s\n", published.ToString().c_str());
+        return 1;
+      }
+      detector = ChangeDetector::FromSnapshot(reader.Pin(), options);
       if (!detector.ok()) {
         std::fprintf(stderr, "%s\n", detector.status().ToString().c_str());
         return 1;
       }
     }
     if (i >= 7000 && i % 1000 == 0) {
-      const auto dist = detector.value().Update(tracker.Query().Rows());
+      const Status published =
+          store.Publish(tracker.Query(), row->timestamp, config.window);
+      if (!published.ok()) continue;
+      const auto dist = detector.value().Update(reader.Pin());
       if (!dist.ok()) continue;
       const bool flagged = detector.value().change_detected();
       if (flagged && first_flag_row == 0) first_flag_row = i;

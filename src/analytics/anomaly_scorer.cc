@@ -1,71 +1,49 @@
 #include "analytics/anomaly_scorer.h"
 
 #include <algorithm>
-#include <utility>
 
 #include "core/covariance_estimate.h"
+#include "linalg/matrix.h"
+#include "serve/snapshot_store.h"
 
 namespace dswm {
 
-StatusOr<AnomalyScorer> AnomalyScorer::Build(const Matrix& covariance,
-                                             double lambda_fraction) {
-  if (lambda_fraction <= 0.0) {
-    return Status::InvalidArgument("lambda_fraction must be > 0");
-  }
-  const int d = covariance.rows();
-  if (d == 0) return Status::InvalidArgument("empty covariance");
-  return BuildFromEigen(covariance, SymmetricEigen(covariance),
-                        lambda_fraction);
-}
-
-StatusOr<AnomalyScorer> AnomalyScorer::BuildFromEigen(const Matrix& covariance,
-                                                      EigenResult eig,
-                                                      double lambda_fraction) {
-  const int d = covariance.rows();
-  double trace = 0.0;
-  for (int j = 0; j < d; ++j) trace += std::max(covariance(j, j), 0.0);
-  AnomalyScorer scorer;
-  scorer.lambda_ = std::max(lambda_fraction * trace / d, 1e-300);
-  scorer.eig_ = std::move(eig);
-  scorer.inverse_eigenvalues_.resize(d);
-  for (int i = 0; i < d; ++i) {
-    scorer.inverse_eigenvalues_[i] =
-        1.0 / (std::max(scorer.eig_.values[i], 0.0) + scorer.lambda_);
-  }
-  return scorer;
-}
-
-StatusOr<AnomalyScorer> AnomalyScorer::FromEstimate(
+StatusOr<AnomalyScorer> AnomalyScorer::ForSealedEstimate(
     const CovarianceEstimate& est, double lambda_fraction) {
   if (lambda_fraction <= 0.0) {
     return Status::InvalidArgument("lambda_fraction must be > 0");
   }
-  if (est.Dim() == 0) return Status::InvalidArgument("empty estimate");
-  return BuildFromEigen(est.Covariance(), est.Eigen(), lambda_fraction);
+  const int d = est.Dim();
+  if (d == 0) return Status::InvalidArgument("empty estimate");
+  const Matrix& covariance = est.Covariance();
+  double trace = 0.0;
+  for (int j = 0; j < d; ++j) trace += std::max(covariance(j, j), 0.0);
+  AnomalyScorer scorer;
+  scorer.lambda_ = std::max(lambda_fraction * trace / d, 1e-300);
+  scorer.eig_ = &est.Eigen();
+  scorer.inverse_eigenvalues_.resize(static_cast<size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    scorer.inverse_eigenvalues_[static_cast<size_t>(i)] =
+        1.0 / (std::max(scorer.eig_->values[static_cast<size_t>(i)], 0.0) +
+               scorer.lambda_);
+  }
+  return scorer;
 }
 
-StatusOr<AnomalyScorer> AnomalyScorer::FromCovariance(
-    const Matrix& covariance, double lambda_fraction) {
-  if (covariance.rows() != covariance.cols()) {
-    return Status::InvalidArgument("covariance must be square");
+StatusOr<AnomalyScorer> AnomalyScorer::FromSnapshot(
+    const serve::SnapshotRef& ref, double lambda_fraction) {
+  if (!ref.has_value()) {
+    return Status::InvalidArgument("empty snapshot ref");
   }
-  return Build(covariance, lambda_fraction);
-}
-
-StatusOr<AnomalyScorer> AnomalyScorer::FromSketch(const Matrix& sketch,
-                                                  double lambda_fraction) {
-  if (sketch.rows() == 0 || sketch.cols() == 0) {
-    return Status::InvalidArgument("empty sketch");
-  }
-  return Build(GramTranspose(sketch), lambda_fraction);
+  return ForSealedEstimate(ref->estimate(), lambda_fraction);
 }
 
 double AnomalyScorer::Score(const double* x) const {
   const int d = dim();
   double s = 0.0;
   for (int i = 0; i < d; ++i) {
-    const double c = Dot(eig_.vectors.Row(i), x, d);
-    s += inverse_eigenvalues_[i] * c * c;
+    const double c = Dot(eig_->vectors.Row(i), x, d);
+    s += inverse_eigenvalues_[static_cast<size_t>(i)] * c * c;
   }
   return s;
 }

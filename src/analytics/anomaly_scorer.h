@@ -1,10 +1,17 @@
-// Ridge-leverage anomaly scoring from a covariance sketch
+// Ridge-leverage anomaly scoring over a published snapshot
 // (paper Section I application 2; cf. Huang & Kasiviswanathan [15]).
 //
-// score(x) = x^T (C + lambda I)^{-1} x with C = B^T B from the tracked
-// sketch. Directions the window's data never excites score high. If B is
-// an eps-covariance sketch of A_w, the score approximates the exact
-// window's score (Theorem-level argument in [15]).
+// score(x) = x^T (C + lambda I)^{-1} x with C the snapshot's covariance
+// estimate. Directions the window's data never excites score high. If the
+// snapshot is an eps-covariance sketch of A_w, the score approximates the
+// exact window's score (Theorem-level argument in [15]).
+//
+// Scorers are built from a pinned serve::SnapshotRef and borrow the
+// snapshot's cached eigendecomposition (one SymmetricEigen per published
+// version, shared by every consumer). A scorer must not outlive the
+// snapshot it was built from: keep the ref pinned, or use the snapshot's
+// own memoized scorer (serve::Snapshot::scorer(), default ridge), which
+// lives exactly as long as the version.
 
 #ifndef DSWM_ANALYTICS_ANOMALY_SCORER_H_
 #define DSWM_ANALYTICS_ANOMALY_SCORER_H_
@@ -12,31 +19,30 @@
 #include <vector>
 
 #include "common/status.h"
-#include "linalg/matrix.h"
 #include "linalg/symmetric_eigen.h"
 
 namespace dswm {
 
 class CovarianceEstimate;
 
-/// Precomputed scorer; rebuild when the sketch is refreshed.
+namespace serve {
+class Snapshot;
+class SnapshotRef;
+}  // namespace serve
+
+/// Precomputed scorer for one published version; build a new one when a
+/// newer version is pinned.
 class AnomalyScorer {
  public:
-  /// Builds a scorer from sketch rows B. `lambda_fraction` sets the
-  /// ridge as lambda = lambda_fraction * ||B||_F^2 / d (a dimensionless
-  /// knob; 0.01 is a good default). Fails on an empty sketch or a
+  /// Empty scorer (dim 0); placeholder until assigned.
+  AnomalyScorer() = default;
+
+  /// Builds a scorer from a pinned snapshot. `lambda_fraction` sets the
+  /// ridge as lambda = lambda_fraction * trace(C) / d (a dimensionless
+  /// knob; 0.01 is a good default -- the snapshot's memoized scorer uses
+  /// the store's configured fraction). Fails on an empty ref or a
   /// non-positive fraction.
-  static StatusOr<AnomalyScorer> FromSketch(const Matrix& sketch,
-                                            double lambda_fraction = 0.01);
-
-  /// As FromSketch, from an explicit covariance estimate.
-  static StatusOr<AnomalyScorer> FromCovariance(const Matrix& covariance,
-                                                double lambda_fraction = 0.01);
-
-  /// From a tracker query result, reusing the estimate's cached
-  /// eigendecomposition (CovarianceEstimate::Eigen): one SymmetricEigen
-  /// per snapshot is shared between scoring and the PsdSqrt conversion.
-  static StatusOr<AnomalyScorer> FromEstimate(const CovarianceEstimate& est,
+  static StatusOr<AnomalyScorer> FromSnapshot(const serve::SnapshotRef& ref,
                                               double lambda_fraction = 0.01);
 
   /// score(x) = x^T (C + lambda I)^{-1} x; O(d^2).
@@ -47,14 +53,14 @@ class AnomalyScorer {
   int dim() const { return static_cast<int>(inverse_eigenvalues_.size()); }
 
  private:
-  AnomalyScorer() = default;
-  static StatusOr<AnomalyScorer> Build(const Matrix& covariance,
-                                       double lambda_fraction);
-  static StatusOr<AnomalyScorer> BuildFromEigen(const Matrix& covariance,
-                                                EigenResult eig,
-                                                double lambda_fraction);
+  friend class serve::Snapshot;
 
-  EigenResult eig_;
+  /// Publication-path constructor: `est` must be sealed (its Covariance()
+  /// and Eigen() caches populated), and must outlive the scorer.
+  static StatusOr<AnomalyScorer> ForSealedEstimate(
+      const CovarianceEstimate& est, double lambda_fraction);
+
+  const EigenResult* eig_ = nullptr;  // borrowed from the estimate's cache
   std::vector<double> inverse_eigenvalues_;
   double lambda_ = 0.0;
 };

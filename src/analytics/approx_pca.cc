@@ -3,34 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
-#include "linalg/svd.h"
+#include "serve/snapshot_store.h"
 
 namespace dswm {
 
-StatusOr<ApproxPca> ApproxPca::FromSketch(const Matrix& sketch, int k) {
+StatusOr<ApproxPca> ApproxPca::FromEigenbasis(const EigenResult& eig, int dim,
+                                              int k) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (sketch.cols() == 0) {
-    return Status::InvalidArgument("sketch has no columns");
-  }
+  if (dim == 0) return Status::InvalidArgument("estimate has no columns");
 
   ApproxPca pca;
-  const RightSvdResult svd = RightSvd(sketch);
   double total = 0.0;
-  for (double s2 : svd.sigma_squared) total += s2;
+  for (double v : eig.values) total += std::max(v, 0.0);
+  // Eigenvalues at the gram-route noise floor are numerical rank
+  // deficiency, not signal; the relative tolerance matches PsdSqrt's.
+  const double tol =
+      eig.values.empty() ? 0.0 : std::max(eig.values[0], 0.0) * 1e-12;
 
-  const int keep = std::min<int>(k, static_cast<int>(svd.sigma_squared.size()));
-  int r = 0;
+  const int keep = std::min<int>(k, static_cast<int>(eig.values.size()));
   double captured = 0.0;
-  pca.basis_ = Matrix(0, sketch.cols());
+  pca.basis_ = Matrix(0, dim);
   for (int i = 0; i < keep; ++i) {
-    if (svd.sigma_squared[i] <= 0.0) break;
-    pca.basis_.AppendRow(svd.vt.Row(i), sketch.cols());
-    pca.explained_variance_.push_back(svd.sigma_squared[i]);
-    captured += svd.sigma_squared[i];
-    ++r;
+    const double v = eig.values[static_cast<size_t>(i)];
+    if (v <= 0.0 || v <= tol) break;
+    pca.basis_.AppendRow(eig.vectors.Row(i), dim);
+    pca.explained_variance_.push_back(v);
+    captured += v;
   }
   pca.captured_fraction_ = total > 0.0 ? captured / total : 0.0;
   return pca;
+}
+
+StatusOr<ApproxPca> ApproxPca::FromSnapshot(const serve::SnapshotRef& ref,
+                                            int k) {
+  if (!ref.has_value()) {
+    return Status::InvalidArgument("empty snapshot ref");
+  }
+  return FromEigenbasis(ref->estimate().Eigen(), ref->dim(), k);
 }
 
 std::vector<double> ApproxPca::Project(const double* x) const {

@@ -1,10 +1,13 @@
-// Approximate PCA from a covariance sketch.
+// Approximate PCA from a published covariance snapshot.
 //
 // The paper's motivating application 1 (Section I): the top-k right
 // singular vectors of an eps-covariance sketch B span a subspace whose
 // captured variance is within eps * ||A||_F^2 of the optimal PCA basis of
-// A [14]. This module turns a tracked sketch into a PCA basis, explained
-// variances, projections, and subspace comparisons.
+// A [14]. This module turns a pinned snapshot into a PCA basis, explained
+// variances, projections, and subspace comparisons. The basis is read off
+// the snapshot's cached eigendecomposition (eigenvectors of B^T B are the
+// right singular vectors of B), so construction is O(k d) copying -- the
+// O(d^3) decomposition was paid once at publication.
 
 #ifndef DSWM_ANALYTICS_APPROX_PCA_H_
 #define DSWM_ANALYTICS_APPROX_PCA_H_
@@ -13,20 +16,29 @@
 
 #include "common/status.h"
 #include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
 
 namespace dswm {
 
-/// A rank-k PCA basis extracted from a sketch.
+namespace serve {
+class Snapshot;
+class SnapshotRef;
+}  // namespace serve
+
+/// A rank-k PCA basis extracted from a snapshot. Owns its basis rows, so
+/// it may outlive the pin it was built from (ChangeDetector freezes one as
+/// its reference).
 class ApproxPca {
  public:
   /// An empty basis (0 components); useful as a placeholder before
-  /// FromSketch.
+  /// FromSnapshot.
   ApproxPca() = default;
 
-  /// Computes the top-k principal directions of sketch B (rows x d).
-  /// Fails if k < 1; retains fewer than k components when the sketch has
-  /// lower rank.
-  static StatusOr<ApproxPca> FromSketch(const Matrix& sketch, int k);
+  /// The top-k principal directions of the pinned snapshot. Fails if
+  /// k < 1 or the ref is empty; retains fewer than k components when the
+  /// estimate has lower numerical rank.
+  static StatusOr<ApproxPca> FromSnapshot(const serve::SnapshotRef& ref,
+                                          int k);
 
   /// Number of retained components (<= requested k).
   int components() const { return basis_.rows(); }
@@ -41,7 +53,7 @@ class ApproxPca {
     return explained_variance_;
   }
 
-  /// Fraction of the sketch's total variance captured by the basis,
+  /// Fraction of the estimate's total variance captured by the basis,
   /// in [0, 1].
   double captured_fraction() const { return captured_fraction_; }
 
@@ -59,6 +71,14 @@ class ApproxPca {
   double Affinity(const ApproxPca& other) const;
 
  private:
+  friend class serve::Snapshot;
+
+  /// Publication-path constructor: reads the top-k eigenpairs of a cached
+  /// eigendecomposition. Eigenvalues below 1e-12 of the largest count as
+  /// numerical rank deficiency and are dropped.
+  static StatusOr<ApproxPca> FromEigenbasis(const EigenResult& eig, int dim,
+                                            int k);
+
   Matrix basis_;
   std::vector<double> explained_variance_;
   double captured_fraction_ = 0.0;

@@ -1,28 +1,33 @@
 #include "analytics/change_detector.h"
 
+#include <utility>
+
+#include "serve/snapshot_store.h"
+
 namespace dswm {
 
-StatusOr<ChangeDetector> ChangeDetector::FromReference(
-    const Matrix& reference_sketch, const ChangeDetectorOptions& options) {
+StatusOr<ChangeDetector> ChangeDetector::FromSnapshot(
+    const serve::SnapshotRef& reference, const ChangeDetectorOptions& options) {
   if (options.components < 1) {
     return Status::InvalidArgument("components must be >= 1");
   }
   if (options.calibration_updates < 1) {
     return Status::InvalidArgument("calibration_updates must be >= 1");
   }
-  auto pca = ApproxPca::FromSketch(reference_sketch, options.components);
+  auto pca = ApproxPca::FromSnapshot(reference, options.components);
   DSWM_RETURN_NOT_OK(pca.status());
   if (pca.value().components() == 0) {
-    return Status::FailedPrecondition("reference sketch has rank 0");
+    return Status::FailedPrecondition("reference snapshot has rank 0");
   }
   ChangeDetector detector;
   detector.options_ = options;
   detector.reference_ = std::move(pca).value();
+  detector.reference_version_ = reference.meta().version;
   return detector;
 }
 
-StatusOr<double> ChangeDetector::Update(const Matrix& testing_sketch) {
-  auto pca = ApproxPca::FromSketch(testing_sketch, options_.components);
+StatusOr<double> ChangeDetector::Update(const serve::SnapshotRef& current) {
+  auto pca = ApproxPca::FromSnapshot(current, options_.components);
   DSWM_RETURN_NOT_OK(pca.status());
   const double distance = 1.0 - reference_.Affinity(pca.value());
   last_distance_ = distance;

@@ -1,15 +1,17 @@
-// PCA-based change detection over a tracked sliding window
+// PCA-based change detection over published snapshots
 // (paper Section I application 1; cf. Qahtan et al. [24]).
 //
-// A reference PCA basis is frozen from the tracked sketch; afterwards,
-// each Update() compares the current window's basis to it and raises a
+// A reference PCA basis is frozen from a pinned snapshot; afterwards,
+// each Update() compares the current version's basis to it and raises a
 // change when the subspace distance (1 - mean squared principal cosine)
-// exceeds an adaptive threshold calibrated from the quiet period.
+// exceeds an adaptive threshold calibrated from the quiet period. The
+// detector deep-copies the reference basis, so it remains valid after the
+// reference pin is released.
 
 #ifndef DSWM_ANALYTICS_CHANGE_DETECTOR_H_
 #define DSWM_ANALYTICS_CHANGE_DETECTOR_H_
 
-#include <optional>
+#include <cstdint>
 
 #include "analytics/approx_pca.h"
 #include "common/status.h"
@@ -28,18 +30,18 @@ struct ChangeDetectorOptions {
   double threshold_offset = 0.05;
 };
 
-/// Streaming change detector over covariance sketches.
+/// Streaming change detector over published covariance snapshots.
 class ChangeDetector {
  public:
-  /// Creates a detector with a frozen reference basis extracted from
-  /// `reference_sketch` (typically DistributedTracker::Query().Rows() at
-  /// the end of the reference window).
-  static StatusOr<ChangeDetector> FromReference(
-      const Matrix& reference_sketch, const ChangeDetectorOptions& options);
+  /// Creates a detector with a frozen reference basis extracted from the
+  /// pinned snapshot (typically the version published at the end of the
+  /// reference window).
+  static StatusOr<ChangeDetector> FromSnapshot(
+      const serve::SnapshotRef& reference, const ChangeDetectorOptions& options);
 
-  /// Feeds the current testing-window sketch; returns the subspace
+  /// Feeds the current testing-window snapshot; returns the subspace
   /// distance in [0, 1] and updates the change flag.
-  StatusOr<double> Update(const Matrix& testing_sketch);
+  StatusOr<double> Update(const serve::SnapshotRef& current);
 
   /// True once a change has been raised (sticky until Reset()).
   bool change_detected() const { return change_detected_; }
@@ -50,6 +52,9 @@ class ChangeDetector {
   /// Baseline distance learned during calibration (0 until calibrated).
   double baseline() const { return calibrated_ ? baseline_ : 0.0; }
 
+  /// Version of the snapshot the reference basis was frozen from.
+  uint64_t reference_version() const { return reference_version_; }
+
   /// Clears the change flag and re-enters calibration (keeps the
   /// reference basis).
   void Reset();
@@ -59,6 +64,7 @@ class ChangeDetector {
 
   ChangeDetectorOptions options_;
   ApproxPca reference_;
+  uint64_t reference_version_ = 0;
   bool calibrated_ = false;
   int calibration_seen_ = 0;
   double baseline_accum_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.h"
 #include "linalg/psd_sqrt.h"
 #include "obs/span.h"
 
@@ -24,6 +25,7 @@ CovarianceEstimate CovarianceEstimate::FromCovariance(Matrix covariance) {
 
 const Matrix& CovarianceEstimate::Rows() const {
   if (!rows_.has_value()) {
+    DSWM_CHECK(!sealed_);
     obs::Span span("query.psd_sqrt");
     rows_ = PsdSqrtFromEigen(Eigen());
   }
@@ -32,6 +34,7 @@ const Matrix& CovarianceEstimate::Rows() const {
 
 const EigenResult& CovarianceEstimate::Eigen() const {
   if (!eigen_.has_value()) {
+    DSWM_CHECK(!sealed_);
     obs::Span span("query.eigen");
     eigen_ = SymmetricEigen(Covariance());
   }
@@ -40,10 +43,22 @@ const EigenResult& CovarianceEstimate::Eigen() const {
 
 const Matrix& CovarianceEstimate::Covariance() const {
   if (!covariance_.has_value()) {
+    DSWM_CHECK(!sealed_);
     obs::Span span("query.gram");
     covariance_ = GramTranspose(*rows_);
   }
   return *covariance_;
+}
+
+void CovarianceEstimate::MaterializeAndSeal() {
+  // Conversion order matters for the once-per-version accounting: the
+  // covariance (gram for rows-native estimates) feeds the eigenbasis,
+  // which feeds the PSD root for covariance-native estimates. Rows-native
+  // estimates already hold their rows, so Rows() is a no-op there.
+  static_cast<void>(Covariance());
+  static_cast<void>(Eigen());
+  static_cast<void>(Rows());
+  sealed_ = true;
 }
 
 int CovarianceEstimate::Dim() const {

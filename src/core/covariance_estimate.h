@@ -57,11 +57,25 @@ class CovarianceEstimate {
   /// recomputing it.
   [[nodiscard]] const EigenResult& Eigen() const;
 
+  /// Eagerly computes every view (Covariance, Eigen, and Rows -- the
+  /// O(d^3) PSD root) and freezes the estimate: after sealing, no accessor
+  /// ever converts, so concurrent readers see pure-const state. This is
+  /// the serving tier's publication step; the semantic linter
+  /// (snapshot-immutability) confines callers to src/serve/. Accessors
+  /// CHECK-fail if a sealed estimate would ever need a conversion, which
+  /// cannot happen after a successful seal.
+  void MaterializeAndSeal();
+
+  /// True once MaterializeAndSeal() ran; sealed estimates are safe to read
+  /// from any number of threads concurrently.
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
   /// Row dimension d (0 for an empty estimate).
   [[nodiscard]] int Dim() const;
 
  private:
   bool is_rows_;
+  bool sealed_ = false;
   mutable std::optional<Matrix> rows_;
   mutable std::optional<Matrix> covariance_;
   mutable std::optional<EigenResult> eigen_;

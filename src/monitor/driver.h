@@ -19,6 +19,10 @@
 
 namespace dswm {
 
+namespace serve {
+class SnapshotStore;
+}  // namespace serve
+
 /// Driver options.
 struct DriverOptions {
   /// Number of random query timestamps (the paper uses 50).
@@ -31,6 +35,13 @@ struct DriverOptions {
   /// When non-empty, the merged message-ledger trace of every channel the
   /// tracker owns is written here as JSONL (one transmission per line).
   std::string trace_jsonl;
+  /// When non-null, the tracker's estimate is published into this store at
+  /// every window-advance boundary (the first row of each window period)
+  /// plus once at the end of the run. Publication points depend only on
+  /// row timestamps and the window length, and every runtime drives the
+  /// same ReplayHarness, so the published snapshot bytes are identical
+  /// under lockstep, events, and process -- and under any reader count.
+  serve::SnapshotStore* publish_store = nullptr;
 
   /// InvalidArgument unless query_points >= 0 and warmup_fraction is in
   /// [0, 1]. Checked by RunTracker; CLIs should call it up front to report

@@ -10,6 +10,7 @@
 #include "linalg/batched.h"
 #include "net/channel.h"
 #include "obs/span.h"
+#include "serve/snapshot_store.h"
 #include "sketch/covariance.h"
 
 namespace dswm {
@@ -127,6 +128,19 @@ Status ReplayHarness::Step(int i) {
   exact_->Add(row);
   exact_->Advance(row.timestamp);
 
+  if (options_.publish_store != nullptr) {
+    // Publish at window-advance boundaries: the first row landing in each
+    // window period triggers a version. The trigger depends only on the
+    // row timestamps and the window length -- never on the runtime, the
+    // channel backend, or any reader -- so lockstep stays the bit-exact
+    // oracle for the published bytes.
+    const long window_index = static_cast<long>(row.timestamp / window_);
+    if (window_index > published_window_) {
+      published_window_ = window_index;
+      DSWM_RETURN_NOT_OK(PublishSnapshot(row.timestamp));
+    }
+  }
+
   if (query_at(i)) {
     obs::Span span("driver.query");
     CovarianceEstimate estimate = tracker_->Query();
@@ -142,10 +156,21 @@ Status ReplayHarness::Step(int i) {
   return Status::OK();
 }
 
+Status ReplayHarness::PublishSnapshot(Timestamp at) {
+  obs::Span span("driver.publish");
+  return options_.publish_store->Publish(tracker_->Query(), at, window_);
+}
+
 StatusOr<RunResult> ReplayHarness::Finish() {
   DSWM_CHECK(planned_);
   if (n_ == 0) return std::move(result_);
   DSWM_CHECK(next_step_ == n_);
+
+  // Final publication: the last window's tail (rows after its boundary
+  // publish) becomes queryable as the terminal version.
+  if (options_.publish_store != nullptr) {
+    DSWM_RETURN_NOT_OK(PublishSnapshot(rows_.back().timestamp));
+  }
 
   // Query-point error evaluations are independent of the stream replay
   // (each acts on a snapshot of exact + approximate state), so the replay

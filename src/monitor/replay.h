@@ -73,9 +73,14 @@ class ReplayHarness {
   Timestamp window_;
   DriverOptions options_;
 
+  /// Publishes the tracker's current estimate into options_.publish_store
+  /// (no-op when null). `at` stamps the snapshot's published_at.
+  [[nodiscard]] Status PublishSnapshot(Timestamp at);
+
   int n_ = 0;
   bool planned_ = false;
   int next_step_ = 0;
+  long published_window_ = -1;
   std::vector<int> sites_;
   std::vector<bool> is_query_;
   std::optional<ExactWindow> exact_;

@@ -1,0 +1,97 @@
+#include "serve/query_service.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dswm {
+namespace serve {
+
+namespace {
+
+Status DimMismatch(int got, int want) {
+  return Status::InvalidArgument("query dimension " + std::to_string(got) +
+                                 " does not match snapshot dimension " +
+                                 std::to_string(want));
+}
+
+}  // namespace
+
+StatusOr<SnapshotRef> QueryService::Session::PinLatest() {
+  SnapshotRef ref = reader_.Pin();
+  if (!ref.has_value()) {
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  last_version_ = ref.meta().version;
+  return ref;
+}
+
+StatusOr<PcaResult> QueryService::Session::Pca(const double* x, int dim) {
+  auto pinned = PinLatest();
+  DSWM_RETURN_NOT_OK(pinned.status());
+  const SnapshotRef ref = std::move(pinned).value();
+  if (dim != ref->dim()) return DimMismatch(dim, ref->dim());
+
+  const ApproxPca& pca = ref->pca();
+  PcaResult result;
+  result.meta = ref.meta();
+  result.components = pca.components();
+  result.captured_fraction = pca.captured_fraction();
+  result.explained_variance = pca.explained_variance();
+  result.coefficients = pca.Project(x);
+  result.reconstruction_error = pca.ReconstructionError(x);
+  DSWM_OBS_COUNT("serve.query.pca", 1);
+  return result;
+}
+
+StatusOr<AnomalyResult> QueryService::Session::Anomaly(const double* x,
+                                                       int dim) {
+  auto pinned = PinLatest();
+  DSWM_RETURN_NOT_OK(pinned.status());
+  const SnapshotRef ref = std::move(pinned).value();
+  if (dim != ref->dim()) return DimMismatch(dim, ref->dim());
+
+  AnomalyResult result;
+  result.meta = ref.meta();
+  result.score = ref->scorer().Score(x);
+  result.lambda = ref->scorer().lambda();
+  DSWM_OBS_COUNT("serve.query.anomaly", 1);
+  return result;
+}
+
+StatusOr<ChangeResult> QueryService::Session::Change() {
+  auto pinned = PinLatest();
+  DSWM_RETURN_NOT_OK(pinned.status());
+  const SnapshotRef ref = std::move(pinned).value();
+
+  if (!detector_.has_value()) {
+    auto detector = ChangeDetector::FromSnapshot(ref, change_options_);
+    DSWM_RETURN_NOT_OK(detector.status());
+    detector_ = std::move(detector).value();
+    change_evaluated_version_ = ref.meta().version;
+    last_change_.meta = ref.meta();
+    last_change_.reference_version = detector_->reference_version();
+    last_change_.distance = 0.0;
+    last_change_.baseline = detector_->baseline();
+    last_change_.change_detected = detector_->change_detected();
+    DSWM_OBS_COUNT("serve.query.change", 1);
+    return last_change_;
+  }
+
+  if (ref.meta().version > change_evaluated_version_) {
+    auto distance = detector_->Update(ref);
+    DSWM_RETURN_NOT_OK(distance.status());
+    change_evaluated_version_ = ref.meta().version;
+    last_change_.meta = ref.meta();
+    last_change_.reference_version = detector_->reference_version();
+    last_change_.distance = distance.value();
+    last_change_.baseline = detector_->baseline();
+    last_change_.change_detected = detector_->change_detected();
+  }
+  DSWM_OBS_COUNT("serve.query.change", 1);
+  return last_change_;
+}
+
+}  // namespace serve
+}  // namespace dswm

@@ -1,0 +1,35 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+namespace dswm {
+namespace serve {
+
+StatusOr<std::unique_ptr<const Snapshot>> Snapshot::Build(
+    CovarianceEstimate estimate, SnapshotMeta meta, int pca_components,
+    double lambda_fraction) {
+  if (estimate.Dim() == 0) {
+    return Status::InvalidArgument("cannot publish an empty estimate");
+  }
+  std::unique_ptr<Snapshot> snap(new Snapshot());
+  snap->meta_ = meta;
+  snap->est_ = std::move(estimate);
+  // The one place the estimate mutates on the serving path: every view is
+  // derived here, exactly once per version, then frozen.
+  snap->est_.MaterializeAndSeal();
+
+  auto pca =
+      ApproxPca::FromEigenbasis(snap->est_.Eigen(), snap->est_.Dim(),
+                                pca_components);
+  DSWM_RETURN_NOT_OK(pca.status());
+  snap->pca_ = std::move(pca).value();
+
+  auto scorer = AnomalyScorer::ForSealedEstimate(snap->est_, lambda_fraction);
+  DSWM_RETURN_NOT_OK(scorer.status());
+  snap->scorer_ = std::move(scorer).value();
+
+  return std::unique_ptr<const Snapshot>(std::move(snap));
+}
+
+}  // namespace serve
+}  // namespace dswm

@@ -1,0 +1,87 @@
+// An immutable, fully-materialized published version of the tracker's
+// covariance estimate -- the unit the serving tier hands to readers.
+//
+// Publication (SnapshotStore::Publish) pays the expensive derivations
+// exactly once per version: the gram/covariance view, the shared
+// eigendecomposition, the O(d^3) PSD root, the top-k PCA basis, and the
+// default-ridge anomaly scorer are all computed here and memoized on the
+// snapshot, so any number of concurrent readers amortize them. After
+// Build() returns, a Snapshot is deeply const: the embedded estimate is
+// sealed (CovarianceEstimate::MaterializeAndSeal), so no reader access can
+// ever mutate a cache. MaterializeAndSeal is the only mutating call in the
+// serving path and is confined to src/serve/ by the semantic linter
+// (snapshot-immutability).
+
+#ifndef DSWM_SERVE_SNAPSHOT_H_
+#define DSWM_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "analytics/anomaly_scorer.h"
+#include "analytics/approx_pca.h"
+#include "common/status.h"
+#include "core/covariance_estimate.h"
+#include "stream/timed_row.h"
+
+namespace dswm {
+namespace serve {
+
+/// Identity and window coverage of one published version, carried along
+/// with every query result so readers can tell exactly which state
+/// answered them.
+struct SnapshotMeta {
+  /// Monotonically increasing from 1; 0 means "no snapshot".
+  uint64_t version = 0;
+  /// Timestamp of the row whose arrival triggered publication.
+  Timestamp published_at = 0;
+  /// Window coverage (window_start, published_at], matching the sliding
+  /// window semantics (cutoff = t - window).
+  Timestamp window_start = 0;
+  Timestamp window = 0;
+};
+
+/// One immutable published version. Heap-allocated by the store, never
+/// copied or moved (readers hold pointers into its materialized caches).
+class Snapshot {
+ public:
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  [[nodiscard]] const SnapshotMeta& meta() const { return meta_; }
+
+  /// The sealed estimate: Rows(), Covariance(), and Eigen() are all
+  /// precomputed, so every accessor is a pure read.
+  [[nodiscard]] const CovarianceEstimate& estimate() const { return est_; }
+
+  /// Top-k PCA basis (k = store option pca_components, fewer when the
+  /// estimate is rank-deficient), derived from the shared eigenbasis.
+  [[nodiscard]] const ApproxPca& pca() const { return pca_; }
+
+  /// Default-ridge anomaly scorer borrowing the shared eigenbasis.
+  [[nodiscard]] const AnomalyScorer& scorer() const { return scorer_; }
+
+  [[nodiscard]] int dim() const { return est_.Dim(); }
+
+ private:
+  friend class SnapshotStore;
+
+  Snapshot() = default;
+
+  /// Materializes every view of `estimate` and memoizes the per-version
+  /// query structures. InvalidArgument on an empty estimate; propagates
+  /// PCA/scorer construction failures.
+  static StatusOr<std::unique_ptr<const Snapshot>> Build(
+      CovarianceEstimate estimate, SnapshotMeta meta, int pca_components,
+      double lambda_fraction);
+
+  SnapshotMeta meta_;
+  CovarianceEstimate est_;
+  ApproxPca pca_;
+  AnomalyScorer scorer_;
+};
+
+}  // namespace serve
+}  // namespace dswm
+
+#endif  // DSWM_SERVE_SNAPSHOT_H_

@@ -21,7 +21,10 @@ MatrixExpHistogram::MatrixExpHistogram(int d, double eps, Timestamp window)
 }
 
 void MatrixExpHistogram::Insert(const double* row, Timestamp t) {
-  DSWM_CHECK_GE(t, last_time_);
+  if (t < last_time_) {
+    InsertLate(row, t);
+    return;
+  }
   last_time_ = t;
   Advance(t);
 
@@ -29,6 +32,34 @@ void MatrixExpHistogram::Insert(const double* row, Timestamp t) {
   b.fd.Append(row);
   total_mass_ += b.mass;
   buckets_.push_back(std::move(b));
+
+  if (++inserts_since_compress_ >= 4) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void MatrixExpHistogram::InsertLate(const double* row, Timestamp t) {
+  // A reordered arrival (retransmitted row upload): the histogram clock
+  // already advanced past t. Never regress last_time_ -- expiry decisions
+  // stay anchored to the newest time seen.
+  if (t <= last_time_ - window_) {
+    // Its whole interval has already expired; adding it would violate the
+    // front-bucket freshness invariant and resurrect dropped mass.
+    DSWM_OBS_COUNT("window.meh.late_dropped", 1);
+    return;
+  }
+  DSWM_OBS_COUNT("window.meh.late_inserts", 1);
+  Bucket b{FrequentDirections(d_, ell_), NormSquared(row, d_), t, t, false};
+  b.fd.Append(row);
+  total_mass_ += b.mass;
+  // Splice into time order (after the last bucket at or before t, so
+  // arrival order is preserved among equal timestamps), keeping the
+  // deque's oldest -> newest invariant that expiry and DA2's reverse
+  // replay both walk.
+  auto it = buckets_.end();
+  while (it != buckets_.begin() && (it - 1)->t_newest > t) --it;
+  buckets_.insert(it, std::move(b));
 
   if (++inserts_since_compress_ >= 4) {
     Compress();

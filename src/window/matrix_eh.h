@@ -41,7 +41,13 @@ class MatrixExpHistogram {
   /// error eps.
   MatrixExpHistogram(int d, double eps, Timestamp window);
 
-  /// Inserts a row at time t (non-decreasing).
+  /// Inserts a row at time t. The fast path expects non-decreasing times
+  /// (a site's local stream); a row older than the newest seen -- a
+  /// reordered retransmit delivered to the centralized tracker -- is
+  /// spliced into its time-ordered bucket position without regressing the
+  /// histogram clock, or dropped outright when its window has already
+  /// expired. The in-order path is byte-identical to the historical
+  /// monotone-only behavior.
   void Insert(const double* row, Timestamp t);
 
   /// Expires old buckets as of t_now (call before reading). If `dropped`
@@ -70,6 +76,7 @@ class MatrixExpHistogram {
   [[nodiscard]] long SpaceWords() const;
 
  private:
+  void InsertLate(const double* row, Timestamp t);
   void Compress();
 
   int d_;

@@ -1,3 +1,7 @@
+// Analytics built on the serving tier: every scorer/basis/detector is
+// constructed from a pinned snapshot of a single-version SnapshotStore
+// (the snapshot-API successor of the old matrix-style constructors).
+
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -6,7 +10,9 @@
 #include "analytics/approx_pca.h"
 #include "analytics/change_detector.h"
 #include "common/rng.h"
+#include "core/covariance_estimate.h"
 #include "linalg/qr.h"
+#include "serve/snapshot_store.h"
 
 namespace dswm {
 namespace {
@@ -27,20 +33,37 @@ Matrix RowsInSubspace(const Matrix& basis, int n, double noise,
   return rows;
 }
 
+// One published version, pinned: the snapshot-API equivalent of handing a
+// sketch matrix straight to an analytics constructor.
+struct Published {
+  explicit Published(Matrix rows) : reader(&store) {
+    status = store.Publish(CovarianceEstimate::FromRows(std::move(rows)),
+                           /*published_at=*/100, /*window=*/100);
+    if (status.ok()) ref = reader.Pin();
+  }
+
+  serve::SnapshotStore store;
+  serve::SnapshotReader reader;
+  Status status = Status::OK();
+  serve::SnapshotRef ref;
+};
+
 TEST(ApproxPca, RecoversPlantedSubspace) {
   const int d = 16;
   const int k = 3;
   Rng rng(1);
   const Matrix basis = RandomOrthonormalRows(k, d, &rng);
-  const Matrix rows = RowsInSubspace(basis, 400, 0.01, 2);
+  Published data(RowsInSubspace(basis, 400, 0.01, 2));
+  ASSERT_TRUE(data.status.ok());
 
-  const auto pca = ApproxPca::FromSketch(rows, k);
+  const auto pca = ApproxPca::FromSnapshot(data.ref, k);
   ASSERT_TRUE(pca.ok());
   EXPECT_EQ(pca.value().components(), k);
   EXPECT_GT(pca.value().captured_fraction(), 0.99);
 
   // The recovered basis must span the planted one.
-  const auto planted = ApproxPca::FromSketch(basis, k);
+  Published planted_snapshot(basis);
+  const auto planted = ApproxPca::FromSnapshot(planted_snapshot.ref, k);
   ASSERT_TRUE(planted.ok());
   EXPECT_GT(pca.value().Affinity(planted.value()), 0.99);
 }
@@ -51,7 +74,8 @@ TEST(ApproxPca, ExplainedVarianceDescending) {
   for (int i = 0; i < 60; ++i) {
     for (int j = 0; j < 8; ++j) rows(i, j) = rng.NextGaussian() * (8 - j);
   }
-  const auto pca = ApproxPca::FromSketch(rows, 8);
+  Published data(std::move(rows));
+  const auto pca = ApproxPca::FromSnapshot(data.ref, 8);
   ASSERT_TRUE(pca.ok());
   const auto& ev = pca.value().explained_variance();
   for (size_t i = 1; i < ev.size(); ++i) EXPECT_GE(ev[i - 1], ev[i]);
@@ -60,7 +84,8 @@ TEST(ApproxPca, ExplainedVarianceDescending) {
 TEST(ApproxPca, ProjectAndReconstructionError) {
   Matrix basis(1, 3);
   basis(0, 0) = 1.0;  // e1
-  const auto pca = ApproxPca::FromSketch(basis, 1);
+  Published data(std::move(basis));
+  const auto pca = ApproxPca::FromSnapshot(data.ref, 1);
   ASSERT_TRUE(pca.ok());
   const double x[] = {2.0, 3.0, 0.0};
   const auto coeffs = pca.value().Project(x);
@@ -73,13 +98,16 @@ TEST(ApproxPca, RankDeficientKeepsFewerComponents) {
   Matrix rows(2, 5);
   rows(0, 2) = 1.0;
   rows(1, 2) = 2.0;  // rank 1
-  const auto pca = ApproxPca::FromSketch(rows, 4);
+  Published data(std::move(rows));
+  const auto pca = ApproxPca::FromSnapshot(data.ref, 4);
   ASSERT_TRUE(pca.ok());
   EXPECT_EQ(pca.value().components(), 1);
 }
 
-TEST(ApproxPca, RejectsBadK) {
-  EXPECT_FALSE(ApproxPca::FromSketch(Matrix(2, 2), 0).ok());
+TEST(ApproxPca, RejectsBadKAndEmptyRef) {
+  Published data(Matrix(2, 2));
+  EXPECT_FALSE(ApproxPca::FromSnapshot(data.ref, 0).ok());
+  EXPECT_FALSE(ApproxPca::FromSnapshot(serve::SnapshotRef(), 2).ok());
 }
 
 TEST(ApproxPca, AffinityOrthogonalSubspacesIsZero) {
@@ -87,8 +115,10 @@ TEST(ApproxPca, AffinityOrthogonalSubspacesIsZero) {
   e1(0, 0) = 1.0;
   Matrix e2(1, 4);
   e2(0, 1) = 1.0;
-  const auto a = ApproxPca::FromSketch(e1, 1);
-  const auto b = ApproxPca::FromSketch(e2, 1);
+  Published pub_a(std::move(e1));
+  Published pub_b(std::move(e2));
+  const auto a = ApproxPca::FromSnapshot(pub_a.ref, 1);
+  const auto b = ApproxPca::FromSnapshot(pub_b.ref, 1);
   EXPECT_NEAR(a.value().Affinity(b.value()), 0.0, 1e-12);
   EXPECT_NEAR(a.value().Affinity(a.value()), 1.0, 1e-12);
 }
@@ -99,25 +129,36 @@ TEST(ChangeDetector, FlagsSubspaceRotationOnly) {
   const Matrix basis_a = RandomOrthonormalRows(3, d, &rng);
   const Matrix basis_b = RandomOrthonormalRows(3, d, &rng);
 
-  const Matrix reference = RowsInSubspace(basis_a, 300, 0.02, 10);
+  // One store, many versions: the detector freezes its reference from
+  // version 1 and each Update() pins the then-latest version.
+  serve::SnapshotStore store;
+  serve::SnapshotReader reader(&store);
+  auto publish = [&](Matrix rows, Timestamp at) {
+    return store.Publish(CovarianceEstimate::FromRows(std::move(rows)), at,
+                         /*window=*/100);
+  };
+  ASSERT_TRUE(publish(RowsInSubspace(basis_a, 300, 0.02, 10), 100).ok());
+
   ChangeDetectorOptions options;
   options.components = 3;
   options.calibration_updates = 3;
-  auto detector = ChangeDetector::FromReference(reference, options);
+  auto detector = ChangeDetector::FromSnapshot(reader.Pin(), options);
   ASSERT_TRUE(detector.ok());
+  EXPECT_EQ(detector.value().reference_version(), 1u);
 
   // Quiet period: same subspace, fresh noise.
   for (int i = 0; i < 6; ++i) {
-    const auto dist = detector.value().Update(
-        RowsInSubspace(basis_a, 300, 0.02, 20 + i));
+    ASSERT_TRUE(
+        publish(RowsInSubspace(basis_a, 300, 0.02, 20 + i), 200 + i).ok());
+    const auto dist = detector.value().Update(reader.Pin());
     ASSERT_TRUE(dist.ok());
     EXPECT_LT(dist.value(), 0.05);
   }
   EXPECT_FALSE(detector.value().change_detected());
 
   // Rotated subspace: must flag.
-  ASSERT_TRUE(
-      detector.value().Update(RowsInSubspace(basis_b, 300, 0.02, 30)).ok());
+  ASSERT_TRUE(publish(RowsInSubspace(basis_b, 300, 0.02, 30), 300).ok());
+  ASSERT_TRUE(detector.value().Update(reader.Pin()).ok());
   EXPECT_TRUE(detector.value().change_detected());
   EXPECT_GT(detector.value().last_distance(), 0.3);
 
@@ -126,18 +167,19 @@ TEST(ChangeDetector, FlagsSubspaceRotationOnly) {
 }
 
 TEST(ChangeDetector, RejectsZeroRankReference) {
+  Published data(Matrix(2, 4));  // all-zero rows: rank 0
+  ASSERT_TRUE(data.status.ok());
   EXPECT_FALSE(
-      ChangeDetector::FromReference(Matrix(2, 4), ChangeDetectorOptions())
-          .ok());
+      ChangeDetector::FromSnapshot(data.ref, ChangeDetectorOptions()).ok());
 }
 
 TEST(AnomalyScorer, UnexcitedDirectionsScoreHigh) {
   const int d = 10;
   Rng rng(5);
   const Matrix basis = RandomOrthonormalRows(2, d, &rng);
-  const Matrix rows = RowsInSubspace(basis, 500, 0.0, 6);
+  Published data(RowsInSubspace(basis, 500, 0.0, 6));
 
-  const auto scorer = AnomalyScorer::FromSketch(rows, 0.01);
+  const auto scorer = AnomalyScorer::FromSnapshot(data.ref, 0.01);
   ASSERT_TRUE(scorer.ok());
 
   // A point inside the excited subspace.
@@ -156,14 +198,26 @@ TEST(AnomalyScorer, UnexcitedDirectionsScoreHigh) {
             20.0 * scorer.value().Score(inside.data()));
 }
 
-TEST(AnomalyScorer, SketchMatchesCovarianceConstruction) {
+TEST(AnomalyScorer, RowsMatchCovarianceConstruction) {
+  // The same window published in rows form and in covariance form must
+  // score identically (both routes share C = B^T B).
   Rng rng(7);
   Matrix rows(40, 6);
   for (int i = 0; i < 40; ++i) {
     for (int j = 0; j < 6; ++j) rows(i, j) = rng.NextGaussian();
   }
-  const auto a = AnomalyScorer::FromSketch(rows, 0.05);
-  const auto b = AnomalyScorer::FromCovariance(GramTranspose(rows), 0.05);
+  const Matrix gram = GramTranspose(rows);
+  Published from_rows(std::move(rows));
+
+  serve::SnapshotStore cov_store;
+  serve::SnapshotReader cov_reader(&cov_store);
+  ASSERT_TRUE(cov_store
+                  .Publish(CovarianceEstimate::FromCovariance(gram), 100, 100)
+                  .ok());
+  const serve::SnapshotRef cov_ref = cov_reader.Pin();
+
+  const auto a = AnomalyScorer::FromSnapshot(from_rows.ref, 0.05);
+  const auto b = AnomalyScorer::FromSnapshot(cov_ref, 0.05);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   std::vector<double> x(6);
@@ -173,9 +227,12 @@ TEST(AnomalyScorer, SketchMatchesCovarianceConstruction) {
 }
 
 TEST(AnomalyScorer, RejectsBadInput) {
-  EXPECT_FALSE(AnomalyScorer::FromSketch(Matrix(0, 4)).ok());
-  EXPECT_FALSE(AnomalyScorer::FromSketch(Matrix(3, 3), 0.0).ok());
-  EXPECT_FALSE(AnomalyScorer::FromCovariance(Matrix(2, 3)).ok());
+  Published data(Matrix(3, 3));
+  EXPECT_FALSE(AnomalyScorer::FromSnapshot(data.ref, 0.0).ok());
+  EXPECT_FALSE(AnomalyScorer::FromSnapshot(serve::SnapshotRef(), 0.01).ok());
+  // An empty estimate cannot even be published.
+  serve::SnapshotStore store;
+  EXPECT_FALSE(store.Publish(CovarianceEstimate(), 100, 100).ok());
 }
 
 }  // namespace

@@ -185,11 +185,11 @@ TEST(RuntimeEquivalence, EventsMatchesLockstepUnderDropAndReliableFaults) {
   events_options.kind = runtime::RuntimeKind::kEvents;
   const auto events = runtime::MakeRuntime(events_options);
   LockstepRuntime lockstep;
-  // CENTRAL is excluded: the centralized mEH requires monotone add times,
-  // which a retransmitted row upload violates -- a (pre-existing)
-  // limitation of the protocol itself, identical under every runtime.
+  // CENTRAL included: the centralized mEH splices reordered retransmits
+  // into their time-ordered bucket position (dropping already-expired
+  // ones), so all 11 algorithms now replay under fault profiles.
   for (Algorithm a : {Algorithm::kPwor, Algorithm::kDa2, Algorithm::kEswor,
-                      Algorithm::kPwrShared}) {
+                      Algorithm::kPwrShared, Algorithm::kCentral}) {
     SCOPED_TRACE(AlgorithmName(a));
     TrackerConfig config = BaseConfig(8, 4, window);
     config.net.drop = 0.15;
@@ -216,7 +216,7 @@ TEST(RuntimeEquivalence, ProcessMatchesLockstepUnderDropAndReliableFaults) {
   process_options.kind = runtime::RuntimeKind::kProcess;
   const auto process = runtime::MakeRuntime(process_options);
   LockstepRuntime lockstep;
-  for (Algorithm a : {Algorithm::kPwor, Algorithm::kDa2}) {
+  for (Algorithm a : {Algorithm::kPwor, Algorithm::kDa2, Algorithm::kCentral}) {
     SCOPED_TRACE(AlgorithmName(a));
     TrackerConfig config = BaseConfig(8, 3, window);
     config.net.drop = 0.2;

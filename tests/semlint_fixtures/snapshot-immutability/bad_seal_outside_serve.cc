@@ -1,0 +1,16 @@
+// semlint-fixture-path: src/monitor/bad_seal_outside_serve.cc
+// Fixture: sealing an estimate outside src/serve must be flagged -- both
+// the dot and arrow call shapes. Sealing belongs to the publish step in
+// serve::SnapshotStore; everywhere else estimates are mutable-by-design
+// (tracker side) or already sealed behind a SnapshotRef.
+
+namespace dswm {
+
+struct CovarianceEstimate;
+
+void SealInPlace(CovarianceEstimate& est, CovarianceEstimate* shared) {
+  est.MaterializeAndSeal();
+  shared->MaterializeAndSeal();
+}
+
+}  // namespace dswm

@@ -1,0 +1,14 @@
+// semlint-fixture-path: src/core/ok_declaration_and_definition.cc
+// Fixture: the declaration and the qualified out-of-line definition in
+// src/core are not member calls and must not fire.
+
+namespace dswm {
+
+class CovarianceEstimate {
+ public:
+  void MaterializeAndSeal();
+};
+
+void CovarianceEstimate::MaterializeAndSeal() {}
+
+}  // namespace dswm

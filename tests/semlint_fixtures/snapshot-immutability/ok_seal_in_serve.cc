@@ -1,0 +1,12 @@
+// semlint-fixture-path: src/serve/ok_seal_in_serve.cc
+// Fixture: src/serve is the sanctioned home of the publish-time seal.
+
+namespace dswm {
+namespace serve {
+
+struct CovarianceEstimate;
+
+void PublishStep(CovarianceEstimate* est) { est->MaterializeAndSeal(); }
+
+}  // namespace serve
+}  // namespace dswm

@@ -14,6 +14,10 @@
 //            comm gauges) as one JSON document to stdout, or to a file path
 //   dswm_cli sweep --dataset pamap --algorithms PWOR,DA2
 //            --epsilons 0.2,0.1,0.05     # CSV to stdout
+//   dswm_cli serve-bench [--algorithm DA2] [--rows N] [--dim D]
+//            [--sites M] [--epsilon E] [--window W] [--readers R]
+//            [--min-queries Q] [--seed S]   # closed-loop serving load
+//   dswm_cli serve-bench --selfcheck 1      # metrics-invariance check only
 //   dswm_cli datasets [--rows N]
 //   dswm_cli algorithms
 //
@@ -31,6 +35,7 @@
 #include "monitor/driver.h"
 #include "obs/metrics.h"
 #include "runtime/runtime.h"
+#include "serve/load_gen.h"
 #include "stream/csv_loader.h"
 #include "stream/pamap_like.h"
 #include "stream/synthetic.h"
@@ -243,6 +248,67 @@ int CmdRun(const FlagSet& flags) {
   return 0;
 }
 
+int CmdServeBench(const FlagSet& flags) {
+  auto algorithm = ParseAlgorithm(flags.GetString("algorithm", "DA2"));
+  if (!algorithm.ok()) return Fail(algorithm.status());
+
+  serve::LoadGenOptions options;
+  options.algorithm = algorithm.value();
+  options.rows = static_cast<int>(flags.GetInt("rows", options.rows));
+  options.dim = static_cast<int>(flags.GetInt("dim", options.dim));
+  options.sites = static_cast<int>(flags.GetInt("sites", options.sites));
+  options.epsilon = flags.GetDouble("epsilon", options.epsilon);
+  options.window = flags.GetInt("window", 0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+  options.reader_threads =
+      static_cast<int>(flags.GetInt("readers", options.reader_threads));
+  options.min_queries_per_reader =
+      flags.GetInt("min-queries", options.min_queries_per_reader);
+  const Status valid = options.Validate();
+  if (!valid.ok()) return Fail(valid);
+
+  if (flags.GetInt("selfcheck", 0) != 0) {
+    const Status status = serve::VerifyMetricsInvariance(options);
+    if (!status.ok()) return Fail(status);
+    std::printf("metrics-invariance self-check: ok\n");
+    return 0;
+  }
+
+  // The latency histogram and serve.* counters live in the obs registry.
+  obs::SetEnabled(true);
+  auto report = serve::RunServingLoad(options);
+  if (!report.ok()) return Fail(report.status());
+  const serve::LoadGenReport& r = report.value();
+
+  std::printf("algorithm        : %s\n", AlgorithmName(options.algorithm));
+  std::printf("rows x dim       : %d x %d (%d sites)\n", options.rows,
+              options.dim, options.sites);
+  std::printf("readers          : %d\n", options.reader_threads);
+  std::printf("versions         : %llu published\n",
+              static_cast<unsigned long long>(r.versions_published));
+  std::printf("queries          : %ld (%ld pca, %ld anomaly, %ld change)\n",
+              r.total_queries, r.pca_queries, r.anomaly_queries,
+              r.change_queries);
+  std::printf("errors           : %ld\n", r.errors);
+  std::printf("elapsed          : %.3f s\n", r.elapsed_seconds);
+  std::printf("qps              : %.0f\n", r.qps);
+  const auto it = r.metrics.histograms.find("serve.query.latency_us");
+  if (it != r.metrics.histograms.end()) {
+    std::printf("latency (us)     :");
+    const obs::HistogramSnapshot& h = it->second;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      if (i < h.edges.size()) {
+        std::printf(" <=%ld:%ld", h.edges[i], h.counts[i]);
+      } else {
+        std::printf(" >%ld:%ld", h.edges.back(), h.counts[i]);
+      }
+    }
+    std::printf("\n");
+  }
+  return r.errors == 0 ? 0 : 1;
+}
+
 std::vector<std::string> SplitCommas(const std::string& s) {
   std::vector<std::string> out;
   size_t start = 0;
@@ -321,7 +387,7 @@ int main(int argc, char** argv) {
       "ell",     "save-sketch", "trace",     "algorithms", "epsilons",
       "threads", "trace-jsonl", "net-drop",  "net-dup",   "net-delay",
       "net-seed", "net-reliable", "net-retry", "net-json", "metrics-json",
-      "runtime", "wall-clock"};
+      "runtime", "wall-clock", "dim", "readers", "min-queries", "selfcheck"};
   auto flags = FlagSet::Parse(argc, argv, known);
   if (!flags.ok()) return Fail(flags.status());
 
@@ -336,9 +402,12 @@ int main(int argc, char** argv) {
   const std::string command = positional.empty() ? "run" : positional[0];
   if (command == "run") return CmdRun(flags.value());
   if (command == "sweep") return CmdSweep(flags.value());
+  if (command == "serve-bench") return CmdServeBench(flags.value());
   if (command == "datasets") return CmdDatasets(flags.value());
   if (command == "algorithms") return CmdAlgorithms();
-  std::fprintf(stderr,
-               "usage: dswm_cli [run|sweep|datasets|algorithms] [--flags]\n");
+  std::fprintf(
+      stderr,
+      "usage: dswm_cli [run|sweep|serve-bench|datasets|algorithms] "
+      "[--flags]\n");
   return 1;
 }

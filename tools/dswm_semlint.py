@@ -51,6 +51,16 @@ R6 started life as regex rules in dswm_lint.py and were migrated here.
           (runtime/site_worker.h), never ad-hoc descriptors. Member and
           qualified calls (x.poll(), ns::select()) are not raw sockets
           and do not fire.
+  R13 snapshot-immutability
+          No member call to CovarianceEstimate::MaterializeAndSeal
+          (x.MaterializeAndSeal(), p->MaterializeAndSeal()) outside
+          src/serve/: sealing is the serving tier's publish-time step.
+          Everywhere else an estimate is either still being built (the
+          tracker side) or already sealed behind a SnapshotRef; a stray
+          seal call would hide a mutation on what readers assume is an
+          immutable snapshot. The qualified definition
+          (CovarianceEstimate::MaterializeAndSeal() { ... }) in
+          src/core/ does not fire.
 
 Frontends: with the clang python bindings + libclang available the rules
 that benefit from real types (R8, R9) run over the actual AST using the
@@ -82,6 +92,7 @@ THREAD_ALLOWED_PREFIX = ("src", "common")
 COMM_ALLOWED_PREFIX = ("src", "net")
 CAST_ALLOWED_PREFIX = ("src", "net")
 SOCKET_ALLOWED_PREFIXES = (("src", "runtime"), ("src", "net"))
+SEAL_ALLOWED_PREFIX = ("src", "serve")
 UNORDERED_SCOPED_PREFIXES = (("src", "core"), ("src", "window"),
                              ("src", "sketch"))
 STD_MUTEX_ALLOWED = {pathlib.PurePosixPath("src/common/mutex.h")}
@@ -96,6 +107,7 @@ GRANDFATHERED = {
     "mutex-without-capability": set(),
     "cast-confinement": set(),
     "socket-confinement": set(),
+    "snapshot-immutability": set(),
 }
 
 # Legacy `dswm-lint:` markers stay honored for the migrated rules so the
@@ -749,6 +761,25 @@ def check_cast_confinement(u, rep):
                    "or redesign the API to avoid the cast")
 
 
+def check_snapshot_immutability(u, rep):
+    if under(u.rel, SEAL_ALLOWED_PREFIX):
+        return
+    toks = u.toks
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.text != "MaterializeAndSeal":
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue  # mention in a comment-adjacent identifier or decl list
+        if i == 0 or toks[i - 1].text not in (".", "->"):
+            continue  # declaration or qualified definition, not a call
+        u.emit(rep, t.line, "snapshot-immutability",
+               "'MaterializeAndSeal(...)' member call outside src/serve/; "
+               "sealing is the publish-time step of the serving tier -- "
+               "publish the estimate through serve::SnapshotStore and read "
+               "it via a pinned SnapshotRef instead of sealing in place")
+
+
 def check_socket_confinement(u, rep):
     if any(under(u.rel, p) for p in SOCKET_ALLOWED_PREFIXES):
         return
@@ -912,6 +943,7 @@ def main():
         check_comm_mutation(u, rep)
         check_cast_confinement(u, rep)
         check_socket_confinement(u, rep)
+        check_snapshot_immutability(u, rep)
 
     frontend = "libclang" if ast_done else "builtin"
     if rep.count:

@@ -121,6 +121,15 @@ if [[ "${SKIP_TSAN}" -eq 0 ]]; then
   log "ctest -L runtime (build-tsan)"
   ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
     -L runtime
+
+  # The serve-labeled suite under TSan: the snapshot store's publish /
+  # pin / reclaim protocol is the one deliberately lock-free reader path
+  # in the tree, and the publish-while-read stress plus the bit-identity
+  # loaded runs are exactly the tests where a misordered epoch announce
+  # or a reclaim-while-pinned shows up as a race instead of luck.
+  log "ctest -L serve (build-tsan)"
+  ctest --test-dir "${ROOT}/build-tsan" --output-on-failure -j "${JOBS}" \
+    -L serve
 fi
 
 # Thread-safety analysis: the capability annotations in
@@ -280,6 +289,31 @@ print(f"DA2 wire baseline OK ({got['wire_payload_bytes']} payload bytes, "
       f"{got['payload_bytes_per_window']} per window)")
 PY
   rm -f "${NET_JSON_TMP}"
+
+  log "serving-bench smoke (QPS + latency histogram + metrics invariance)"
+  # Three serving-tier claims checked cheaply: the closed-loop load gen
+  # sustains a nonzero QPS with zero Status errors, the obs latency
+  # histogram actually populates (the DSWM_OBS_HISTOGRAM site is live),
+  # and flipping metrics on/off changes no query result bytes (the
+  # --selfcheck pass runs the same deterministic probe sequence both ways
+  # and memcmps the doubles).
+  SERVE_LOG_TMP="$(mktemp /tmp/dswm_serve_smoke.XXXXXX.log)"
+  "${ROOT}/build-release/tools/dswm_cli" serve-bench --rows 2000 \
+    --readers 2 --min-queries 50 | tee "${SERVE_LOG_TMP}"
+  python3 - "${SERVE_LOG_TMP}" <<'PY'
+import re, sys
+text = open(sys.argv[1]).read()
+qps = float(re.search(r"^qps\s*:\s*([\d.]+)", text, re.M).group(1))
+errors = int(re.search(r"^errors\s*:\s*(\d+)", text, re.M).group(1))
+hist = re.search(r"^latency \(us\)\s*:\s*(\S.*)$", text, re.M)
+assert qps > 0, f"serving bench reported zero QPS"
+assert errors == 0, f"serving bench reported {errors} query errors"
+assert hist and hist.group(1).strip(), "latency histogram is empty"
+print(f"serving smoke OK ({qps:.0f} QPS, populated latency histogram)")
+PY
+  rm -f "${SERVE_LOG_TMP}"
+  "${ROOT}/build-release/tools/dswm_cli" serve-bench --rows 1200 \
+    --selfcheck 1
 fi
 
 log "dswm_lint"
